@@ -1,0 +1,130 @@
+// Package repro's top-level benchmarks regenerate each figure of the
+// paper's evaluation at the Quick scale, reporting the modelled figures of
+// merit as custom benchmark metrics. One benchmark exists per paper figure
+// plus one per ablation; `cmd/figures` prints the full tables at the
+// reproduction scale.
+package repro
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/apps/heat"
+	"repro/internal/apps/miniamr"
+	"repro/internal/apps/streaming"
+	"repro/internal/cluster"
+	"repro/internal/fabric"
+	"repro/internal/figures"
+)
+
+// reportSeries registers each (series, x) value of a figure as a metric.
+func reportSeries(b *testing.B, f figures.Figure) {
+	b.Helper()
+	for _, s := range f.Series {
+		name := strings.ReplaceAll(s.Name, " ", "_")
+		for i, y := range s.Y {
+			if i < len(f.X) {
+				b.ReportMetric(y, name+"@"+trim(f.X[i]))
+			}
+		}
+	}
+}
+
+func trim(x float64) string {
+	if x == float64(int64(x)) {
+		return itoa(int64(x))
+	}
+	return "x"
+}
+
+func itoa(v int64) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+func benchFigure(b *testing.B, id string) {
+	gen := figures.All()[id]
+	var last figures.Figure
+	for i := 0; i < b.N; i++ {
+		last = gen(figures.Quick)
+	}
+	reportSeries(b, last)
+}
+
+func BenchmarkFig09GaussSeidelScaling(b *testing.B)   { benchFigure(b, "9") }
+func BenchmarkFig10GaussSeidelBlocksize(b *testing.B) { benchFigure(b, "10") }
+func BenchmarkFig11MiniAMRScaling(b *testing.B)       { benchFigure(b, "11") }
+func BenchmarkFig12MiniAMRVariables(b *testing.B)     { benchFigure(b, "12") }
+func BenchmarkFig13aStreamingMN4(b *testing.B)        { benchFigure(b, "13a") }
+func BenchmarkFig13bStreamingCTEAMD(b *testing.B)     { benchFigure(b, "13b") }
+func BenchmarkAblationMPILockContention(b *testing.B) { benchFigure(b, "lock") }
+func BenchmarkAblationPollingPeriod(b *testing.B)     { benchFigure(b, "poll") }
+func BenchmarkAblationRMANotification(b *testing.B)   { benchFigure(b, "rma") }
+func BenchmarkAblationOnready(b *testing.B)           { benchFigure(b, "onready") }
+
+// BenchmarkGaussSeidelTAGASPI measures one mid-size hybrid Gauss-Seidel
+// run end to end (host time), reporting modelled throughput.
+func BenchmarkGaussSeidelTAGASPI(b *testing.B) {
+	p := heat.Params{Rows: 512, Cols: 1024, Timesteps: 8, BlockRows: 32, BlockCols: 32}
+	var thr float64
+	for i := 0; i < b.N; i++ {
+		cfg := cluster.Config{
+			Nodes: 4, RanksPerNode: 2, CoresPerRank: 4,
+			Profile:     fabric.ProfileOmniPath(),
+			WithTasking: true, WithTAGASPI: true,
+			TAGASPIPoll: 5 * time.Microsecond,
+		}
+		res := cluster.Run(cfg, func(env *cluster.Env) { heat.RunTAGASPI(env, p) })
+		thr = p.Updates() / res.Elapsed.Seconds() / 1e9
+	}
+	b.ReportMetric(thr, "GUpd/s")
+}
+
+// BenchmarkStreamingTAGASPI measures the Streaming pipeline on the
+// InfiniBand profile.
+func BenchmarkStreamingTAGASPI(b *testing.B) {
+	p := streaming.Params{Chunks: 8, ChunkElems: 16 << 10, BlockSize: 512}
+	var thr float64
+	for i := 0; i < b.N; i++ {
+		cfg := cluster.Config{
+			Nodes: 4, RanksPerNode: 1, CoresPerRank: 8,
+			Profile:     fabric.ProfileInfiniBand(),
+			WithTasking: true, WithTAGASPI: true,
+			TAGASPIPoll: time.Microsecond,
+		}
+		res := cluster.Run(cfg, func(env *cluster.Env) { streaming.RunTAGASPI(env, p) })
+		thr = p.Elements() / res.Elapsed.Seconds() / 1e9
+	}
+	b.ReportMetric(thr, "GElem/s")
+}
+
+// BenchmarkMiniAMRTAGASPI measures the AMR proxy end to end.
+func BenchmarkMiniAMRTAGASPI(b *testing.B) {
+	p := miniamr.Params{
+		Grid: [3]int{2, 2, 2}, Cells: 4, Vars: 10,
+		Steps: 10, RefineEvery: 5, MaxLevel: 1, Radius: 0.5,
+	}
+	cfg := cluster.Config{
+		Nodes: 2, RanksPerNode: 2, CoresPerRank: 4,
+		Profile:     fabric.ProfileOmniPath(),
+		WithTasking: true, WithTAMPI: true, WithTAGASPI: true,
+		TAMPIPoll: 5 * time.Microsecond, TAGASPIPoll: 5 * time.Microsecond,
+	}
+	epochs := p.Epochs(4)
+	var thr float64
+	for i := 0; i < b.N; i++ {
+		res := cluster.Run(cfg, func(env *cluster.Env) { miniamr.RunTAGASPI(env, p, epochs) })
+		thr = miniamr.Work(p, epochs) / res.Elapsed.Seconds() / 1e9
+	}
+	b.ReportMetric(thr, "GUpd/s")
+}

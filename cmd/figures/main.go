@@ -1,0 +1,52 @@
+// Command figures regenerates the paper's evaluation figures (§VI) on the
+// simulated cluster, printing each as a text table.
+//
+// Usage:
+//
+//	figures -fig 9          # one figure (9, 10, 11, 12, 13a, 13b,
+//	                        # lock, poll, rma, onready)
+//	figures -all            # everything, in paper order
+//	figures -all -quick     # reduced scale (seconds instead of minutes)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/figures"
+)
+
+func main() {
+	fig := flag.String("fig", "", "figure id to regenerate")
+	all := flag.Bool("all", false, "regenerate every figure")
+	quick := flag.Bool("quick", false, "use the reduced Quick preset")
+	flag.Parse()
+
+	preset := figures.Full
+	if *quick {
+		preset = figures.Quick
+	}
+	gens := figures.All()
+	var ids []string
+	switch {
+	case *all:
+		ids = figures.IDs()
+	case *fig != "":
+		if _, ok := gens[*fig]; !ok {
+			fmt.Fprintf(os.Stderr, "unknown figure %q; known: %v\n", *fig, figures.IDs())
+			os.Exit(2)
+		}
+		ids = []string{*fig}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+	for _, id := range ids {
+		start := time.Now()
+		f := gens[id](preset)
+		f.Render(os.Stdout)
+		fmt.Printf("   (host time: %v)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,91 @@
+// Command heat runs the Gauss–Seidel heat-equation benchmark (§VI-A) on
+// the simulated cluster and reports the modelled throughput.
+//
+// Example:
+//
+//	heat -variant tagaspi -nodes 8 -rows 2048 -cols 2048 -steps 10 -block 64
+//	heat -variant mpi -nodes 4 -verify
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/apps/heat"
+	"repro/internal/cluster"
+	"repro/internal/fabric"
+)
+
+func main() {
+	variant := flag.String("variant", "tagaspi", "mpi | tampi | tagaspi")
+	nodes := flag.Int("nodes", 4, "compute nodes")
+	rpn := flag.Int("rpn", 2, "ranks per node (hybrid variants)")
+	cores := flag.Int("cores", 4, "cores per rank (hybrid variants)")
+	mpiRPN := flag.Int("mpi-rpn", 8, "ranks per node (mpi variant)")
+	rows := flag.Int("rows", 1024, "matrix rows")
+	cols := flag.Int("cols", 2048, "matrix columns")
+	steps := flag.Int("steps", 10, "timesteps")
+	block := flag.Int("block", 64, "block size (hybrid: square; mpi: columns)")
+	profile := flag.String("profile", "omnipath", "omnipath | infiniband | ideal")
+	poll := flag.Duration("poll", 10*time.Microsecond, "task-aware polling period")
+	verify := flag.Bool("verify", false, "run real arithmetic and check against the serial reference")
+	flag.Parse()
+
+	var prof fabric.Profile
+	switch *profile {
+	case "omnipath":
+		prof = fabric.ProfileOmniPath()
+	case "infiniband":
+		prof = fabric.ProfileInfiniBand()
+	case "ideal":
+		prof = fabric.ProfileIdeal()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown profile %q\n", *profile)
+		os.Exit(2)
+	}
+
+	p := heat.Params{
+		Rows: *rows, Cols: *cols, Timesteps: *steps,
+		BlockRows: *block, BlockCols: *block, Verify: *verify,
+	}
+	cfg := cluster.Config{Nodes: *nodes, Profile: prof, Seed: 1}
+	switch *variant {
+	case "mpi":
+		cfg.RanksPerNode, cfg.CoresPerRank = *mpiRPN, 1
+		p.BlockCols = *block
+	case "tampi":
+		cfg.RanksPerNode, cfg.CoresPerRank = *rpn, *cores
+		cfg.WithTasking, cfg.WithTAMPI = true, true
+		cfg.TAMPIPoll = *poll
+	case "tagaspi":
+		cfg.RanksPerNode, cfg.CoresPerRank = *rpn, *cores
+		cfg.WithTasking, cfg.WithTAGASPI = true, true
+		cfg.TAGASPIPoll = *poll
+	default:
+		fmt.Fprintf(os.Stderr, "unknown variant %q\n", *variant)
+		os.Exit(2)
+	}
+
+	start := time.Now()
+	res := cluster.Run(cfg, func(env *cluster.Env) {
+		switch *variant {
+		case "mpi":
+			heat.RunMPIOnly(env, p)
+		case "tampi":
+			heat.RunTAMPI(env, p)
+		case "tagaspi":
+			heat.RunTAGASPI(env, p)
+		}
+	})
+	fmt.Printf("variant=%s nodes=%d ranks=%d matrix=%dx%d steps=%d block=%d profile=%s\n",
+		*variant, *nodes, *nodes*cfg.RanksPerNode, *rows, *cols, *steps, *block, prof.Name)
+	fmt.Printf("modelled time: %v   throughput: %.3f GUpdates/s   (host %v)\n",
+		res.Elapsed, p.Updates()/res.Elapsed.Seconds()/1e9, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("fabric: %d messages, %.1f MiB;  MPI time (all ranks): %v\n",
+		res.Fabric.Messages, float64(res.Fabric.Bytes)/(1<<20), res.TotalMPITime())
+	if *verify {
+		fmt.Println("verify: arithmetic ran inside the simulation; use the test suite for the bit-exact check")
+	}
+}

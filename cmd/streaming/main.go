@@ -1,0 +1,81 @@
+// Command streaming runs the Streaming pipeline benchmark (§VI-C) on the
+// simulated cluster and reports the modelled throughput.
+//
+// Example:
+//
+//	streaming -variant tagaspi -nodes 6 -profile infiniband -block 2048
+//	streaming -variant tampi -nodes 4 -block 256   # the §VI-C collapse
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/apps/streaming"
+	"repro/internal/cluster"
+	"repro/internal/fabric"
+)
+
+func main() {
+	variant := flag.String("variant", "tagaspi", "mpi | tampi | tagaspi")
+	nodes := flag.Int("nodes", 4, "pipeline stages (nodes)")
+	rpn := flag.Int("rpn", 1, "ranks per node (hybrid variants)")
+	cores := flag.Int("cores", 8, "cores per rank (hybrid variants)")
+	mpiRPN := flag.Int("mpi-rpn", 8, "ranks per node (mpi variant)")
+	chunks := flag.Int("chunks", 16, "chunks pushed through the pipeline")
+	chunkElems := flag.Int("chunk", 64<<10, "elements per chunk")
+	block := flag.Int("block", 1024, "block size (elements)")
+	profile := flag.String("profile", "infiniband", "omnipath | infiniband | ideal")
+	poll := flag.Duration("poll", time.Microsecond, "task-aware polling period")
+	flag.Parse()
+
+	var prof fabric.Profile
+	switch *profile {
+	case "omnipath":
+		prof = fabric.ProfileOmniPath()
+	case "infiniband":
+		prof = fabric.ProfileInfiniBand()
+	case "ideal":
+		prof = fabric.ProfileIdeal()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown profile %q\n", *profile)
+		os.Exit(2)
+	}
+	p := streaming.Params{Chunks: *chunks, ChunkElems: *chunkElems, BlockSize: *block}
+	cfg := cluster.Config{Nodes: *nodes, Profile: prof, Seed: 3}
+	switch *variant {
+	case "mpi":
+		cfg.RanksPerNode, cfg.CoresPerRank = *mpiRPN, 1
+	case "tampi":
+		cfg.RanksPerNode, cfg.CoresPerRank = *rpn, *cores
+		cfg.WithTasking, cfg.WithTAMPI = true, true
+		cfg.TAMPIPoll = *poll
+	case "tagaspi":
+		cfg.RanksPerNode, cfg.CoresPerRank = *rpn, *cores
+		cfg.WithTasking, cfg.WithTAGASPI = true, true
+		cfg.TAGASPIPoll = *poll
+	default:
+		fmt.Fprintf(os.Stderr, "unknown variant %q\n", *variant)
+		os.Exit(2)
+	}
+
+	start := time.Now()
+	res := cluster.Run(cfg, func(env *cluster.Env) {
+		switch *variant {
+		case "mpi":
+			streaming.RunMPIOnly(env, p)
+		case "tampi":
+			streaming.RunTAMPI(env, p)
+		case "tagaspi":
+			streaming.RunTAGASPI(env, p)
+		}
+	})
+	fmt.Printf("variant=%s nodes=%d chunks=%d chunk=%d block=%d profile=%s\n",
+		*variant, *nodes, *chunks, *chunkElems, *block, prof.Name)
+	fmt.Printf("modelled time: %v   throughput: %.3f GElements/s   (host %v)\n",
+		res.Elapsed, p.Elements()/res.Elapsed.Seconds()/1e9, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("fabric: %d messages;  MPI time (all ranks): %v\n",
+		res.Fabric.Messages, res.TotalMPITime())
+}

@@ -1,0 +1,78 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/figures"
+)
+
+// The integration tests assert the paper's qualitative claims on the
+// Quick-preset figure reproductions: who wins, and in which regime. The
+// absolute numbers live in EXPERIMENTS.md; these tests pin the shape.
+
+func TestHeadlineFig10TAGASPIWinsAcrossBlockSizes(t *testing.T) {
+	f := figures.Fig10GaussSeidelBlocksize(figures.Quick)
+	series := seriesMap(f)
+	for i := range f.X {
+		if series["TAGASPI"][i] < series["TAMPI"][i] {
+			t.Errorf("block %v: TAGASPI (%.3f) below TAMPI (%.3f)",
+				f.X[i], series["TAGASPI"][i], series["TAMPI"][i])
+		}
+	}
+}
+
+func TestHeadlineFig13bTAGASPIWinsOnInfiniBand(t *testing.T) {
+	f := figures.Fig13bStreamingInfiniBand(figures.Quick)
+	series := seriesMap(f)
+	// At the small block size, TAMPI collapses on the MPI lock while
+	// TAGASPI stays close to (or above) MPI-only.
+	small := 0
+	if series["TAGASPI"][small] < 2*series["TAMPI"][small] {
+		t.Errorf("small blocks: TAGASPI (%.3f) not well above TAMPI (%.3f)",
+			series["TAGASPI"][small], series["TAMPI"][small])
+	}
+}
+
+func TestHeadlineRMANotificationRoundTrip(t *testing.T) {
+	f := figures.AblationRMANotification(figures.Quick)
+	series := seriesMap(f)
+	for i := range f.X {
+		mpi := series["MPI put+flush+send"][i]
+		gaspi := series["GASPI write_notify"][i]
+		if mpi <= gaspi {
+			t.Errorf("size %v: MPI idiom (%.2fus) not slower than GASPI (%.2fus)",
+				f.X[i], mpi, gaspi)
+		}
+	}
+}
+
+func TestHeadlinePollingPeriodMatters(t *testing.T) {
+	f := figures.AblationPollingPeriod(figures.Quick)
+	series := seriesMap(f)
+	ys := series["TAGASPI"]
+	if ys[0] <= ys[len(ys)-1] {
+		t.Errorf("finer polling (%.3f) not faster than coarser (%.3f) on the communication-bound workload",
+			ys[0], ys[len(ys)-1])
+	}
+}
+
+func TestHeadlineLockBlowupSuperlinear(t *testing.T) {
+	f := figures.AblationMPILockBlowup(figures.Quick)
+	series := seriesMap(f)
+	times := series["MPI time (s)"]
+	msgs := series["messages"]
+	last := len(times) - 1
+	timeRatio := times[0] / times[last]
+	msgRatio := msgs[0] / msgs[last]
+	if timeRatio <= msgRatio {
+		t.Errorf("MPI time ratio %.1f not superlinear vs message ratio %.1f", timeRatio, msgRatio)
+	}
+}
+
+func seriesMap(f figures.Figure) map[string][]float64 {
+	m := make(map[string][]float64, len(f.Series))
+	for _, s := range f.Series {
+		m[s.Name] = s.Y
+	}
+	return m
+}

@@ -1,0 +1,162 @@
+package heat
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/fabric"
+)
+
+// gather runs one variant and collects each rank's interior strip.
+func gather(cfg cluster.Config, p Params, variant func(*cluster.Env, Params) *grid) ([][]float64, cluster.Result) {
+	ranks := cfg.Nodes * cfg.RanksPerNode
+	strips := make([][]float64, ranks)
+	var mu sync.Mutex
+	res := cluster.Run(cfg, func(env *cluster.Env) {
+		g := variant(env, p)
+		if env.RT != nil {
+			env.RT.TaskWait()
+		}
+		s := g.Strip()
+		mu.Lock()
+		strips[env.Rank] = s
+		mu.Unlock()
+	})
+	return strips, res
+}
+
+// assemble concatenates strips into a full interior matrix.
+func assemble(strips [][]float64) []float64 {
+	var out []float64
+	for _, s := range strips {
+		out = append(out, s...)
+	}
+	return out
+}
+
+func mpiOnlyConfig(ranks int) cluster.Config {
+	return cluster.Config{
+		Nodes: ranks, RanksPerNode: 1, CoresPerRank: 1,
+		Profile: fabric.ProfileIdeal(),
+	}
+}
+
+func hybridCfg(ranks, cores int, tagaspi bool) cluster.Config {
+	cfg := cluster.Config{
+		Nodes: ranks, RanksPerNode: 1, CoresPerRank: cores,
+		Profile:     fabric.ProfileIdeal(),
+		WithTasking: true,
+		TAMPIPoll:   5 * time.Microsecond,
+		TAGASPIPoll: 5 * time.Microsecond,
+	}
+	if tagaspi {
+		cfg.WithTAGASPI = true
+	} else {
+		cfg.WithTAMPI = true
+	}
+	return cfg
+}
+
+var verifyParams = Params{
+	Rows: 32, Cols: 48, Timesteps: 7,
+	BlockRows: 4, BlockCols: 12, Verify: true,
+}
+
+func checkAgainstSerial(t *testing.T, got []float64, p Params) {
+	t.Helper()
+	want := Serial(p)
+	// Compare interiors: serial includes boundary rows 0 and Rows+1.
+	for r := 0; r < p.Rows; r++ {
+		for c := 0; c < p.Cols; c++ {
+			w := want[(r+1)*p.Cols+c]
+			g := got[r*p.Cols+c]
+			if w != g {
+				t.Fatalf("mismatch at (%d,%d): got %v, want %v", r, c, g, w)
+			}
+		}
+	}
+}
+
+func TestSerialReferenceConverges(t *testing.T) {
+	p := verifyParams
+	u := Serial(p)
+	// Heat must have diffused into the first interior row by now.
+	warm := 0
+	for c := 1; c < p.Cols-1; c++ {
+		if u[1*p.Cols+c] > 0 {
+			warm++
+		}
+	}
+	if warm == 0 {
+		t.Fatal("no diffusion happened; kernel broken")
+	}
+	// The bottom boundary (0) must keep values bounded below the source.
+	for i, v := range u {
+		if v < 0 || v > boundaryTop {
+			t.Fatalf("u[%d] = %v outside [0,1]", i, v)
+		}
+	}
+}
+
+func TestMPIOnlyMatchesSerial(t *testing.T) {
+	for _, ranks := range []int{1, 2, 4} {
+		strips, _ := gather(mpiOnlyConfig(ranks), verifyParams, RunMPIOnly)
+		checkAgainstSerial(t, assemble(strips), verifyParams)
+	}
+}
+
+func TestTAMPIMatchesSerial(t *testing.T) {
+	for _, ranks := range []int{1, 2, 4} {
+		strips, _ := gather(hybridCfg(ranks, 4, false), verifyParams, RunTAMPI)
+		checkAgainstSerial(t, assemble(strips), verifyParams)
+	}
+}
+
+func TestTAGASPIMatchesSerial(t *testing.T) {
+	for _, ranks := range []int{1, 2, 4} {
+		strips, _ := gather(hybridCfg(ranks, 4, true), verifyParams, RunTAGASPI)
+		checkAgainstSerial(t, assemble(strips), verifyParams)
+	}
+}
+
+func TestVariantsAgreeUnderContentionProfile(t *testing.T) {
+	// Same numerics under a real cost profile (timing changes, values not).
+	p := verifyParams
+	cfg := hybridCfg(2, 4, true)
+	cfg.Profile = fabric.ProfileInfiniBand()
+	strips, res := gather(cfg, p, RunTAGASPI)
+	checkAgainstSerial(t, assemble(strips), p)
+	if res.Elapsed <= 0 {
+		t.Fatal("no modelled time elapsed under a costed profile")
+	}
+}
+
+func TestTAGASPIFasterWithSmallBlocksThanTAMPI(t *testing.T) {
+	// The paper's headline behaviour (Fig. 10): with small blocks and a
+	// costed profile, TAGASPI outperforms TAMPI because TAMPI's
+	// communication tasks contend on the MPI library lock.
+	p := Params{Rows: 128, Cols: 256, Timesteps: 6, BlockRows: 8, BlockCols: 16}
+	prof := fabric.ProfileOmniPath()
+
+	cfgM := hybridCfg(4, 8, false)
+	cfgM.Profile = prof
+	_, resM := gather(cfgM, p, RunTAMPI)
+
+	cfgG := hybridCfg(4, 8, true)
+	cfgG.Profile = prof
+	_, resG := gather(cfgG, p, RunTAGASPI)
+
+	if resG.Elapsed >= resM.Elapsed {
+		t.Fatalf("TAGASPI (%v) not faster than TAMPI (%v) with fine-grained blocks",
+			resG.Elapsed, resM.Elapsed)
+	}
+}
+
+func TestUpdatesFigureOfMerit(t *testing.T) {
+	p := Params{Rows: 100, Cols: 200, Timesteps: 3}
+	if p.Updates() != 60000 {
+		t.Fatalf("Updates = %v", p.Updates())
+	}
+}

@@ -1,0 +1,315 @@
+package miniamr
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/fabric"
+)
+
+var verifyParams = Params{
+	Grid: [3]int{2, 2, 2}, Cells: 4, Vars: 3,
+	Steps: 6, RefineEvery: 2, MaxLevel: 1, Radius: 0.6,
+	Verify: true,
+}
+
+func TestLeavesCoverDomainExactly(t *testing.T) {
+	p := verifyParams
+	for epoch := 0; epoch < 4; epoch++ {
+		leaves := p.Leaves(epoch)
+		vol := 0.0
+		seen := map[Leaf]bool{}
+		for _, l := range leaves {
+			if seen[l] {
+				t.Fatalf("duplicate leaf %v", l)
+			}
+			seen[l] = true
+			vol += 1.0 / float64(int(1)<<(3*l.L))
+		}
+		want := float64(p.Grid[0] * p.Grid[1] * p.Grid[2])
+		if math.Abs(vol-want) > 1e-9 {
+			t.Fatalf("epoch %d: leaf volume %v, want %v", epoch, vol, want)
+		}
+	}
+}
+
+func TestMeshRefinesNearObject(t *testing.T) {
+	p := verifyParams
+	base := p.Grid[0] * p.Grid[1] * p.Grid[2]
+	for epoch := 0; epoch < 3; epoch++ {
+		if n := len(p.Leaves(epoch)); n <= base {
+			t.Fatalf("epoch %d: %d leaves, expected refinement beyond %d", epoch, n, base)
+		}
+	}
+}
+
+func TestTwoToOneBalance(t *testing.T) {
+	p := verifyParams
+	p.MaxLevel = 2
+	for epoch := 0; epoch < 4; epoch++ {
+		leaves := p.Leaves(epoch)
+		set := map[Leaf]bool{}
+		for _, l := range leaves {
+			set[l] = true
+		}
+		for _, l := range leaves {
+			for f := 0; f < 6; f++ {
+				for _, nb := range p.faceNeighbours(l, f, set) {
+					if d := nb.L - l.L; d < -1 || d > 1 {
+						t.Fatalf("epoch %d: leaf %v has neighbour %v (Δlevel %d)", epoch, l, nb, d)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestFaceCoverage(t *testing.T) {
+	// Every non-boundary face must be covered by messages summing to a
+	// full face worth of halo cells.
+	p := verifyParams
+	p.MaxLevel = 2
+	for epoch := 0; epoch < 3; epoch++ {
+		e := p.buildEpoch(epoch, 1)
+		set := map[Leaf]bool{}
+		for _, l := range e.Leaves {
+			set[l] = true
+		}
+		cover := map[[2]any]int{}
+		for _, m := range e.Inbound[0] {
+			key := [2]any{m.Dst, m.Face}
+			cover[key] += m.Elems // Elems is always in dst-face cells
+		}
+		full := p.Cells * p.Cells
+		for _, l := range e.Leaves {
+			for f := 0; f < 6; f++ {
+				if len(p.faceNeighbours(l, f, set)) == 0 {
+					continue
+				}
+				got := cover[[2]any{l, f}]
+				if got != full {
+					t.Fatalf("epoch %d: face (%v,%d) covered by %d cells, want %d",
+						epoch, l, f, got, full)
+				}
+			}
+		}
+	}
+}
+
+func TestInboundOutboundConsistent(t *testing.T) {
+	p := verifyParams
+	for _, ranks := range []int{1, 3, 5} {
+		e := p.buildEpoch(1, ranks)
+		in, out := 0, 0
+		for r := 0; r < ranks; r++ {
+			in += len(e.Inbound[r])
+			out += len(e.Outbound[r])
+		}
+		if in != out {
+			t.Fatalf("ranks=%d: %d inbound vs %d outbound", ranks, in, out)
+		}
+	}
+}
+
+func TestSerialDeterministicAndBounded(t *testing.T) {
+	a := Serial(verifyParams)
+	b := Serial(verifyParams)
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic leaf count")
+	}
+	for l, va := range a {
+		vb, ok := b[l]
+		if !ok {
+			t.Fatalf("leaf %v missing in second run", l)
+		}
+		for i := range va {
+			if va[i] != vb[i] {
+				t.Fatalf("nondeterministic value at %v[%d]", l, i)
+			}
+			if math.IsNaN(va[i]) || math.IsInf(va[i], 0) {
+				t.Fatalf("non-finite value at %v[%d]", l, i)
+			}
+		}
+	}
+}
+
+// gatherRun executes one distributed variant and merges all ranks' blocks.
+func gatherRun(t *testing.T, p Params, ranks, cores int, variant string) (map[Leaf][]float64, cluster.Result, time.Duration) {
+	t.Helper()
+	cfg := cluster.Config{
+		Nodes: ranks, RanksPerNode: 1, CoresPerRank: cores,
+		Profile: fabric.ProfileIdeal(),
+	}
+	switch variant {
+	case "tampi":
+		cfg.WithTasking, cfg.WithTAMPI = true, true
+	case "tagaspi":
+		cfg.WithTasking, cfg.WithTAMPI, cfg.WithTAGASPI = true, true, true
+	}
+	cfg.TAMPIPoll = 5 * time.Microsecond
+	cfg.TAGASPIPoll = 5 * time.Microsecond
+	epochs := p.Epochs(ranks)
+	merged := make(map[Leaf][]float64)
+	var refine time.Duration
+	var mu sync.Mutex
+	res := cluster.Run(cfg, func(env *cluster.Env) {
+		var out Output
+		switch variant {
+		case "mpi":
+			out = RunMPIOnly(env, p, epochs)
+		case "tampi":
+			out = RunTAMPI(env, p, epochs)
+		case "tagaspi":
+			out = RunTAGASPI(env, p, epochs)
+		}
+		mu.Lock()
+		for l, v := range out.Blocks {
+			merged[l] = v
+		}
+		refine += out.RefineTime
+		mu.Unlock()
+	})
+	return merged, res, refine
+}
+
+func checkAgainstSerial(t *testing.T, got map[Leaf][]float64, p Params) {
+	t.Helper()
+	want := Serial(p)
+	if len(got) != len(want) {
+		t.Fatalf("got %d leaves, want %d", len(got), len(want))
+	}
+	for l, wv := range want {
+		gv, ok := got[l]
+		if !ok {
+			t.Fatalf("missing leaf %v", l)
+		}
+		for i := range wv {
+			if gv[i] != wv[i] {
+				t.Fatalf("leaf %v cell %d: got %v, want %v", l, i, gv[i], wv[i])
+			}
+		}
+	}
+}
+
+func TestMPIOnlyMatchesSerial(t *testing.T) {
+	for _, ranks := range []int{1, 2, 5} {
+		got, _, _ := gatherRun(t, verifyParams, ranks, 1, "mpi")
+		checkAgainstSerial(t, got, verifyParams)
+	}
+}
+
+func TestTAMPIMatchesSerial(t *testing.T) {
+	for _, ranks := range []int{1, 3} {
+		got, _, _ := gatherRun(t, verifyParams, ranks, 4, "tampi")
+		checkAgainstSerial(t, got, verifyParams)
+	}
+}
+
+func TestTAGASPIMatchesSerial(t *testing.T) {
+	for _, ranks := range []int{1, 3, 4} {
+		got, _, _ := gatherRun(t, verifyParams, ranks, 4, "tagaspi")
+		checkAgainstSerial(t, got, verifyParams)
+	}
+}
+
+func TestDeepRefinementMatchesSerial(t *testing.T) {
+	p := verifyParams
+	p.MaxLevel = 2
+	p.Cells = 4
+	p.Steps = 4
+	got, _, _ := gatherRun(t, p, 3, 4, "tagaspi")
+	checkAgainstSerial(t, got, p)
+}
+
+func TestRefineTimeMeasured(t *testing.T) {
+	p := verifyParams
+	p.Verify = false
+	cfg := cluster.Config{
+		Nodes: 2, RanksPerNode: 1, CoresPerRank: 4,
+		Profile:     fabric.ProfileOmniPath(),
+		WithTasking: true, WithTAMPI: true, WithTAGASPI: true,
+	}
+	epochs := p.Epochs(2)
+	var refine time.Duration
+	var mu sync.Mutex
+	res := cluster.Run(cfg, func(env *cluster.Env) {
+		out := RunTAGASPI(env, p, epochs)
+		mu.Lock()
+		refine += out.RefineTime
+		mu.Unlock()
+	})
+	if refine <= 0 {
+		t.Fatal("refinement time not measured")
+	}
+	if refine >= 2*res.Elapsed {
+		t.Fatalf("refine time %v implausibly large vs elapsed %v", refine, res.Elapsed)
+	}
+}
+
+func TestWorkAccounting(t *testing.T) {
+	p := verifyParams
+	epochs := p.Epochs(1)
+	w := Work(p, epochs)
+	cells := float64(p.Cells * p.Cells * p.Cells * p.Vars)
+	min := float64(p.Steps) * float64(p.Grid[0]*p.Grid[1]*p.Grid[2]) * cells
+	if w < min {
+		t.Fatalf("Work = %v below unrefined minimum %v", w, min)
+	}
+}
+
+// Property: for random trajectories (varying radius/epoch), the mesh stays
+// a valid 2:1-balanced cover.
+func TestQuickMeshValidity(t *testing.T) {
+	f := func(seed uint8) bool {
+		p := verifyParams
+		p.MaxLevel = 2
+		p.Radius = 0.3 + float64(seed%16)*0.1
+		epoch := int(seed) % 8
+		leaves := p.Leaves(epoch)
+		vol := 0.0
+		set := map[Leaf]bool{}
+		for _, l := range leaves {
+			if set[l] {
+				return false
+			}
+			set[l] = true
+			vol += 1.0 / float64(int(1)<<(3*l.L))
+		}
+		if math.Abs(vol-float64(p.Grid[0]*p.Grid[1]*p.Grid[2])) > 1e-9 {
+			return false
+		}
+		for _, l := range leaves {
+			for f := 0; f < 6; f++ {
+				for _, nb := range p.faceNeighbours(l, f, set) {
+					if d := nb.L - l.L; d < -1 || d > 1 {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	p := verifyParams
+	p.Cells = 3
+	if err := p.Validate(); err == nil {
+		t.Fatal("odd cells must fail")
+	}
+	p = verifyParams
+	p.Vars = 0
+	if err := p.Validate(); err == nil {
+		t.Fatal("zero vars must fail")
+	}
+	if err := verifyParams.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

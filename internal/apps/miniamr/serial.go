@@ -1,0 +1,107 @@
+package miniamr
+
+// Serial runs the reference single-process simulation: identical mesh
+// sequence, kernels, resampling and remapping as the distributed variants,
+// with halo exchange done by direct pack/unpack. It returns each final
+// leaf's interior values.
+func Serial(p Params) map[Leaf][]float64 {
+	epochs := p.Epochs(1)
+	var blocks map[Leaf]*block
+	for s := 0; s < p.Steps; s++ {
+		ei := s / p.RefineEvery
+		e := epochs[ei]
+		if s%p.RefineEvery == 0 {
+			if s == 0 {
+				blocks = make(map[Leaf]*block, len(e.Leaves))
+				for _, l := range e.Leaves {
+					b := p.newBlock(l)
+					p.initBlock(b)
+					blocks[l] = b
+				}
+			} else {
+				blocks = p.remapAll(blocks, e)
+			}
+		}
+		p.serialStep(e, blocks)
+	}
+	out := make(map[Leaf][]float64, len(blocks))
+	for l, b := range blocks {
+		data := make([]float64, p.InteriorElems())
+		p.interior(b, data)
+		out[l] = data
+	}
+	return out
+}
+
+// serialStep performs one halo exchange + stencil step on all blocks.
+func (p Params) serialStep(e *Epoch, blocks map[Leaf]*block) {
+	tmp := make([]float64, p.Cells*p.Cells*p.Vars)
+	for _, m := range e.Inbound[0] {
+		buf := tmp[:m.Elems*p.Vars]
+		p.packMsg(blocks[m.Src], m, buf)
+		p.unpackMsg(blocks[m.Dst], m, buf)
+	}
+	p.fillAllBoundaries(e, blocks)
+	for _, b := range blocks {
+		p.step(b)
+	}
+}
+
+// fillAllBoundaries applies the zero-flux condition on neighbour-less faces.
+func (p Params) fillAllBoundaries(e *Epoch, blocks map[Leaf]*block) {
+	set := make(map[Leaf]bool, len(e.Leaves))
+	for _, l := range e.Leaves {
+		set[l] = true
+	}
+	for l, b := range blocks {
+		for f := 0; f < 6; f++ {
+			if len(p.faceNeighbours(l, f, set)) == 0 {
+				p.fillBoundary(b, f)
+			}
+		}
+	}
+}
+
+// boundaryFaces returns, for each leaf of the epoch, the faces with no
+// neighbour (needing the zero-flux fill).
+func (p Params) boundaryFaces(e *Epoch) map[Leaf][]int {
+	set := make(map[Leaf]bool, len(e.Leaves))
+	for _, l := range e.Leaves {
+		set[l] = true
+	}
+	out := make(map[Leaf][]int)
+	for _, l := range e.Leaves {
+		for f := 0; f < 6; f++ {
+			if len(p.faceNeighbours(l, f, set)) == 0 {
+				out[l] = append(out[l], f)
+			}
+		}
+	}
+	return out
+}
+
+// remapAll rebuilds the block set for a new epoch from the old blocks
+// (all local: the serial path and the local part of the distributed one).
+func (p Params) remapAll(old map[Leaf]*block, e *Epoch) map[Leaf]*block {
+	next := make(map[Leaf]*block, len(e.Leaves))
+	oldSet := make(map[Leaf]bool, len(old))
+	for l := range old {
+		oldSet[l] = true
+	}
+	n := p.InteriorElems()
+	data := make([]float64, n)
+	for _, nl := range e.Leaves {
+		acc := make([]float64, n)
+		cnt := make([]int32, n)
+		for _, ol := range sourcesOf(nl, oldSet) {
+			p.interior(old[ol], data)
+			p.remapInto(nl, ol, data, acc, cnt)
+		}
+		b := p.newBlock(nl)
+		vals := make([]float64, n)
+		finishRemap(acc, cnt, vals)
+		p.setInterior(b, vals)
+		next[nl] = b
+	}
+	return next
+}

@@ -1,0 +1,613 @@
+package miniamr
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/gaspisim"
+	"repro/internal/memory"
+	"repro/internal/mpisim"
+	"repro/internal/tasking"
+)
+
+// Segment ids of the single receive and send buffers (§VI-B: "they have
+// only one memory buffer for sending and another for receiving").
+const (
+	segRecv = 0
+	segSend = 1
+)
+
+// migration tags live above the halo-exchange tag space.
+const (
+	tagMigrate = 1 << 20
+	tagAgree   = 1 << 21
+)
+
+// Output is one rank's result.
+type Output struct {
+	RefineTime time.Duration      // time in refinement/migration/agreement
+	Blocks     map[Leaf][]float64 // final owned interiors (verify mode)
+}
+
+// Work returns the figure-of-merit update count of a run: cells × variables
+// summed over every step's mesh.
+func Work(p Params, epochs []*Epoch) float64 {
+	cells := float64(p.Cells * p.Cells * p.Cells * p.Vars)
+	total := 0.0
+	for s := 0; s < p.Steps; s++ {
+		e := epochs[s/p.RefineEvery]
+		total += float64(len(e.Leaves)) * cells
+	}
+	return total
+}
+
+// app is one rank's run state.
+type app struct {
+	env    *cluster.Env
+	p      Params
+	me     int
+	ranks  int
+	epochs []*Epoch
+	blocks map[Leaf]*block
+	refine time.Duration
+
+	recvSeg, sendSeg *memory.Segment
+}
+
+// plan is the per-epoch communication plan of one rank.
+type plan struct {
+	e         *Epoch
+	owned     []Leaf
+	inLocal   []Msg
+	inRemote  []Msg
+	inOff     []int // byte offsets in the receive buffer
+	outRemote []Msg
+	outOff    []int // byte offsets in the send buffer
+	noNbr     map[Leaf][]int
+	peersIn   map[int][]int // sender rank -> indices into inRemote
+	peersOut  map[int][]int // receiver rank -> indices into outRemote
+
+	// TAGASPI agreement results (§VI-B): for each outRemote message, the
+	// receiver-assigned buffer offset and notification id; for each
+	// inRemote message, the sender-assigned ack notification id.
+	remOff, remNotif []int
+	ackID            []int
+}
+
+func newApp(env *cluster.Env, p Params, epochs []*Epoch) *app {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	a := &app{env: env, p: p, me: int(env.Rank), ranks: env.Ranks(), epochs: epochs}
+	maxIn, maxOut := memory.F64Bytes, memory.F64Bytes // non-zero minimum
+	for _, e := range epochs {
+		in, out := 0, 0
+		for _, m := range e.Inbound[a.me] {
+			if e.Owner[m.Src] != a.me {
+				in += m.Elems * p.Vars * memory.F64Bytes
+			}
+		}
+		for _, m := range e.Outbound[a.me] {
+			if e.Owner[m.Dst] != a.me {
+				out += m.Elems * p.Vars * memory.F64Bytes
+			}
+		}
+		if in > maxIn {
+			maxIn = in
+		}
+		if out > maxOut {
+			maxOut = out
+		}
+	}
+	var err error
+	if a.recvSeg, err = env.GASPI.SegmentCreate(segRecv, maxIn); err != nil {
+		panic(err)
+	}
+	if a.sendSeg, err = env.GASPI.SegmentCreate(segSend, maxOut); err != nil {
+		panic(err)
+	}
+	return a
+}
+
+func (a *app) plan(e *Epoch) *plan {
+	pl := &plan{e: e, noNbr: a.p.boundaryFaces(e),
+		peersIn: make(map[int][]int), peersOut: make(map[int][]int)}
+	for _, i := range e.ByRank[a.me] {
+		pl.owned = append(pl.owned, e.Leaves[i])
+	}
+	off := 0
+	for _, m := range e.Inbound[a.me] {
+		src := e.Owner[m.Src]
+		if src == a.me {
+			pl.inLocal = append(pl.inLocal, m)
+			continue
+		}
+		k := len(pl.inRemote)
+		pl.inRemote = append(pl.inRemote, m)
+		pl.inOff = append(pl.inOff, off)
+		pl.peersIn[src] = append(pl.peersIn[src], k)
+		off += m.Elems * a.p.Vars * memory.F64Bytes
+	}
+	off = 0
+	for _, m := range e.Outbound[a.me] {
+		dst := e.Owner[m.Dst]
+		if dst == a.me {
+			continue // handled through inLocal
+		}
+		k := len(pl.outRemote)
+		pl.outRemote = append(pl.outRemote, m)
+		pl.outOff = append(pl.outOff, off)
+		pl.peersOut[dst] = append(pl.peersOut[dst], k)
+		off += m.Elems * a.p.Vars * memory.F64Bytes
+	}
+	pl.remOff = make([]int, len(pl.outRemote))
+	pl.remNotif = make([]int, len(pl.outRemote))
+	pl.ackID = make([]int, len(pl.inRemote))
+	return pl
+}
+
+// initialBlocks creates and initialises the epoch-0 blocks of this rank.
+func (a *app) initialBlocks(pl *plan) {
+	a.blocks = make(map[Leaf]*block, len(pl.owned))
+	for _, l := range pl.owned {
+		b := a.p.newBlock(l)
+		a.p.initBlock(b)
+		a.blocks[l] = b
+	}
+}
+
+// seqRefineCost is the modelled partly-sequential refinement work per
+// epoch (the paper's "refinement has several sequential sections").
+func (a *app) seqRefineCost(e *Epoch) time.Duration {
+	return a.env.CostOf(4 * float64(len(e.Leaves)) * float64(a.p.Cells*a.p.Cells*a.p.Cells))
+}
+
+// migrate redistributes block data from the previous epoch's owners to the
+// new ones and remaps levels. Hybrid variants move data with TAMPI tasks
+// (the §VI-B interoperability: the TAGASPI variant uses TAMPI here);
+// MPI-only uses plain non-blocking MPI.
+func (a *app) migrate(oldE, newE *Epoch, pl *plan) {
+	p := a.p
+	trs := transition(oldE, newE)
+	elems := p.InteriorElems()
+	nbytes := elems * memory.F64Bytes
+
+	// Per-(from,to) tag sequence, identical on both sides.
+	type pair struct{ f, t int }
+	seq := make(map[pair]int)
+	tagOf := make(map[Transfer]int, len(trs))
+	for _, tr := range trs {
+		k := pair{tr.From, tr.To}
+		tagOf[tr] = tagMigrate + seq[k]
+		seq[k]++
+	}
+
+	inbound := make(map[Leaf][]byte)
+	var reqs []*mpisim.Request
+	mpi := a.env.MPI
+	for _, tr := range trs {
+		tr := tr
+		switch {
+		case tr.To == a.me:
+			buf := make([]byte, nbytes)
+			inbound[tr.Src] = buf
+			if a.env.RT != nil {
+				a.env.RT.Submit(func(tk *tasking.Task) {
+					a.env.TAMPI.Iwait(tk, mpi.Irecv(buf, mpisim.Rank(tr.From), tagOf[tr]))
+				}, tasking.WithLabel("lb-recv"))
+			} else {
+				reqs = append(reqs, mpi.Irecv(buf, mpisim.Rank(tr.From), tagOf[tr]))
+			}
+		case tr.From == a.me:
+			buf := make([]byte, nbytes)
+			vals := make([]float64, elems)
+			p.interior(a.blocks[tr.Src], vals)
+			memory.F64Of(buf).CopyIn(0, vals)
+			if a.env.RT != nil {
+				a.env.RT.Submit(func(tk *tasking.Task) {
+					a.env.TAMPI.Iwait(tk, mpi.Isend(buf, mpisim.Rank(tr.To), tagOf[tr]))
+				}, tasking.WithLabel("lb-send"))
+			} else {
+				reqs = append(reqs, mpi.Isend(buf, mpisim.Rank(tr.To), tagOf[tr]))
+			}
+		}
+	}
+	if a.env.RT != nil {
+		a.env.RT.TaskWait()
+	} else {
+		mpi.Waitall(reqs)
+	}
+
+	// Remap into the new mesh from local and received sources.
+	oldSet := make(map[Leaf]bool, len(oldE.Leaves))
+	for _, l := range oldE.Leaves {
+		oldSet[l] = true
+	}
+	next := make(map[Leaf]*block, len(pl.owned))
+	data := make([]float64, elems)
+	for _, nl := range pl.owned {
+		acc := make([]float64, elems)
+		cnt := make([]int32, elems)
+		for _, ol := range sourcesOf(nl, oldSet) {
+			if b, ok := a.blocks[ol]; ok {
+				p.interior(b, data)
+				p.remapInto(nl, ol, data, acc, cnt)
+			} else if buf, ok := inbound[ol]; ok {
+				p.remapInto(nl, ol, memory.F64Of(buf).CopyOut(0, elems), acc, cnt)
+			} else {
+				panic(fmt.Sprintf("miniamr: rank %d missing source %v for %v", a.me, ol, nl))
+			}
+		}
+		b := p.newBlock(nl)
+		vals := make([]float64, elems)
+		finishRemap(acc, cnt, vals)
+		p.setInterior(b, vals)
+		next[nl] = b
+	}
+	a.blocks = next
+	// Modelled remap cost: proportional to the rebuilt local cells.
+	a.env.Clk.Sleep(a.env.CostOf(float64(len(pl.owned)) * float64(elems)))
+}
+
+// agree runs the sequential agreement phase of the TAGASPI variant
+// (§VI-B): each pair of neighbouring ranks exchanges, per RMA message, the
+// receiver-assigned buffer offset and notification id, and the
+// sender-assigned ack notification id.
+func (a *app) agree(pl *plan) {
+	peerSet := make(map[int]bool)
+	for r := range pl.peersIn {
+		peerSet[r] = true
+	}
+	for r := range pl.peersOut {
+		peerSet[r] = true
+	}
+	peers := make([]int, 0, len(peerSet))
+	for r := range peerSet {
+		peers = append(peers, r)
+	}
+	sort.Ints(peers)
+	mpi := a.env.MPI
+	// Post every exchange non-blocking, then wait: the agreement phase is
+	// sequential (not taskified) but its round-trips overlap.
+	recvBufs := make(map[int][]byte, len(peers))
+	var reqs []*mpisim.Request
+	for _, pr := range peers {
+		// Payload to pr: (offset, data notif id) for every message pr→me,
+		// then my ack id for every message me→pr.
+		ins, outs := pl.peersIn[pr], pl.peersOut[pr]
+		sendVals := make([]int64, 0, 2*len(ins)+len(outs))
+		for _, k := range ins {
+			sendVals = append(sendVals, int64(pl.inOff[k]), int64(k))
+		}
+		for _, k := range outs {
+			sendVals = append(sendVals, int64(k))
+		}
+		sendBuf := make([]byte, len(sendVals)*8)
+		sv := memory.I64Of(sendBuf)
+		for i, v := range sendVals {
+			sv.Set(i, v)
+		}
+		recvBuf := make([]byte, (2*len(outs)+len(ins))*8)
+		recvBufs[pr] = recvBuf
+		reqs = append(reqs,
+			mpi.Isend(sendBuf, mpisim.Rank(pr), tagAgree),
+			mpi.Irecv(recvBuf, mpisim.Rank(pr), tagAgree))
+	}
+	mpi.Waitall(reqs)
+	for _, pr := range peers {
+		ins, outs := pl.peersIn[pr], pl.peersOut[pr]
+		rv := memory.I64Of(recvBufs[pr])
+		i := 0
+		for _, k := range outs {
+			pl.remOff[k] = int(rv.At(i))
+			pl.remNotif[k] = int(rv.At(i + 1))
+			i += 2
+		}
+		for _, k := range ins {
+			pl.ackID[k] = int(rv.At(i))
+			i++
+		}
+	}
+}
+
+// runSteps executes the steps of one epoch with the given per-step driver.
+func (a *app) stepsOf(ei int) (s0, s1 int) {
+	s0 = ei * a.p.RefineEvery
+	s1 = s0 + a.p.RefineEvery
+	if s1 > a.p.Steps {
+		s1 = a.p.Steps
+	}
+	return
+}
+
+// output gathers the final state.
+func (a *app) output() Output {
+	out := Output{RefineTime: a.refine}
+	if a.p.Verify {
+		out.Blocks = make(map[Leaf][]float64, len(a.blocks))
+		for l, b := range a.blocks {
+			data := make([]float64, a.p.InteriorElems())
+			a.p.interior(b, data)
+			out.Blocks[l] = data
+		}
+	}
+	return out
+}
+
+// RunMPIOnly executes the MPI-only variant: one core per rank, sequential
+// phases, non-blocking point-to-point halo exchange.
+func RunMPIOnly(env *cluster.Env, p Params, epochs []*Epoch) Output {
+	a := newApp(env, p, epochs)
+	mpi := env.MPI
+	tmp := make([]float64, 0)
+	for ei, e := range epochs {
+		pl := a.plan(e)
+		t0 := env.Clk.Now()
+		if ei == 0 {
+			a.initialBlocks(pl)
+		} else {
+			a.migrate(epochs[ei-1], e, pl)
+			env.Clk.Sleep(a.seqRefineCost(e))
+		}
+		a.refine += env.Clk.Now() - t0
+		s0, s1 := a.stepsOf(ei)
+		recvReqs := make([]*mpisim.Request, len(pl.inRemote))
+		for s := s0; s < s1; s++ {
+			for k, m := range pl.inRemote {
+				buf, _ := a.recvSeg.Slice(pl.inOff[k], m.Elems*p.Vars*memory.F64Bytes)
+				recvReqs[k] = mpi.Irecv(buf, mpisim.Rank(e.Owner[m.Src]), e.InIdx[m])
+			}
+			var sendReqs []*mpisim.Request
+			for k, m := range pl.outRemote {
+				buf, _ := a.sendSeg.Slice(pl.outOff[k], m.Elems*p.Vars*memory.F64Bytes)
+				vals := grow(&tmp, m.Elems*p.Vars)
+				a.p.packMsg(a.blocks[m.Src], m, vals)
+				memory.F64Of(buf).CopyIn(0, vals)
+				env.Clk.Sleep(env.CostOf(float64(m.Elems*p.Vars) / 2))
+				sendReqs = append(sendReqs, mpi.Isend(buf, mpisim.Rank(e.Owner[m.Dst]), e.InIdx[m]))
+			}
+			for _, m := range pl.inLocal {
+				vals := grow(&tmp, m.Elems*p.Vars)
+				a.p.packMsg(a.blocks[m.Src], m, vals)
+				a.p.unpackMsg(a.blocks[m.Dst], m, vals)
+				env.Clk.Sleep(env.CostOf(float64(m.Elems * p.Vars)))
+			}
+			for k, m := range pl.inRemote {
+				mpi.Wait(recvReqs[k])
+				buf, _ := a.recvSeg.Slice(pl.inOff[k], m.Elems*p.Vars*memory.F64Bytes)
+				vals := memory.F64Of(buf).CopyOut(0, m.Elems*p.Vars)
+				a.p.unpackMsg(a.blocks[m.Dst], m, vals)
+				env.Clk.Sleep(env.CostOf(float64(m.Elems*p.Vars) / 2))
+			}
+			for _, l := range pl.owned {
+				for _, f := range pl.noNbr[l] {
+					a.p.fillBoundary(a.blocks[l], f)
+				}
+				env.Clk.Sleep(env.CostOf(float64(p.InteriorElems())))
+				a.p.step(a.blocks[l])
+			}
+			mpi.Waitall(sendReqs)
+		}
+	}
+	return a.output()
+}
+
+// grow resizes a scratch slice.
+func grow(buf *[]float64, n int) []float64 {
+	if cap(*buf) < n {
+		*buf = make([]float64, n)
+	}
+	return (*buf)[:n]
+}
+
+// depKeys are per-epoch dependency bases for the hybrid variants.
+type depKeys struct{ block, face, rslot, sslot int }
+
+// RunTAMPI executes the hybrid MPI+OmpSs-2 variant.
+func RunTAMPI(env *cluster.Env, p Params, epochs []*Epoch) Output {
+	return runHybrid(env, p, epochs, false)
+}
+
+// RunTAGASPI executes the hybrid GASPI+OmpSs-2 variant, with TAMPI inside
+// the load-balancing stage (library interoperability, §VI-B).
+func RunTAGASPI(env *cluster.Env, p Params, epochs []*Epoch) Output {
+	return runHybrid(env, p, epochs, true)
+}
+
+func runHybrid(env *cluster.Env, p Params, epochs []*Epoch, oneSided bool) Output {
+	a := newApp(env, p, epochs)
+	rt := env.RT
+	for ei, e := range epochs {
+		pl := a.plan(e)
+		if ei > 0 {
+			rt.TaskWait() // the refinement stage is not fully taskified
+		}
+		t0 := env.Clk.Now()
+		if ei == 0 {
+			a.initialBlocks(pl)
+		} else {
+			a.migrate(epochs[ei-1], e, pl)
+			env.Clk.Sleep(a.seqRefineCost(e))
+		}
+		if oneSided {
+			a.agree(pl)
+			a.seedAcks(pl)
+		}
+		a.refine += env.Clk.Now() - t0
+		s0, s1 := a.stepsOf(ei)
+		keys := &depKeys{} // shared across the epoch's steps: the data flow
+		for s := s0; s < s1; s++ {
+			lastOfEpoch := s == s1-1
+			if oneSided {
+				a.tagaspiStep(pl, keys, s, lastOfEpoch)
+			} else {
+				a.tampiStep(pl, keys)
+			}
+			rt.Throttle(4096)
+		}
+	}
+	rt.TaskWait()
+	return a.output()
+}
+
+// seedAcks fires one ack per inbound message so senders may issue the
+// epoch's first writes (§IV-B: the receiver permits any sender before this
+// latter writes to its receiving buffer).
+func (a *app) seedAcks(pl *plan) {
+	if len(pl.inRemote) == 0 {
+		return
+	}
+	tg := a.env.TAGASPI
+	e := pl.e
+	Q := a.env.GASPI.Queues()
+	msgs := append([]Msg(nil), pl.inRemote...)
+	acks := append([]int(nil), pl.ackID...)
+	a.env.RT.Submit(func(tk *tasking.Task) {
+		for k, m := range msgs {
+			tg.Notify(tk, gaspisim.Rank(e.Owner[m.Src]), segSend,
+				gaspisim.NotificationID(acks[k]), 1, k%Q)
+		}
+	}, tasking.WithLabel("seed acks"))
+}
+
+// tampiStep submits one step's tasks for the TAMPI variant.
+func (a *app) tampiStep(pl *plan, keys *depKeys) {
+	p, env, rt, e := a.p, a.env, a.env.RT, pl.e
+	mpi, ta := env.MPI, env.TAMPI
+	for k, m := range pl.outRemote {
+		k, m := k, m
+		src := a.blocks[m.Src]
+		bidx := e.Local[m.Src]
+		rt.Submit(func(tk *tasking.Task) {
+			nv := m.Elems * p.Vars
+			vals := make([]float64, nv)
+			tk.Compute(env.CostOf(float64(nv) / 2))
+			p.packMsg(src, m, vals)
+			buf, _ := a.sendSeg.Slice(pl.outOff[k], nv*memory.F64Bytes)
+			memory.F64Of(buf).CopyIn(0, vals)
+			ta.Iwait(tk, mpi.Isend(buf, mpisim.Rank(e.Owner[m.Dst]), e.InIdx[m]))
+		}, tasking.WithDeps(
+			tasking.In(&keys.block, bidx, bidx+1),
+			tasking.InOut(&keys.sslot, k, k+1)),
+			tasking.WithLabel("pack+send"))
+	}
+	for k, m := range pl.inRemote {
+		k, m := k, m
+		nv := m.Elems * p.Vars
+		rt.Submit(func(tk *tasking.Task) {
+			buf, _ := a.recvSeg.Slice(pl.inOff[k], nv*memory.F64Bytes)
+			ta.Iwait(tk, mpi.Irecv(buf, mpisim.Rank(e.Owner[m.Src]), e.InIdx[m]))
+		}, tasking.WithDeps(tasking.Out(&keys.rslot, k, k+1)),
+			tasking.WithLabel("recv"))
+		a.submitUnpack(pl, keys, k, m, false, false)
+	}
+	a.submitLocalAndCompute(pl, keys)
+}
+
+// tagaspiStep submits one step's tasks for the TAGASPI variant.
+func (a *app) tagaspiStep(pl *plan, keys *depKeys, s int, lastOfEpoch bool) {
+	p, env, rt, e := a.p, a.env, a.env.RT, pl.e
+	tg := env.TAGASPI
+	Q := env.GASPI.Queues()
+	for k, m := range pl.outRemote {
+		k, m := k, m
+		src := a.blocks[m.Src]
+		bidx := e.Local[m.Src]
+		opts := []tasking.Option{
+			tasking.WithDeps(
+				tasking.In(&keys.block, bidx, bidx+1),
+				tasking.InOut(&keys.sslot, k, k+1)),
+			tasking.WithLabel("pack+write"),
+		}
+		// Wait for the consumer's ack before writing; on the epoch's first
+		// step the seed pre-armed every slot, so the wait is immediate.
+		opts = append(opts, tasking.WithOnReady(func(tk *tasking.Task) {
+			tg.NotifyIwait(tk, segSend, gaspisim.NotificationID(k), nil)
+		}))
+		rt.Submit(func(tk *tasking.Task) {
+			nv := m.Elems * p.Vars
+			vals := make([]float64, nv)
+			tk.Compute(env.CostOf(float64(nv) / 2))
+			p.packMsg(src, m, vals)
+			buf, _ := a.sendSeg.Slice(pl.outOff[k], nv*memory.F64Bytes)
+			memory.F64Of(buf).CopyIn(0, vals)
+			tg.WriteNotify(tk, segSend, pl.outOff[k],
+				gaspisim.Rank(e.Owner[m.Dst]), segRecv, pl.remOff[k],
+				nv*memory.F64Bytes,
+				gaspisim.NotificationID(pl.remNotif[k]), int64(s+1), k%Q)
+		}, opts...)
+	}
+	for k, m := range pl.inRemote {
+		k, m := k, m
+		rt.Submit(func(tk *tasking.Task) {
+			tg.NotifyIwait(tk, segRecv, gaspisim.NotificationID(k), nil)
+		}, tasking.WithDeps(tasking.Out(&keys.rslot, k, k+1)),
+			tasking.WithLabel("wait data"))
+		a.submitUnpack(pl, keys, k, m, true, lastOfEpoch)
+	}
+	a.submitLocalAndCompute(pl, keys)
+}
+
+// submitUnpack creates the unpack task of inbound message k. For the
+// one-sided variant it fires the ack notification right after unpacking,
+// except on the epoch's last step (the ack would have no matching write
+// and would leak into the next epoch).
+func (a *app) submitUnpack(pl *plan, keys *depKeys, k int, m Msg, oneSided, lastOfEpoch bool) {
+	p, env, rt, e := a.p, a.env, a.env.RT, pl.e
+	dst := a.blocks[m.Dst]
+	fidx := e.Local[m.Dst]*6 + m.Face
+	Q := env.GASPI.Queues()
+	rt.Submit(func(tk *tasking.Task) {
+		nv := m.Elems * p.Vars
+		tk.Compute(env.CostOf(float64(nv) / 2))
+		buf, _ := a.recvSeg.Slice(pl.inOff[k], nv*memory.F64Bytes)
+		p.unpackMsg(dst, m, memory.F64Of(buf).CopyOut(0, nv))
+		if oneSided && !lastOfEpoch {
+			env.TAGASPI.Notify(tk, gaspisim.Rank(e.Owner[m.Src]), segSend,
+				gaspisim.NotificationID(pl.ackID[k]), 1, k%Q)
+		}
+	}, tasking.WithDeps(
+		tasking.In(&keys.rslot, k, k+1),
+		tasking.Out(&keys.face, fidx, fidx+1)),
+		tasking.WithLabel("unpack"))
+}
+
+// submitLocalAndCompute creates the intra-rank halo copies and the stencil
+// tasks of one step.
+func (a *app) submitLocalAndCompute(pl *plan, keys *depKeys) {
+	p, env, rt, e := a.p, a.env, a.env.RT, pl.e
+	for _, m := range pl.inLocal {
+		m := m
+		src, dst := a.blocks[m.Src], a.blocks[m.Dst]
+		sidx, fidx := e.Local[m.Src], e.Local[m.Dst]*6+m.Face
+		rt.Submit(func(tk *tasking.Task) {
+			nv := m.Elems * p.Vars
+			tk.Compute(env.CostOf(float64(nv)))
+			vals := make([]float64, nv)
+			p.packMsg(src, m, vals)
+			p.unpackMsg(dst, m, vals)
+		}, tasking.WithDeps(
+			tasking.In(&keys.block, sidx, sidx+1),
+			tasking.Out(&keys.face, fidx, fidx+1)),
+			tasking.WithLabel("local halo"))
+	}
+	for _, l := range pl.owned {
+		l := l
+		b := a.blocks[l]
+		bidx := e.Local[l]
+		faces := pl.noNbr[l]
+		deps := []tasking.Dep{
+			tasking.InOut(&keys.block, bidx, bidx+1),
+			tasking.In(&keys.face, bidx*6, bidx*6+6),
+		}
+		rt.Submit(func(tk *tasking.Task) {
+			for _, f := range faces {
+				p.fillBoundary(b, f)
+			}
+			tk.Compute(env.CostOf(float64(p.InteriorElems())))
+			p.step(b)
+		}, tasking.WithDeps(deps...), tasking.WithLabel("stencil"))
+	}
+}

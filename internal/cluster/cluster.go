@@ -1,0 +1,204 @@
+// Package cluster assembles and runs a simulated multi-node job: the
+// virtual clock, the fabric, one MPI and one GASPI process per rank, and —
+// for hybrid configurations — a per-rank tasking runtime with the
+// Task-Aware MPI and Task-Aware GASPI libraries, mirroring the software
+// architecture of the paper's Figure 2.
+//
+// A job is described by a Config (geometry, machine profile, library
+// selection, polling periods) and a rank main function; Run launches every
+// rank concurrently, waits for all of them, tears the job down, and
+// returns the modelled elapsed time along with per-rank statistics.
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/fabric"
+	"repro/internal/gaspisim"
+	"repro/internal/mpisim"
+	"repro/internal/tagaspi"
+	"repro/internal/tampi"
+	"repro/internal/tasking"
+	"repro/internal/vclock"
+	"repro/internal/vsync"
+)
+
+// Config describes one simulated job.
+type Config struct {
+	Nodes        int            // compute nodes
+	RanksPerNode int            // processes per node
+	CoresPerRank int            // cores (worker slots) per process
+	Profile      fabric.Profile // machine cost model
+	Queues       int            // GASPI queues per process (default 4)
+
+	// Library selection. The MPI and GASPI worlds always exist (they cost
+	// nothing when unused); these control the task-aware layers and their
+	// polling tasks.
+	WithTasking bool // create the per-rank tasking runtime
+	WithTAMPI   bool // requires WithTasking
+	WithTAGASPI bool // requires WithTasking
+
+	// Polling periods (§V-B / §VI); zero or negative dedicates the poller.
+	TAMPIPoll   time.Duration
+	TAGASPIPoll time.Duration
+
+	// Per-task modelled overheads (Nanos6 creation and scheduling costs).
+	TaskSubmitOverhead   time.Duration
+	TaskDispatchOverhead time.Duration
+
+	// RealTime runs on the wall clock instead of the virtual clock.
+	RealTime bool
+
+	Seed int64
+}
+
+// DefaultTaskOverheads are applied by Run when a virtual-time hybrid job
+// leaves the overhead fields zero: the sub-microsecond per-task costs of a
+// tuned OmpSs-2 runtime, which drive the small-block tasking overheads the
+// paper observes in Figs. 10 and 12.
+const (
+	DefaultSubmitOverhead   = 150 * time.Nanosecond
+	DefaultDispatchOverhead = 250 * time.Nanosecond
+)
+
+// Env is the per-rank environment handed to the rank main.
+type Env struct {
+	Rank    fabric.Rank
+	Cfg     Config
+	Clk     vclock.Clock
+	Fab     *fabric.Fabric
+	MPI     *mpisim.Proc
+	GASPI   *gaspisim.Proc
+	RT      *tasking.Runtime // nil unless Cfg.WithTasking
+	TAMPI   *tampi.Library   // nil unless Cfg.WithTAMPI
+	TAGASPI *tagaspi.Library // nil unless Cfg.WithTAGASPI
+}
+
+// Ranks returns the total rank count of the job.
+func (e *Env) Ranks() int { return e.Fab.Topology().Ranks() }
+
+// CostOf converts element updates into modelled compute time using the
+// profile's per-core rate.
+func (e *Env) CostOf(elements float64) time.Duration {
+	hz := e.Cfg.Profile.CoreHz
+	if hz <= 0 || e.Cfg.Profile.Zero() {
+		return 0
+	}
+	return time.Duration(elements / hz * float64(time.Second))
+}
+
+// Result aggregates a finished job.
+type Result struct {
+	Elapsed time.Duration         // modelled wall time of the whole job
+	Fabric  fabric.Stats          // traffic totals
+	MPILock []vsync.ResourceStats // per-rank library-lock statistics
+	Tasking []tasking.Stats       // per-rank runtime statistics (hybrid only)
+}
+
+// TotalMPITime sums Busy+Waited over all ranks: the paper's "total time
+// inside MPI among all threads" metric (§VI-C).
+func (r Result) TotalMPITime() time.Duration {
+	var t time.Duration
+	for _, s := range r.MPILock {
+		t += s.Busy + s.Waited
+	}
+	return t
+}
+
+// Run executes main as every rank of the configured job and returns the
+// job statistics. It blocks until all ranks return and the job is torn
+// down. The caller must not be a goroutine registered with the job clock.
+func Run(cfg Config, main func(*Env)) Result {
+	if cfg.Nodes <= 0 || cfg.RanksPerNode <= 0 {
+		panic(fmt.Sprintf("cluster: invalid geometry %d x %d", cfg.Nodes, cfg.RanksPerNode))
+	}
+	if cfg.CoresPerRank <= 0 {
+		cfg.CoresPerRank = 1
+	}
+	if cfg.Queues <= 0 {
+		cfg.Queues = 4
+	}
+	if (cfg.WithTAMPI || cfg.WithTAGASPI) && !cfg.WithTasking {
+		panic("cluster: task-aware libraries require WithTasking")
+	}
+	if cfg.WithTasking && !cfg.Profile.Zero() {
+		if cfg.TaskSubmitOverhead == 0 {
+			cfg.TaskSubmitOverhead = DefaultSubmitOverhead
+		}
+		if cfg.TaskDispatchOverhead == 0 {
+			cfg.TaskDispatchOverhead = DefaultDispatchOverhead
+		}
+	}
+	if cfg.TAMPIPoll == 0 {
+		cfg.TAMPIPoll = tampi.DefaultPollInterval
+	}
+	if cfg.TAGASPIPoll == 0 {
+		cfg.TAGASPIPoll = tagaspi.DefaultPollInterval
+	}
+
+	var clk vclock.Clock
+	if cfg.RealTime {
+		clk = vclock.NewReal()
+	} else {
+		clk = vclock.NewVirtual()
+	}
+	topo := fabric.NewTopology(cfg.Nodes, cfg.RanksPerNode)
+	fab := fabric.New(clk, topo, cfg.Profile)
+	mw := mpisim.NewWorld(fab, cfg.Seed)
+	gw := gaspisim.NewWorld(fab, cfg.Queues, cfg.Seed+0x9e3779b9)
+
+	n := topo.Ranks()
+	envs := make([]*Env, n)
+	var wg sync.WaitGroup
+	for r := 0; r < n; r++ {
+		r := r
+		wg.Add(1)
+		clk.Go(func() {
+			defer wg.Done()
+			env := &Env{
+				Rank: fabric.Rank(r), Cfg: cfg, Clk: clk, Fab: fab,
+				MPI: mw.Proc(fabric.Rank(r)), GASPI: gw.Proc(fabric.Rank(r)),
+			}
+			if cfg.WithTasking {
+				env.RT = tasking.New(clk, tasking.Config{
+					Cores:            cfg.CoresPerRank,
+					SubmitOverhead:   cfg.TaskSubmitOverhead,
+					DispatchOverhead: cfg.TaskDispatchOverhead,
+				})
+				if cfg.WithTAMPI {
+					env.TAMPI = tampi.New(env.MPI, env.RT, cfg.TAMPIPoll)
+				}
+				if cfg.WithTAGASPI {
+					env.TAGASPI = tagaspi.New(env.GASPI, env.RT, cfg.TAGASPIPoll)
+				}
+			}
+			envs[r] = env
+			main(env)
+			if env.RT != nil {
+				env.RT.TaskWait()
+			}
+			env.MPI.Barrier()
+			if env.RT != nil {
+				env.RT.Shutdown()
+			}
+		})
+	}
+	wg.Wait()
+	res := Result{Elapsed: clk.Now(), Fabric: fab.Stats()}
+	res.MPILock = make([]vsync.ResourceStats, n)
+	for r := 0; r < n; r++ {
+		res.MPILock[r] = mw.Proc(fabric.Rank(r)).LockStats()
+	}
+	if cfg.WithTasking {
+		res.Tasking = make([]tasking.Stats, n)
+		for r := 0; r < n; r++ {
+			if envs[r] != nil && envs[r].RT != nil {
+				res.Tasking[r] = envs[r].RT.Stats()
+			}
+		}
+	}
+	fab.Close()
+	return res
+}

@@ -1,0 +1,175 @@
+// Package core holds the task-awareness machinery shared by the Task-Aware
+// MPI and Task-Aware GASPI libraries (§IV-D and §V-B of the paper):
+//
+//   - Service: the transparent polling task. Each library spawns one via
+//     the runtime's independent-task API (nanos6_spawn_function) and it
+//     periodically checks pending communication operations, sleeping
+//     between passes with wait_for_us so its core can run other tasks.
+//     Each service has its own polling period — the flexibility §V-B adds
+//     over the older global polling-services API — and the period can be
+//     changed at run time (the paper's "future work" dynamic adaptation).
+//
+//   - Pending: a multi-producer staging queue for operation descriptors.
+//     Communication tasks enqueue concurrently; the polling task drains the
+//     queue into a private list it owns, so producer contention never slows
+//     the poller — the §IV-D structure (lock-free MPSC queue + intrusive
+//     list in the C++ implementation; a mutex-staged slice pair here, with
+//     the same drain-to-private-list behaviour).
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/tasking"
+)
+
+// Poller performs one checking pass over a library's pending operations,
+// reporting how many completions it retired.
+type Poller func() int
+
+// Service is a transparent polling task bound to one task-aware library.
+type Service struct {
+	rt       *tasking.Runtime
+	interval atomic.Int64 // nanoseconds between passes; 0 = dedicated
+	passes   atomic.Int64
+	retired  atomic.Int64
+
+	// adaptive mode (the paper's §VIII future work): the period shrinks
+	// while passes retire work and grows while they come back empty,
+	// within [adaptMin, adaptMax].
+	adaptive           atomic.Bool
+	adaptMin, adaptMax int64
+}
+
+// minIdleTick bounds a zero-cost idle polling pass so a dedicated (0µs)
+// poller cannot livelock real time when nothing is in flight.
+const minIdleTick = 200 * time.Nanosecond
+
+// StartService spawns the polling task. interval is the period between
+// passes (§VI: 50–150µs are the paper's tuned values; 0 dedicates the
+// core, polling back-to-back). The service stops when the runtime shuts
+// down.
+func StartService(rt *tasking.Runtime, name string, interval time.Duration, poll Poller) *Service {
+	s := &Service{rt: rt}
+	s.interval.Store(int64(interval))
+	rt.Spawn(func(t *tasking.Task) {
+		clk := rt.Clock()
+		for !rt.Stopping() {
+			before := clk.Now()
+			n := poll()
+			s.passes.Add(1)
+			s.retired.Add(int64(n))
+			if s.adaptive.Load() {
+				s.adapt(n)
+			}
+			iv := time.Duration(s.interval.Load())
+			if iv > 0 {
+				t.WaitFor(iv)
+			} else if clk.Now() == before {
+				// Dedicated polling with an idle pass of zero modelled
+				// cost: yield briefly so virtual time can advance.
+				t.WaitFor(minIdleTick)
+			}
+		}
+	}, name)
+	return s
+}
+
+// SetInterval changes the polling period for subsequent passes and leaves
+// adaptive mode.
+func (s *Service) SetInterval(d time.Duration) {
+	s.adaptive.Store(false)
+	s.interval.Store(int64(d))
+}
+
+// SetAdaptive enables dynamic polling-rate adaptation (the paper's §VIII
+// future work): after a pass that retired work the period halves, after an
+// empty pass it grows by a quarter, clamped to [min, max]. The service
+// starts from its current period.
+func (s *Service) SetAdaptive(min, max time.Duration) {
+	if min <= 0 || max < min {
+		panic("core: invalid adaptive polling bounds")
+	}
+	s.adaptMin, s.adaptMax = int64(min), int64(max)
+	s.adaptive.Store(true)
+}
+
+// adapt applies one adaptive-rate step after a pass retiring n completions.
+func (s *Service) adapt(n int) {
+	iv := s.interval.Load()
+	if iv <= 0 {
+		iv = s.adaptMin
+	}
+	if n > 0 {
+		iv /= 2
+	} else {
+		iv += iv / 4
+	}
+	if iv < s.adaptMin {
+		iv = s.adaptMin
+	}
+	if iv > s.adaptMax {
+		iv = s.adaptMax
+	}
+	s.interval.Store(iv)
+}
+
+// Interval returns the current polling period.
+func (s *Service) Interval() time.Duration { return time.Duration(s.interval.Load()) }
+
+// Passes returns the number of completed polling passes.
+func (s *Service) Passes() int64 { return s.passes.Load() }
+
+// Retired returns the total completions retired by the poller.
+func (s *Service) Retired() int64 { return s.retired.Load() }
+
+// Pending is the staging queue of §IV-D: many communication tasks push
+// descriptors concurrently; the single polling task drains them into a
+// private list it then owns without further synchronization.
+type Pending[T any] struct {
+	mu     sync.Mutex
+	staged []T
+	pool   [][]T // recycled staging backing arrays
+}
+
+// Push stages one descriptor. Safe for concurrent producers.
+func (q *Pending[T]) Push(v T) {
+	q.mu.Lock()
+	q.staged = append(q.staged, v)
+	q.mu.Unlock()
+}
+
+// Drain moves all staged descriptors into dst (appending) and returns the
+// result. The returned slice is owned by the caller: the poller appends
+// drained descriptors to its private working list.
+func (q *Pending[T]) Drain(dst []T) []T {
+	q.mu.Lock()
+	staged := q.staged
+	if n := len(q.pool); n > 0 {
+		q.staged = q.pool[n-1][:0]
+		q.pool = q.pool[:n-1]
+	} else {
+		q.staged = nil
+	}
+	q.mu.Unlock()
+	dst = append(dst, staged...)
+	if cap(staged) > 0 {
+		var zero T
+		for i := range staged {
+			staged[i] = zero // drop references for the collector
+		}
+		q.mu.Lock()
+		q.pool = append(q.pool, staged[:0])
+		q.mu.Unlock()
+	}
+	return dst
+}
+
+// Len reports the number of currently staged descriptors.
+func (q *Pending[T]) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.staged)
+}

@@ -1,0 +1,235 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/tasking"
+	"repro/internal/vclock"
+)
+
+func TestServicePollsPeriodically(t *testing.T) {
+	clk := vclock.NewVirtual()
+	rt := tasking.New(clk, tasking.Config{Cores: 2})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var svc *Service
+	clk.Go(func() {
+		defer wg.Done()
+		svc = StartService(rt, "poll", 10*time.Microsecond, func() int { return 1 })
+		rt.Submit(func(tk *tasking.Task) { tk.Compute(100 * time.Microsecond) })
+		rt.TaskWait()
+		rt.Shutdown()
+	})
+	wg.Wait()
+	if p := svc.Passes(); p < 9 || p > 12 {
+		t.Fatalf("passes = %d, want ~10 over 100µs at 10µs period", p)
+	}
+	if svc.Retired() != svc.Passes() {
+		t.Fatalf("retired = %d, passes = %d", svc.Retired(), svc.Passes())
+	}
+}
+
+func TestServiceDoesNotStarveWorkers(t *testing.T) {
+	// A dedicated (0-interval) poller on a 1-core runtime must still let
+	// application tasks run: WaitFor yields the core.
+	clk := vclock.NewVirtual()
+	rt := tasking.New(clk, tasking.Config{Cores: 1})
+	var ran bool
+	var wg sync.WaitGroup
+	wg.Add(1)
+	clk.Go(func() {
+		defer wg.Done()
+		StartService(rt, "dedicated", 0, func() int { return 0 })
+		rt.Submit(func(*tasking.Task) { ran = true })
+		rt.TaskWait()
+		rt.Shutdown()
+	})
+	wg.Wait()
+	if !ran {
+		t.Fatal("application task starved by dedicated poller")
+	}
+}
+
+func TestServiceSetInterval(t *testing.T) {
+	clk := vclock.NewVirtual()
+	rt := tasking.New(clk, tasking.Config{Cores: 2})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	clk.Go(func() {
+		defer wg.Done()
+		svc := StartService(rt, "poll", 100*time.Microsecond, func() int { return 0 })
+		if svc.Interval() != 100*time.Microsecond {
+			t.Errorf("Interval = %v", svc.Interval())
+		}
+		svc.SetInterval(5 * time.Microsecond)
+		rt.Submit(func(tk *tasking.Task) { tk.Compute(200 * time.Microsecond) })
+		rt.TaskWait()
+		rt.Shutdown()
+		// After the first (100µs) sleep, passes come every 5µs: ≥ 20 total.
+		if p := svc.Passes(); p < 20 {
+			t.Errorf("passes = %d after tightening the interval", p)
+		}
+	})
+	wg.Wait()
+}
+
+func TestServiceStopsOnShutdown(t *testing.T) {
+	clk := vclock.NewVirtual()
+	rt := tasking.New(clk, tasking.Config{Cores: 1})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var svc *Service
+	clk.Go(func() {
+		defer wg.Done()
+		svc = StartService(rt, "poll", time.Microsecond, func() int { return 0 })
+		rt.Shutdown()
+	})
+	wg.Wait()
+	p := svc.Passes()
+	if p > 2 {
+		t.Fatalf("poller kept running after Shutdown: %d passes", p)
+	}
+}
+
+func TestPendingDrain(t *testing.T) {
+	var q Pending[int]
+	for i := 0; i < 10; i++ {
+		q.Push(i)
+	}
+	if q.Len() != 10 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+	got := q.Drain(nil)
+	if len(got) != 10 {
+		t.Fatalf("drained %d", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("order broken: %v", got)
+		}
+	}
+	if q.Len() != 0 {
+		t.Fatal("queue not emptied")
+	}
+	// Drain appends to the private list.
+	q.Push(100)
+	got = q.Drain(got)
+	if len(got) != 11 || got[10] != 100 {
+		t.Fatalf("append-drain got %v", got)
+	}
+}
+
+func TestPendingConcurrentProducers(t *testing.T) {
+	var q Pending[int]
+	var wg sync.WaitGroup
+	const producers, items = 8, 500
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < items; i++ {
+				q.Push(i)
+			}
+		}()
+	}
+	var got []int
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for len(got) < producers*items {
+			got = q.Drain(got)
+		}
+	}()
+	wg.Wait()
+	<-done
+	if len(got) != producers*items {
+		t.Fatalf("drained %d, want %d", len(got), producers*items)
+	}
+}
+
+// Property: drain returns exactly the pushed items, preserving per-call
+// push order.
+func TestQuickPendingPreservesOrder(t *testing.T) {
+	f := func(vals []int) bool {
+		var q Pending[int]
+		for _, v := range vals {
+			q.Push(v)
+		}
+		got := q.Drain(nil)
+		if len(got) != len(vals) {
+			return false
+		}
+		for i := range vals {
+			if got[i] != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServiceAdaptivePolling(t *testing.T) {
+	// With work arriving every pass, the adaptive period must collapse to
+	// the minimum; once the work dries up it must relax toward the maximum.
+	clk := vclock.NewVirtual()
+	rt := tasking.New(clk, tasking.Config{Cores: 2})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var busyIv, idleIv time.Duration
+	clk.Go(func() {
+		defer wg.Done()
+		busy := true
+		svc := StartService(rt, "adaptive", 100*time.Microsecond, func() int {
+			if busy {
+				return 1
+			}
+			return 0
+		})
+		svc.SetAdaptive(5*time.Microsecond, 400*time.Microsecond)
+		rt.Submit(func(tk *tasking.Task) { tk.Compute(2 * time.Millisecond) })
+		rt.TaskWait()
+		busyIv = svc.Interval()
+		busy = false
+		rt.Submit(func(tk *tasking.Task) { tk.Compute(5 * time.Millisecond) })
+		rt.TaskWait()
+		idleIv = svc.Interval()
+		rt.Shutdown()
+	})
+	wg.Wait()
+	if busyIv != 5*time.Microsecond {
+		t.Fatalf("busy interval = %v, want the 5µs floor", busyIv)
+	}
+	if idleIv != 400*time.Microsecond {
+		t.Fatalf("idle interval = %v, want the 400µs ceiling", idleIv)
+	}
+}
+
+func TestServiceAdaptiveBoundsValidated(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	(&Service{}).SetAdaptive(0, time.Second)
+}
+
+func TestSetIntervalDisablesAdaptive(t *testing.T) {
+	s := &Service{}
+	s.SetAdaptive(time.Microsecond, time.Millisecond)
+	if !s.adaptive.Load() {
+		t.Fatal("adaptive not enabled")
+	}
+	s.SetInterval(50 * time.Microsecond)
+	if s.adaptive.Load() {
+		t.Fatal("SetInterval must leave adaptive mode")
+	}
+	if s.Interval() != 50*time.Microsecond {
+		t.Fatalf("Interval = %v", s.Interval())
+	}
+}

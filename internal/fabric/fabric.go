@@ -1,0 +1,456 @@
+// Package fabric simulates the cluster interconnect: the wire, the NICs,
+// and their occupancy. It carries the messages of both communication models
+// (two-sided MPI in package mpisim, one-sided GASPI in package gaspisim)
+// between simulated ranks, charging modelled time for injection, flight and
+// reception, and preserving the ordering guarantees the protocols rely on:
+//
+//   - MPI: messages between a (source, destination) pair are non-overtaking.
+//   - GASPI: operations posted to the same queue towards the same target
+//     arrive in posting order (GASPI spec §"queues").
+//
+// Both guarantees are provided by delivering each ordering domain — a
+// (source, destination, class, lane) tuple — through a dedicated courier
+// goroutine, created lazily on first use.
+//
+// The two Profiles mirror the paper's evaluation systems: Marenostrum4
+// (Intel Omni-Path, where the PSM2-optimised two-sided path is fast and
+// ibverbs is emulated, penalising RDMA) and CTE-AMD (Mellanox InfiniBand,
+// where RDMA is native and the two-sided stack is slower and noisier).
+// Figure 13's crossover between the two machines follows from exactly this
+// difference.
+package fabric
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/vclock"
+	"repro/internal/vsync"
+)
+
+// Rank identifies a simulated process.
+type Rank int
+
+// Class separates the protocol stacks multiplexed over one fabric.
+type Class uint8
+
+// Protocol classes.
+const (
+	ClassMPI   Class = iota // two-sided traffic (and MPI RMA)
+	ClassGASPI              // one-sided GASPI traffic
+)
+
+// Topology maps ranks onto nodes.
+type Topology struct {
+	nodes        int
+	ranksPerNode int
+}
+
+// NewTopology builds a block topology: rank r lives on node r/ranksPerNode.
+func NewTopology(nodes, ranksPerNode int) Topology {
+	if nodes <= 0 || ranksPerNode <= 0 {
+		panic(fmt.Sprintf("fabric: invalid topology %d nodes x %d ranks", nodes, ranksPerNode))
+	}
+	return Topology{nodes: nodes, ranksPerNode: ranksPerNode}
+}
+
+// Nodes returns the node count.
+func (t Topology) Nodes() int { return t.nodes }
+
+// Ranks returns the total rank count.
+func (t Topology) Ranks() int { return t.nodes * t.ranksPerNode }
+
+// RanksPerNode returns the ranks placed on each node.
+func (t Topology) RanksPerNode() int { return t.ranksPerNode }
+
+// NodeOf returns the node hosting rank r.
+func (t Topology) NodeOf(r Rank) int { return int(r) / t.ranksPerNode }
+
+// SameNode reports whether two ranks share a node.
+func (t Topology) SameNode(a, b Rank) bool { return t.NodeOf(a) == t.NodeOf(b) }
+
+// Profile is the cost model of one machine: wire, NIC and software-stack
+// parameters. Durations are modelled time; bandwidths are bytes/second.
+type Profile struct {
+	Name string
+
+	// Wire and NIC.
+	InterNodeLatency   time.Duration // one-way wire latency between nodes
+	IntraNodeLatency   time.Duration // shared-memory "latency" within a node
+	InterNodeBandwidth float64       // NIC link bandwidth
+	IntraNodeBandwidth float64       // memcpy bandwidth between same-node ranks
+	InjectOverhead     time.Duration // fixed per-message NIC injection cost
+
+	// Two-sided (MPI) software stack.
+	MPIOpOverhead  time.Duration // service time under the MPI library lock per call
+	MPIMatchCost   time.Duration // extra service time per message matched/queued
+	EagerThreshold int           // bytes; larger messages use rendezvous
+	MPIJitter      float64       // relative jitter on MPI software costs (0..1)
+
+	// One-sided (GASPI over ibverbs) software stack.
+	RDMAOpOverhead time.Duration // per-operation post cost, charged per queue
+	RDMAEmulated   bool          // ibverbs emulated over the native API
+	RDMAEmulFactor float64       // cost multiplier on RDMA wire costs when emulated
+
+	// Compute.
+	CoreHz float64 // modelled scalar "element updates per second" per core
+}
+
+// ProfileOmniPath models Marenostrum4: Intel Omni-Path with Intel MPI over
+// PSM2 (fast, contended two-sided path) and emulated ibverbs (RDMA penalty).
+func ProfileOmniPath() Profile {
+	return Profile{
+		Name:               "marenostrum4-omnipath",
+		InterNodeLatency:   1500 * time.Nanosecond,
+		IntraNodeLatency:   300 * time.Nanosecond,
+		InterNodeBandwidth: 12.0e9,
+		IntraNodeBandwidth: 24.0e9,
+		InjectOverhead:     250 * time.Nanosecond,
+		MPIOpOverhead:      320 * time.Nanosecond,
+		MPIMatchCost:       120 * time.Nanosecond,
+		EagerThreshold:     16 << 10,
+		MPIJitter:          0.08,
+		RDMAOpOverhead:     260 * time.Nanosecond,
+		RDMAEmulated:       true,
+		RDMAEmulFactor:     1.1,
+		CoreHz:             1.05e9,
+	}
+}
+
+// ProfileInfiniBand models CTE-AMD: Mellanox InfiniBand HDR100 with native
+// ibverbs (fast RDMA) and OpenMPI (slower, noisier two-sided path).
+func ProfileInfiniBand() Profile {
+	return Profile{
+		Name:               "cte-amd-infiniband",
+		InterNodeLatency:   1300 * time.Nanosecond,
+		IntraNodeLatency:   250 * time.Nanosecond,
+		InterNodeBandwidth: 11.0e9,
+		IntraNodeBandwidth: 28.0e9,
+		InjectOverhead:     280 * time.Nanosecond,
+		MPIOpOverhead:      900 * time.Nanosecond,
+		MPIMatchCost:       350 * time.Nanosecond,
+		EagerThreshold:     16 << 10,
+		MPIJitter:          0.35,
+		RDMAOpOverhead:     180 * time.Nanosecond,
+		RDMAEmulated:       false,
+		RDMAEmulFactor:     1,
+		CoreHz:             1.25e9,
+	}
+}
+
+// ProfileIdeal zeroes all modelled costs. It is the profile for real-clock
+// runs (examples), where the library behaves as a plain concurrent library
+// and modelled delays would otherwise turn into real sleeps.
+func ProfileIdeal() Profile {
+	return Profile{
+		Name:               "ideal",
+		InterNodeBandwidth: 1e18, // effectively infinite: no modelled wire time
+		IntraNodeBandwidth: 1e18,
+		EagerThreshold:     16 << 10,
+		RDMAEmulFactor:     1,
+		CoreHz:             1e9,
+	}
+}
+
+// Zero reports whether the profile charges no modelled time (ideal mode).
+func (p Profile) Zero() bool {
+	return p.InterNodeLatency == 0 && p.IntraNodeLatency == 0 &&
+		p.InjectOverhead == 0 && p.MPIOpOverhead == 0 && p.RDMAOpOverhead == 0
+}
+
+// Message is one fabric transfer. Protocol layers fill the routing fields
+// and hooks; the fabric owns the timing.
+type Message struct {
+	Src, Dst Rank
+	Class    Class
+	Lane     int  // ordering lane within (Src,Dst,Class): the GASPI queue id
+	Size     int  // payload bytes, for bandwidth costs
+	Control  bool // control messages skip bandwidth terms (acks, RTS/CTS)
+	Payload  any  // protocol-layer descriptor
+
+	// OnInjected, if non-nil, runs on the courier once the source NIC has
+	// finished injecting the message: the moment of *local completion*
+	// (the source buffer may be reused). Protocol layers snapshot the
+	// payload bytes here.
+	OnInjected func()
+}
+
+// Handler consumes delivered messages on the destination rank.
+// It runs on a courier goroutine and must not block on modelled time other
+// than briefly (it may wake parkers, post replies, take short mutexes).
+type Handler func(*Message)
+
+type pathKey struct {
+	src, dst Rank
+	class    Class
+	lane     int
+}
+
+type path struct {
+	in  *vsync.Queue[*Message] // awaiting injection
+	out *vsync.Queue[flight]   // in flight towards the destination
+}
+
+// flight is a message past local completion with its computed arrival time
+// and reception cost.
+type flight struct {
+	m       *Message
+	arrival time.Duration
+	rx      time.Duration
+}
+
+// Stats aggregates fabric traffic counters.
+type Stats struct {
+	Messages int64
+	Bytes    int64
+	ByClass  [2]int64
+}
+
+// Fabric connects the ranks of one simulated cluster.
+type Fabric struct {
+	clk  vclock.Clock
+	topo Topology
+	prof Profile
+
+	nicTx  []*vsync.Resource // per-NODE inter-node injection port
+	nicRx  []*vsync.Resource // per-NODE inter-node reception port
+	shm    []*vsync.Resource // per-rank intra-node copy engine
+	mu     sync.Mutex
+	paths  map[pathKey]*path
+	hands  map[Class][]Handler // per class, indexed by rank
+	closed bool
+	wg     sync.WaitGroup
+
+	msgs    atomic.Int64
+	bytes   atomic.Int64
+	byClass [2]atomic.Int64
+}
+
+// New builds a fabric for the given topology and cost profile.
+func New(clk vclock.Clock, topo Topology, prof Profile) *Fabric {
+	n := topo.Ranks()
+	f := &Fabric{
+		clk:   clk,
+		topo:  topo,
+		prof:  prof,
+		paths: make(map[pathKey]*path),
+		hands: make(map[Class][]Handler),
+	}
+	f.nicTx = make([]*vsync.Resource, topo.Nodes())
+	f.nicRx = make([]*vsync.Resource, topo.Nodes())
+	for i := range f.nicTx {
+		f.nicTx[i] = vsync.NewResource(clk)
+		f.nicRx[i] = vsync.NewResource(clk)
+	}
+	f.shm = make([]*vsync.Resource, n)
+	for i := range f.shm {
+		f.shm[i] = vsync.NewResource(clk)
+	}
+	return f
+}
+
+// Topology returns the fabric's topology.
+func (f *Fabric) Topology() Topology { return f.topo }
+
+// Profile returns the fabric's cost profile.
+func (f *Fabric) Profile() Profile { return f.prof }
+
+// Clock returns the fabric's time source.
+func (f *Fabric) Clock() vclock.Clock { return f.clk }
+
+// Register installs the delivery handler for one rank and class.
+// It must be called before any message of that class reaches the rank.
+func (f *Fabric) Register(r Rank, class Class, h Handler) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	hs := f.hands[class]
+	if hs == nil {
+		hs = make([]Handler, f.topo.Ranks())
+		f.hands[class] = hs
+	}
+	hs[r] = h
+}
+
+// Send submits a message. It never blocks: ordering-domain couriers pick the
+// message up and charge the modelled transfer time. Posting-side software
+// costs (the MPI library lock, the GASPI queue post) are charged by the
+// protocol layers before calling Send.
+func (f *Fabric) Send(m *Message) {
+	if m.Src < 0 || int(m.Src) >= f.topo.Ranks() || m.Dst < 0 || int(m.Dst) >= f.topo.Ranks() {
+		panic(fmt.Sprintf("fabric: message between invalid ranks %d -> %d", m.Src, m.Dst))
+	}
+	f.msgs.Add(1)
+	f.bytes.Add(int64(m.Size))
+	f.byClass[m.Class].Add(1)
+	key := pathKey{src: m.Src, dst: m.Dst, class: m.Class, lane: m.Lane}
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		panic("fabric: Send after Close")
+	}
+	p, ok := f.paths[key]
+	if !ok {
+		p = &path{
+			in:  vsync.NewQueue[*Message](f.clk),
+			out: vsync.NewQueue[flight](f.clk),
+		}
+		f.paths[key] = p
+		f.wg.Add(2)
+		f.clk.Go(func() {
+			defer f.wg.Done()
+			f.inject(p)
+		})
+		f.clk.Go(func() {
+			defer f.wg.Done()
+			f.deliver(p)
+		})
+	}
+	f.mu.Unlock()
+	p.in.Push(m)
+}
+
+// inject is the first courier stage of one ordering domain: it charges the
+// source-side injection cost, fires local completion, and hands the message
+// to the delivery stage. Pipelining the two stages lets a path overlap the
+// flight of message i with the injection of message i+1, as NICs do.
+func (f *Fabric) inject(p *path) {
+	defer p.out.Close()
+	for {
+		m, ok := p.in.Pop()
+		if !ok {
+			return
+		}
+		intra := f.topo.SameNode(m.Src, m.Dst)
+		var lat time.Duration
+		var bw float64
+		if intra {
+			lat, bw = f.prof.IntraNodeLatency, f.prof.IntraNodeBandwidth
+		} else {
+			lat, bw = f.prof.InterNodeLatency, f.prof.InterNodeBandwidth
+		}
+		if m.Class == ClassGASPI && f.prof.RDMAEmulated {
+			lat = time.Duration(float64(lat) * f.prof.RDMAEmulFactor)
+			bw /= f.prof.RDMAEmulFactor
+		}
+		var wire time.Duration
+		if !m.Control && m.Size > 0 {
+			wire = time.Duration(float64(m.Size) / bw * float64(time.Second))
+		}
+
+		// Injection: occupy the source-side port (NIC or intra-node
+		// copy engine) for the overhead plus the serialization time.
+		inject := f.prof.InjectOverhead + wire
+		if m.Control {
+			// Header-only packets (acks, notifications, RTS/CTS) occupy
+			// the port for a fraction of a full-message injection.
+			inject = f.prof.InjectOverhead / 4
+		}
+		if intra {
+			f.shm[m.Src].Use(inject)
+		} else {
+			f.nicTx[f.topo.NodeOf(m.Src)].Use(inject)
+		}
+		if m.OnInjected != nil {
+			m.OnInjected() // local completion: source buffer reusable
+		}
+		rx := wire
+		if intra {
+			rx = 0 // intra-node copies are charged once, at injection
+		}
+		p.out.Push(flight{m: m, arrival: f.clk.Now() + lat, rx: rx})
+	}
+}
+
+// deliver is the second courier stage: it waits out the flight delay,
+// charges the destination port, and invokes the rank's handler in order.
+func (f *Fabric) deliver(p *path) {
+	for {
+		fl, ok := p.out.Pop()
+		if !ok {
+			return
+		}
+		m := fl.m
+		if d := fl.arrival - f.clk.Now(); d > 0 {
+			f.clk.Sleep(d)
+		}
+		if fl.rx > 0 {
+			_, done := f.nicRx[f.topo.NodeOf(m.Dst)].Reserve(fl.rx)
+			if d := done - f.clk.Now(); d > 0 {
+				f.clk.Sleep(d)
+			}
+		}
+
+		f.mu.Lock()
+		hs := f.hands[m.Class]
+		f.mu.Unlock()
+		var h Handler
+		if hs != nil {
+			h = hs[m.Dst]
+		}
+		if h == nil {
+			panic(fmt.Sprintf("fabric: no handler for class %d on rank %d", m.Class, m.Dst))
+		}
+		h(m)
+	}
+}
+
+// Close shuts the fabric down: all couriers drain their queues and exit.
+// Messages sent after Close panic.
+func (f *Fabric) Close() {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return
+	}
+	f.closed = true
+	ps := make([]*path, 0, len(f.paths))
+	for _, p := range f.paths {
+		ps = append(ps, p)
+	}
+	f.mu.Unlock()
+	for _, p := range ps {
+		p.in.Close()
+	}
+	f.wg.Wait()
+}
+
+// Stats returns a snapshot of traffic counters.
+func (f *Fabric) Stats() Stats {
+	return Stats{
+		Messages: f.msgs.Load(),
+		Bytes:    f.bytes.Load(),
+		ByClass:  [2]int64{f.byClass[0].Load(), f.byClass[1].Load()},
+	}
+}
+
+// NICStats returns the (tx, rx) resource statistics of one rank's node NIC
+// (NICs are per node: all ranks of a node share its injection and
+// reception ports).
+func (f *Fabric) NICStats(r Rank) (tx, rx vsync.ResourceStats) {
+	n := f.topo.NodeOf(r)
+	return f.nicTx[n].Stats(), f.nicRx[n].Stats()
+}
+
+// Jitterer produces deterministic multiplicative jitter for software-cost
+// modelling. Each protocol-layer process owns one (no locking).
+type Jitterer struct {
+	rng *rand.Rand
+	rel float64
+}
+
+// NewJitterer returns a jitterer with relative magnitude rel (0 disables),
+// seeded deterministically.
+func NewJitterer(seed int64, rel float64) *Jitterer {
+	return &Jitterer{rng: rand.New(rand.NewSource(seed)), rel: rel}
+}
+
+// Apply returns d scaled by a uniform factor in [1-rel, 1+rel].
+func (j *Jitterer) Apply(d time.Duration) time.Duration {
+	if j.rel <= 0 || d <= 0 {
+		return d
+	}
+	return time.Duration(float64(d) * (1 + j.rel*(2*j.rng.Float64()-1)))
+}

@@ -1,0 +1,162 @@
+package figures
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/apps/miniamr"
+	"repro/internal/cluster"
+	"repro/internal/fabric"
+)
+
+// amrVariant identifies a miniAMR implementation.
+type amrVariant int
+
+const (
+	amrMPIOnly amrVariant = iota
+	amrTAMPI
+	amrTAGASPI
+)
+
+var amrNames = []string{"MPI-Only", "TAMPI", "TAGASPI"}
+
+// amrRun executes one miniAMR configuration, returning total and
+// no-refinement (NR) throughput in GUpdates/s of modelled time.
+func amrRun(v amrVariant, nodes int, p miniamr.Params) (total, nr float64) {
+	cfg := cluster.Config{
+		Nodes:   nodes,
+		Profile: fabric.ProfileOmniPath(),
+		Seed:    2,
+	}
+	switch v {
+	case amrMPIOnly:
+		cfg.RanksPerNode, cfg.CoresPerRank = coresPerNode, 1
+	default:
+		cfg.RanksPerNode = amrHybridRank
+		cfg.CoresPerRank = coresPerNode / amrHybridRank
+		cfg.WithTasking, cfg.WithTAMPI = true, true
+		// Scaled from the paper's 150us optimum (16x smaller input).
+		cfg.TAMPIPoll = 5 * time.Microsecond
+		cfg.TAGASPIPoll = 5 * time.Microsecond
+		if v == amrTAGASPI {
+			cfg.WithTAGASPI = true
+		}
+	}
+	ranks := cfg.Nodes * cfg.RanksPerNode
+	epochs := p.Epochs(ranks)
+	var mu sync.Mutex
+	var maxRefine time.Duration
+	res := cluster.Run(cfg, func(env *cluster.Env) {
+		var out miniamr.Output
+		switch v {
+		case amrMPIOnly:
+			out = miniamr.RunMPIOnly(env, p, epochs)
+		case amrTAMPI:
+			out = miniamr.RunTAMPI(env, p, epochs)
+		case amrTAGASPI:
+			out = miniamr.RunTAGASPI(env, p, epochs)
+		}
+		mu.Lock()
+		if out.RefineTime > maxRefine {
+			maxRefine = out.RefineTime
+		}
+		mu.Unlock()
+	})
+	work := miniamr.Work(p, epochs)
+	total = work / res.Elapsed.Seconds() / 1e9
+	nrTime := res.Elapsed - maxRefine
+	if nrTime <= 0 {
+		nrTime = res.Elapsed
+	}
+	nr = work / nrTime.Seconds() / 1e9
+	return
+}
+
+// amrParams is the scaled miniAMR input (paper: the §VI-B input with 20
+// variables and one face per message).
+func amrParams(vars, steps int) miniamr.Params {
+	return miniamr.Params{
+		Grid:        [3]int{4, 4, 4},
+		Cells:       4,
+		Vars:        vars,
+		Steps:       steps,
+		RefineEvery: 5,
+		MaxLevel:    2,
+		Radius:      0.45,
+	}
+}
+
+// Fig11MiniAMRScaling reproduces Figure 11: miniAMR strong scaling with 20
+// variables; speedup and efficiency for total time and assuming negligible
+// refinement (NR).
+func Fig11MiniAMRScaling(pr Preset) Figure {
+	maxNodes := 16
+	steps := 20
+	if pr == Quick {
+		maxNodes, steps = 2, 10
+	}
+	nodes := doubling(maxNodes)
+	p := amrParams(20, steps)
+	fig := Figure{
+		ID: "11", Title: "miniAMR strong scaling (speedup, total and NR)",
+		XLabel: "nodes", X: toF(nodes),
+		YLabel: "speedup vs MPI-only@1",
+		Notes: []string{
+			"paper: 1-256 nodes, 20 variables, one face per message, Marenostrum4",
+			"paper result: TAGASPI 1.41x over both at the largest scale; NR efficiencies 0.84/0.73/0.58",
+		},
+	}
+	var baseTotal float64
+	for v := amrMPIOnly; v <= amrTAGASPI; v++ {
+		var tot, nr []float64
+		for _, n := range nodes {
+			t, r := amrRun(v, n, p)
+			tot = append(tot, t)
+			nr = append(nr, r)
+		}
+		if v == amrMPIOnly {
+			baseTotal = tot[0]
+		}
+		sp := make([]float64, len(tot))
+		spNR := make([]float64, len(nr))
+		for i := range tot {
+			sp[i] = tot[i] / baseTotal
+			spNR[i] = nr[i] / baseTotal
+		}
+		fig.Series = append(fig.Series, Series{Name: amrNames[v], Y: sp})
+		fig.Series = append(fig.Series, Series{Name: amrNames[v] + " (NR)", Y: spNR})
+	}
+	return fig
+}
+
+// Fig12MiniAMRVariables reproduces Figure 12: throughput at a fixed large
+// scale while varying the computed variables.
+func Fig12MiniAMRVariables(pr Preset) Figure {
+	nodes := 8
+	steps := 20
+	vars := []int{10, 20, 30, 40}
+	if pr == Quick {
+		nodes, steps = 2, 10
+		vars = []int{10, 20}
+	}
+	fig := Figure{
+		ID: "12", Title: "miniAMR throughput vs computed variables",
+		XLabel: "variables", X: toF(vars),
+		YLabel: "GUpdates/s (total and NR)",
+		Notes: []string{
+			"paper: 128 nodes, 10-40 variables",
+			"paper result: TAGASPI best everywhere; at 20 variables 1.46x over MPI-only and 1.40x over TAMPI (NR)",
+		},
+	}
+	for v := amrMPIOnly; v <= amrTAGASPI; v++ {
+		var tot, nr []float64
+		for _, nv := range vars {
+			t, r := amrRun(v, nodes, amrParams(nv, steps))
+			tot = append(tot, t)
+			nr = append(nr, r)
+		}
+		fig.Series = append(fig.Series, Series{Name: amrNames[v], Y: tot})
+		fig.Series = append(fig.Series, Series{Name: amrNames[v] + " (NR)", Y: nr})
+	}
+	return fig
+}

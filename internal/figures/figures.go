@@ -1,0 +1,165 @@
+// Package figures regenerates every figure of the paper's evaluation
+// (§VI): the Gauss–Seidel strong scaling and block-size sweep (Figs. 9,
+// 10), the miniAMR strong scaling and variables sweep (Figs. 11, 12), the
+// Streaming block-size sweeps on both machine profiles (Fig. 13), and the
+// in-text observations (the MPI-time blowup of §VI-C, the polling-period
+// tuning of §VI, the RMA-notification round-trip of §III, and the onready
+// ablation of §V-A).
+//
+// Figures run in virtual time on scaled-down inputs (documented per figure
+// and in EXPERIMENTS.md): node counts and matrices are reduced by a
+// constant factor relative to the paper, preserving the per-rank work,
+// blocks-per-core and bytes-per-update ratios that determine each figure's
+// shape. The Quick preset shrinks them further for tests and benchmarks.
+package figures
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Preset selects the experiment scale.
+type Preset int
+
+// Presets.
+const (
+	// Quick is a fast sanity scale for tests and benchmarks.
+	Quick Preset = iota
+	// Full is the default reproduction scale (minutes of host time).
+	Full
+)
+
+// Series is one line of a figure.
+type Series struct {
+	Name string
+	Y    []float64 // aligned with the figure's X values
+}
+
+// Figure is one reproduced figure as a table.
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	X      []float64
+	YLabel string
+	Series []Series
+	Notes  []string
+}
+
+// Render prints the figure as an aligned text table.
+func (f Figure) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", f.ID, f.Title)
+	for _, n := range f.Notes {
+		fmt.Fprintf(w, "   note: %s\n", n)
+	}
+	cols := []string{f.XLabel}
+	for _, s := range f.Series {
+		cols = append(cols, s.Name)
+	}
+	rows := [][]string{cols}
+	for i, x := range f.X {
+		row := []string{trimFloat(x)}
+		for _, s := range f.Series {
+			if i < len(s.Y) {
+				row = append(row, fmt.Sprintf("%.4g", s.Y[i]))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		rows = append(rows, row)
+	}
+	widths := make([]int, len(cols))
+	for _, row := range rows {
+		for c, cell := range row {
+			if len(cell) > widths[c] {
+				widths[c] = len(cell)
+			}
+		}
+	}
+	for ri, row := range rows {
+		var b strings.Builder
+		for c, cell := range row {
+			if c > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(pad(cell, widths[c]))
+		}
+		fmt.Fprintln(w, "  "+b.String())
+		if ri == 0 {
+			fmt.Fprintln(w, "  "+strings.Repeat("-", len(b.String())))
+		}
+	}
+	fmt.Fprintln(w)
+}
+
+func pad(s string, w int) string {
+	for len(s) < w {
+		s = " " + s
+	}
+	return s
+}
+
+func trimFloat(x float64) string {
+	if x == float64(int64(x)) {
+		return fmt.Sprintf("%d", int64(x))
+	}
+	return fmt.Sprintf("%g", x)
+}
+
+// Generator produces one figure at a preset.
+type Generator func(Preset) Figure
+
+// All maps figure ids to their generators.
+func All() map[string]Generator {
+	return map[string]Generator{
+		"9":       Fig09GaussSeidelScaling,
+		"10":      Fig10GaussSeidelBlocksize,
+		"11":      Fig11MiniAMRScaling,
+		"12":      Fig12MiniAMRVariables,
+		"13a":     Fig13aStreamingOmniPath,
+		"13b":     Fig13bStreamingInfiniBand,
+		"lock":    AblationMPILockBlowup,
+		"poll":    AblationPollingPeriod,
+		"rma":     AblationRMANotification,
+		"onready": AblationOnready,
+	}
+}
+
+// IDs returns the figure ids in render order.
+func IDs() []string {
+	ids := make([]string, 0)
+	for id := range All() {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	// Keep the paper's order first.
+	order := []string{"9", "10", "11", "12", "13a", "13b", "lock", "poll", "rma", "onready"}
+	return order[:len(ids)]
+}
+
+// geoScale is the rank-count reduction factor relative to the paper:
+// Marenostrum4's 48 cores/node are modelled as 8 simulated cores/node so
+// the discrete-event runs stay tractable; all per-core ratios preserved.
+const (
+	coresPerNode  = 8 // paper: 48 (MN4), 64 (CTE-AMD)
+	hybridRanks   = 2 // ranks/node for hybrid Gauss-Seidel (paper: 1/socket)
+	amrHybridRank = 2 // ranks/node for hybrid miniAMR (paper: 4)
+)
+
+func doubling(max int) []int {
+	var out []int
+	for n := 1; n <= max; n *= 2 {
+		out = append(out, n)
+	}
+	return out
+}
+
+func toF(xs []int) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = float64(x)
+	}
+	return out
+}

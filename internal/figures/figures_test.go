@@ -1,0 +1,91 @@
+package figures
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAllGeneratorsRegistered(t *testing.T) {
+	gens := All()
+	ids := IDs()
+	if len(ids) != len(gens) {
+		t.Fatalf("IDs lists %d figures, All has %d", len(ids), len(gens))
+	}
+	seen := map[string]bool{}
+	for _, id := range ids {
+		if gens[id] == nil {
+			t.Fatalf("figure %q has no generator", id)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate id %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestRenderFormatsTable(t *testing.T) {
+	f := Figure{
+		ID: "x", Title: "test figure", XLabel: "n", YLabel: "y",
+		X:      []float64{1, 2},
+		Series: []Series{{Name: "a", Y: []float64{0.5, 1.5}}, {Name: "b", Y: []float64{2}}},
+		Notes:  []string{"a note"},
+	}
+	var sb strings.Builder
+	f.Render(&sb)
+	out := sb.String()
+	for _, want := range []string{"test figure", "a note", "n", "a", "b", "0.5", "1.5", "-"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+// Every generator must produce a well-formed figure at the Quick preset:
+// non-empty X, every series aligned, finite values.
+func TestQuickPresetFiguresWellFormed(t *testing.T) {
+	// Restrict to the fast generators; the app-level ones are covered by
+	// the root integration tests and benchmarks.
+	for _, id := range []string{"rma", "onready"} {
+		f := All()[id](Quick)
+		if len(f.X) == 0 || len(f.Series) == 0 {
+			t.Fatalf("figure %s empty", id)
+		}
+		for _, s := range f.Series {
+			if len(s.Y) != len(f.X) {
+				t.Fatalf("figure %s series %s misaligned: %d vs %d",
+					id, s.Name, len(s.Y), len(f.X))
+			}
+			for _, y := range s.Y {
+				if y <= 0 || y != y {
+					t.Fatalf("figure %s series %s has non-positive value %v", id, s.Name, y)
+				}
+			}
+		}
+	}
+}
+
+func TestDoublingAndToF(t *testing.T) {
+	ns := doubling(16)
+	want := []int{1, 2, 4, 8, 16}
+	if len(ns) != len(want) {
+		t.Fatalf("doubling(16) = %v", ns)
+	}
+	for i := range want {
+		if ns[i] != want[i] {
+			t.Fatalf("doubling(16) = %v", ns)
+		}
+	}
+	fs := toF(ns)
+	if fs[3] != 8 {
+		t.Fatalf("toF broken: %v", fs)
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	if trimFloat(8) != "8" {
+		t.Fatal("integers must render without decimals")
+	}
+	if trimFloat(0.5) != "0.5" {
+		t.Fatal("fractions must keep their digits")
+	}
+}

@@ -1,0 +1,597 @@
+// Package gaspisim implements the GASPI one-sided interface of §II-B of the
+// paper over the simulated fabric: memory segments, communication queues,
+// write/read/write_notify operations and remote notifications, plus the
+// fine-grained local-completion extension the paper adds to GASPI in §IV-C
+// (gaspi_operation_submit with a per-operation tag and gaspi_request_wait
+// returning the tags of completed low-level requests).
+//
+// Modelled properties the paper relies on:
+//
+//   - Operations posted to the same queue towards the same target arrive in
+//     posting order; the notification of a write_notify arrives just after
+//     its data is written in the remote memory.
+//   - Queues multiplex communications: each queue has its own post
+//     resource, so concurrent posters contend per queue, not globally —
+//     the contrast with the MPI_THREAD_MULTIPLE lock of package mpisim.
+//   - A write+notify expands to two low-level requests (one for the write,
+//     one for the notify), both tagged with the submitter's tag, exactly
+//     the accounting TAGASPI's event counters expect (§IV-D).
+package gaspisim
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/fabric"
+	"repro/internal/memory"
+	"repro/internal/vclock"
+	"repro/internal/vsync"
+)
+
+// Rank aliases the fabric rank type.
+type Rank = fabric.Rank
+
+// SegmentID aliases the memory segment identifier.
+type SegmentID = memory.SegmentID
+
+// NotificationID identifies one notification slot within a segment.
+type NotificationID int
+
+// Timeout sentinels for RequestWait and NotifyWaitSome.
+const (
+	// Test polls without blocking (GASPI_TEST).
+	Test time.Duration = 0
+	// Block waits indefinitely (GASPI_BLOCK).
+	Block time.Duration = -1
+)
+
+// OpType enumerates the §IV-C submittable operation types.
+type OpType uint8
+
+// Operation types.
+const (
+	OpWrite OpType = iota
+	OpWriteNotify
+	OpNotify
+	OpRead
+)
+
+// Operation is the descriptor accepted by Submit — the
+// gaspi_operation_submit extension: any one-sided operation plus a caller
+// tag identifying the low-level requests it creates.
+type Operation struct {
+	Type      OpType
+	Tag       any // opaque; returned by RequestWait on local completion
+	LocalSeg  SegmentID
+	LocalOff  int
+	Remote    Rank
+	RemoteSeg SegmentID
+	RemoteOff int
+	Size      int
+	NotifyID  NotificationID
+	NotifyVal int64
+	Queue     int
+}
+
+// CompletedRequest reports one locally-completed low-level request.
+type CompletedRequest struct {
+	Tag any
+	OK  bool
+}
+
+// World owns the GASPI processes of one simulated job.
+type World struct {
+	fab   *fabric.Fabric
+	procs []*Proc
+}
+
+// NewWorld creates one Proc per fabric rank with the given queue count.
+func NewWorld(fab *fabric.Fabric, queues int, seed int64) *World {
+	if queues <= 0 {
+		panic(fmt.Sprintf("gaspisim: invalid queue count %d", queues))
+	}
+	w := &World{fab: fab}
+	n := fab.Topology().Ranks()
+	w.procs = make([]*Proc, n)
+	for r := 0; r < n; r++ {
+		p := &Proc{
+			world: w,
+			rank:  Rank(r),
+			fab:   fab,
+			clk:   fab.Clock(),
+			prof:  fab.Profile(),
+			reg:   memory.NewRegistry(),
+			jit:   fabric.NewJitterer(seed+int64(r)*104729, fab.Profile().MPIJitter/4),
+			segs:  make(map[SegmentID]*segState),
+		}
+		p.queues = make([]*queue, queues)
+		for q := range p.queues {
+			p.queues[q] = &queue{p: p, res: vsync.NewResource(fab.Clock())}
+		}
+		w.procs[r] = p
+		fab.Register(Rank(r), fabric.ClassGASPI, p.deliver)
+	}
+	return w
+}
+
+// Proc returns the process of the given rank.
+func (w *World) Proc(r Rank) *Proc { return w.procs[r] }
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return len(w.procs) }
+
+// Proc is one GASPI process.
+type Proc struct {
+	world *World
+	rank  Rank
+	fab   *fabric.Fabric
+	clk   vclock.Clock
+	prof  fabric.Profile
+	jit   *fabric.Jitterer
+	reg   *memory.Registry
+
+	queues []*queue
+
+	mu   sync.Mutex
+	segs map[SegmentID]*segState
+}
+
+// segState holds a segment's notification space.
+type segState struct {
+	notifs  map[NotificationID]int64
+	waiters []*notifWaiter
+}
+
+type notifWaiter struct {
+	begin, num NotificationID
+	p          vclock.Parker
+	fired      bool
+}
+
+// queue is one communication queue: a post resource plus the completed
+// low-level request list of the §IV-C extension.
+type queue struct {
+	p           *Proc
+	res         *vsync.Resource
+	mu          sync.Mutex
+	completed   []CompletedRequest
+	outstanding int
+	waiters     []vclock.Parker // RequestWait / Wait blockers
+}
+
+// Rank returns the process rank.
+func (p *Proc) Rank() Rank { return p.rank }
+
+// Size returns the world size.
+func (p *Proc) Size() int { return len(p.world.procs) }
+
+// Queues returns the number of communication queues.
+func (p *Proc) Queues() int { return len(p.queues) }
+
+// QueueStats returns the post-resource statistics of queue q.
+func (p *Proc) QueueStats(q int) vsync.ResourceStats { return p.queues[q].res.Stats() }
+
+// SegmentCreate allocates and registers a zeroed segment.
+func (p *Proc) SegmentCreate(id SegmentID, size int) (*memory.Segment, error) {
+	seg, err := p.reg.Create(id, size)
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	p.segs[id] = &segState{notifs: make(map[NotificationID]int64)}
+	p.mu.Unlock()
+	return seg, nil
+}
+
+// Segment returns a registered segment.
+func (p *Proc) Segment(id SegmentID) (*memory.Segment, error) {
+	return p.reg.Lookup(id)
+}
+
+// protocol message payload.
+type gMsg struct {
+	kind      OpType
+	src       Rank
+	seg       SegmentID
+	off       int
+	data      []byte
+	size      int
+	notify    bool
+	notifyID  NotificationID
+	notifyVal int64
+
+	// read protocol
+	replySeg SegmentID
+	replyOff int
+	replyQ   *queue
+	replyTag any
+}
+
+// Submit posts one operation to its queue — gaspi_operation_submit of
+// §IV-C. It returns once the operation is handed to the NIC queue; local
+// completion is observed through RequestWait with the operation's Tag.
+func (p *Proc) Submit(op Operation) error {
+	if op.Queue < 0 || op.Queue >= len(p.queues) {
+		return fmt.Errorf("gaspisim: queue %d out of range", op.Queue)
+	}
+	q := p.queues[op.Queue]
+	if op.Remote < 0 || int(op.Remote) >= p.Size() {
+		return fmt.Errorf("gaspisim: invalid remote rank %d", op.Remote)
+	}
+
+	switch op.Type {
+	case OpWrite, OpWriteNotify:
+		src, err := p.reg.Lookup(op.LocalSeg)
+		if err != nil {
+			return err
+		}
+		buf, err := src.Slice(op.LocalOff, op.Size)
+		if err != nil {
+			return err
+		}
+		nreq := 1
+		if op.Type == OpWriteNotify {
+			nreq = 2 // write + notify, as GPI-2 chains two ibverbs requests
+		}
+		m := &gMsg{kind: op.Type, src: p.rank, seg: op.RemoteSeg, off: op.RemoteOff,
+			size: op.Size, notify: op.Type == OpWriteNotify,
+			notifyID: op.NotifyID, notifyVal: op.NotifyVal}
+		q.post(op, func() {
+			p.fab.Send(&fabric.Message{
+				Src: p.rank, Dst: op.Remote, Class: fabric.ClassGASPI, Lane: op.Queue,
+				Size: op.Size, Payload: m,
+				OnInjected: func() {
+					m.data = append([]byte(nil), buf...)
+					q.completeLocal(op.Tag, nreq)
+				},
+			})
+		}, nreq)
+		return nil
+
+	case OpNotify:
+		m := &gMsg{kind: OpNotify, src: p.rank, seg: op.RemoteSeg,
+			notify: true, notifyID: op.NotifyID, notifyVal: op.NotifyVal}
+		q.post(op, func() {
+			p.fab.Send(&fabric.Message{
+				Src: p.rank, Dst: op.Remote, Class: fabric.ClassGASPI, Lane: op.Queue,
+				Control: true, Payload: m,
+				OnInjected: func() { q.completeLocal(op.Tag, 1) },
+			})
+		}, 1)
+		return nil
+
+	case OpRead:
+		if _, err := p.reg.Lookup(op.LocalSeg); err != nil {
+			return err
+		}
+		m := &gMsg{kind: OpRead, src: p.rank, seg: op.RemoteSeg, off: op.RemoteOff,
+			size: op.Size, replySeg: op.LocalSeg, replyOff: op.LocalOff,
+			replyQ: q, replyTag: op.Tag}
+		q.post(op, func() {
+			p.fab.Send(&fabric.Message{
+				Src: p.rank, Dst: op.Remote, Class: fabric.ClassGASPI, Lane: op.Queue,
+				Control: true, Payload: m,
+			})
+		}, 1)
+		return nil
+	}
+	return fmt.Errorf("gaspisim: unknown operation type %d", op.Type)
+}
+
+// post charges the queue's post resource and runs send, tracking the
+// outstanding low-level request count.
+func (q *queue) post(op Operation, send func(), nreq int) {
+	q.mu.Lock()
+	q.outstanding += nreq
+	q.mu.Unlock()
+	q.res.Use(q.p.jit.Apply(q.p.prof.RDMAOpOverhead))
+	send()
+}
+
+// completeLocal records nreq completed low-level requests with the given
+// tag and wakes waiters.
+func (q *queue) completeLocal(tag any, nreq int) {
+	q.mu.Lock()
+	for i := 0; i < nreq; i++ {
+		q.completed = append(q.completed, CompletedRequest{Tag: tag, OK: true})
+	}
+	q.outstanding -= nreq
+	ws := q.waiters
+	q.waiters = nil
+	q.mu.Unlock()
+	for _, w := range ws {
+		w.Unpark()
+	}
+}
+
+// WriteNotify posts a write+notify (§II-B): size bytes from the local
+// segment to the remote one, followed by a notification that arrives just
+// after the data.
+func (p *Proc) WriteNotify(localSeg SegmentID, localOff int, remote Rank,
+	remoteSeg SegmentID, remoteOff, size int,
+	id NotificationID, value int64, queueID int, tag any) error {
+	return p.Submit(Operation{
+		Type: OpWriteNotify, Tag: tag,
+		LocalSeg: localSeg, LocalOff: localOff,
+		Remote: remote, RemoteSeg: remoteSeg, RemoteOff: remoteOff, Size: size,
+		NotifyID: id, NotifyVal: value, Queue: queueID,
+	})
+}
+
+// Write posts a plain one-sided write.
+func (p *Proc) Write(localSeg SegmentID, localOff int, remote Rank,
+	remoteSeg SegmentID, remoteOff, size, queueID int, tag any) error {
+	return p.Submit(Operation{
+		Type: OpWrite, Tag: tag,
+		LocalSeg: localSeg, LocalOff: localOff,
+		Remote: remote, RemoteSeg: remoteSeg, RemoteOff: remoteOff, Size: size,
+		Queue: queueID,
+	})
+}
+
+// Notify posts a pure notification to the remote segment's space.
+func (p *Proc) Notify(remote Rank, remoteSeg SegmentID,
+	id NotificationID, value int64, queueID int, tag any) error {
+	return p.Submit(Operation{
+		Type: OpNotify, Tag: tag,
+		Remote: remote, RemoteSeg: remoteSeg,
+		NotifyID: id, NotifyVal: value, Queue: queueID,
+	})
+}
+
+// Read posts a one-sided read: size bytes from the remote segment into the
+// local one. Local completion (the tag surfacing in RequestWait) means the
+// data has arrived.
+func (p *Proc) Read(localSeg SegmentID, localOff int, remote Rank,
+	remoteSeg SegmentID, remoteOff, size, queueID int, tag any) error {
+	return p.Submit(Operation{
+		Type: OpRead, Tag: tag,
+		LocalSeg: localSeg, LocalOff: localOff,
+		Remote: remote, RemoteSeg: remoteSeg, RemoteOff: remoteOff, Size: size,
+		Queue: queueID,
+	})
+}
+
+// deliver is the fabric handler for GASPI traffic.
+func (p *Proc) deliver(fm *fabric.Message) {
+	m := fm.Payload.(*gMsg)
+	switch m.kind {
+	case OpWrite, OpWriteNotify:
+		seg, err := p.reg.Lookup(m.seg)
+		if err != nil {
+			panic(fmt.Sprintf("gaspisim: write to rank %d: %v", p.rank, err))
+		}
+		dst, err := seg.Slice(m.off, len(m.data))
+		if err != nil {
+			panic(fmt.Sprintf("gaspisim: write outside segment: %v", err))
+		}
+		copy(dst, m.data)
+		if m.notify {
+			p.setNotification(m.seg, m.notifyID, m.notifyVal)
+		}
+
+	case OpNotify:
+		p.setNotification(m.seg, m.notifyID, m.notifyVal)
+
+	case OpRead:
+		seg, err := p.reg.Lookup(m.seg)
+		if err != nil {
+			panic(fmt.Sprintf("gaspisim: read at rank %d: %v", p.rank, err))
+		}
+		src, err := seg.Slice(m.off, m.size)
+		if err != nil {
+			panic(fmt.Sprintf("gaspisim: read outside segment: %v", err))
+		}
+		resp := &gMsg{kind: opReadResp, src: p.rank,
+			seg: m.replySeg, off: m.replyOff,
+			data: append([]byte(nil), src...), replyQ: m.replyQ, replyTag: m.replyTag}
+		p.fab.Send(&fabric.Message{
+			Src: p.rank, Dst: m.src, Class: fabric.ClassGASPI, Lane: 0,
+			Size: m.size, Payload: resp,
+		})
+
+	case opReadResp:
+		seg, err := p.reg.Lookup(m.seg)
+		if err != nil {
+			panic(fmt.Sprintf("gaspisim: read response at rank %d: %v", p.rank, err))
+		}
+		dst, err := seg.Slice(m.off, len(m.data))
+		if err != nil {
+			panic(fmt.Sprintf("gaspisim: read response outside segment: %v", err))
+		}
+		copy(dst, m.data)
+		m.replyQ.completeLocal(m.replyTag, 1)
+	}
+}
+
+// opReadResp is the internal read-response kind (not user-submittable).
+const opReadResp OpType = 0xFF
+
+// setNotification stores a notification value and wakes matching waiters.
+func (p *Proc) setNotification(seg SegmentID, id NotificationID, val int64) {
+	p.mu.Lock()
+	st, ok := p.segs[seg]
+	if !ok {
+		p.mu.Unlock()
+		panic(fmt.Sprintf("gaspisim: notification for unknown segment %d on rank %d", seg, p.rank))
+	}
+	st.notifs[id] = val
+	var wake []*notifWaiter
+	keep := st.waiters[:0]
+	for _, w := range st.waiters {
+		if id >= w.begin && id < w.begin+w.num {
+			w.fired = true
+			wake = append(wake, w)
+		} else {
+			keep = append(keep, w)
+		}
+	}
+	st.waiters = keep
+	p.mu.Unlock()
+	for _, w := range wake {
+		w.p.Unpark()
+	}
+}
+
+// NotifyReset atomically reads and clears a notification slot, returning
+// its value and whether it was set (gaspi_notify_reset).
+func (p *Proc) NotifyReset(seg SegmentID, id NotificationID) (int64, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st, ok := p.segs[seg]
+	if !ok {
+		return 0, false
+	}
+	v, set := st.notifs[id]
+	if set {
+		delete(st.notifs, id)
+	}
+	return v, set
+}
+
+// NotifyTest reports whether a notification slot is set, without resetting.
+func (p *Proc) NotifyTest(seg SegmentID, id NotificationID) (int64, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st, ok := p.segs[seg]
+	if !ok {
+		return 0, false
+	}
+	v, set := st.notifs[id]
+	return v, set
+}
+
+// NotifyWaitSome blocks until some notification in [begin, begin+num) is
+// set, returning its id (gaspi_notify_waitsome). With timeout Test it polls
+// once; with Block it waits indefinitely; otherwise it waits at most the
+// timeout. ok reports whether a notification was found.
+func (p *Proc) NotifyWaitSome(seg SegmentID, begin NotificationID, num int,
+	timeout time.Duration) (NotificationID, bool) {
+	deadline := time.Duration(-1)
+	if timeout > 0 {
+		deadline = p.clk.Now() + timeout
+	}
+	for {
+		p.mu.Lock()
+		st, ok := p.segs[seg]
+		if !ok {
+			p.mu.Unlock()
+			panic(fmt.Sprintf("gaspisim: NotifyWaitSome on unknown segment %d", seg))
+		}
+		for id := begin; id < begin+NotificationID(num); id++ {
+			if _, set := st.notifs[id]; set {
+				p.mu.Unlock()
+				return id, true
+			}
+		}
+		if timeout == Test {
+			p.mu.Unlock()
+			return 0, false
+		}
+		w := &notifWaiter{begin: begin, num: NotificationID(num), p: p.clk.Parker()}
+		w.p.SetName(fmt.Sprintf("gaspi-notify@%d", p.rank))
+		st.waiters = append(st.waiters, w)
+		p.mu.Unlock()
+		if deadline < 0 {
+			w.p.Park()
+			continue
+		}
+		left := deadline - p.clk.Now()
+		if left <= 0 || !w.p.ParkTimeout(left) {
+			// Timed out: withdraw the waiter (it may have fired anyway;
+			// the loop re-checks the slots either way).
+			p.mu.Lock()
+			for i, x := range st.waiters {
+				if x == w {
+					st.waiters = append(st.waiters[:i], st.waiters[i+1:]...)
+					break
+				}
+			}
+			timedOut := !w.fired
+			p.mu.Unlock()
+			if timedOut {
+				// One final re-check to avoid a lost-wake race.
+				if id, ok := p.NotifyWaitSome(seg, begin, num, Test); ok {
+					return id, true
+				}
+				return 0, false
+			}
+		}
+	}
+}
+
+// RequestWait returns up to max locally-completed low-level requests of a
+// queue — the gaspi_request_wait extension of §IV-C. With timeout Test it
+// returns immediately (possibly empty); with Block it waits for at least
+// one; a positive timeout bounds the wait. The caller is charged a fixed
+// polling cost.
+func (p *Proc) RequestWait(queueID, max int, timeout time.Duration) []CompletedRequest {
+	q := p.queues[queueID]
+	p.clk.Sleep(p.prof.RDMAOpOverhead / 2) // CPU cost of draining the CQ
+	for {
+		q.mu.Lock()
+		if len(q.completed) > 0 {
+			n := len(q.completed)
+			if n > max {
+				n = max
+			}
+			out := append([]CompletedRequest(nil), q.completed[:n]...)
+			q.completed = q.completed[n:]
+			q.mu.Unlock()
+			return out
+		}
+		if timeout == Test {
+			q.mu.Unlock()
+			return nil
+		}
+		pk := p.clk.Parker()
+		pk.SetName(fmt.Sprintf("gaspi-reqwait@%d", p.rank))
+		q.waiters = append(q.waiters, pk)
+		q.mu.Unlock()
+		if timeout == Block {
+			pk.Park()
+			continue
+		}
+		if !pk.ParkTimeout(timeout) {
+			q.mu.Lock()
+			for i, x := range q.waiters {
+				if x == pk {
+					q.waiters = append(q.waiters[:i], q.waiters[i+1:]...)
+					break
+				}
+			}
+			q.mu.Unlock()
+			timeout = Test // final pass drains anything that raced in
+		}
+	}
+}
+
+// Wait blocks until all operations posted to the queue have locally
+// completed — the standard coarse-grained gaspi_wait, which TAGASPI
+// obsoletes but the non-task-aware baselines use.
+func (p *Proc) Wait(queueID int) {
+	q := p.queues[queueID]
+	for {
+		q.mu.Lock()
+		if q.outstanding == 0 {
+			q.mu.Unlock()
+			return
+		}
+		pk := p.clk.Parker()
+		pk.SetName(fmt.Sprintf("gaspi-wait@%d", p.rank))
+		q.waiters = append(q.waiters, pk)
+		q.mu.Unlock()
+		pk.Park()
+	}
+}
+
+// Drain discards completed low-level requests accumulated on a queue
+// (callers that use Wait instead of RequestWait must drain or the list
+// grows unboundedly).
+func (p *Proc) Drain(queueID int) {
+	q := p.queues[queueID]
+	q.mu.Lock()
+	q.completed = nil
+	q.mu.Unlock()
+}

@@ -1,0 +1,221 @@
+// Package memory implements rank-local registered memory: the backing store
+// for GASPI segments and MPI windows in the simulated cluster.
+//
+// A Segment is a contiguous, byte-addressed region owned by one rank and
+// identified by a small integer, mirroring gaspi_segment_id_t. Remote ranks
+// address a segment by (rank, segment id, offset); the fabric performs the
+// actual copy between the two processes' segments, which in the simulator
+// share one address space but are never aliased across ranks.
+//
+// Applications that compute on floating-point data keep it inside segments
+// through the F64 view, which provides bounds-checked element access over
+// the raw bytes without unsafe.
+package memory
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync"
+)
+
+// SegmentID identifies a segment within one rank's registry.
+type SegmentID uint8
+
+// Segment is a contiguous registered memory region.
+type Segment struct {
+	id  SegmentID
+	buf []byte
+}
+
+// NewSegment allocates a zeroed segment of size bytes.
+func NewSegment(id SegmentID, size int) *Segment {
+	if size < 0 {
+		panic(fmt.Sprintf("memory: negative segment size %d", size))
+	}
+	return &Segment{id: id, buf: make([]byte, size)}
+}
+
+// ID returns the segment's identifier.
+func (s *Segment) ID() SegmentID { return s.id }
+
+// Size returns the segment's size in bytes.
+func (s *Segment) Size() int { return len(s.buf) }
+
+// Bytes returns the full backing slice. Mutating it is allowed; it is the
+// segment's memory.
+func (s *Segment) Bytes() []byte { return s.buf }
+
+// Slice returns the sub-slice [off, off+n) or an error if out of range.
+func (s *Segment) Slice(off, n int) ([]byte, error) {
+	if off < 0 || n < 0 || off+n > len(s.buf) {
+		return nil, fmt.Errorf("memory: range [%d,%d) outside segment %d of size %d",
+			off, off+n, s.id, len(s.buf))
+	}
+	return s.buf[off : off+n], nil
+}
+
+// Copy transfers n bytes from src at srcOff into dst at dstOff.
+func Copy(dst *Segment, dstOff int, src *Segment, srcOff, n int) error {
+	db, err := dst.Slice(dstOff, n)
+	if err != nil {
+		return fmt.Errorf("memory: copy destination: %w", err)
+	}
+	sb, err := src.Slice(srcOff, n)
+	if err != nil {
+		return fmt.Errorf("memory: copy source: %w", err)
+	}
+	copy(db, sb)
+	return nil
+}
+
+// Registry holds the segments registered by one rank.
+type Registry struct {
+	mu       sync.RWMutex
+	segments map[SegmentID]*Segment
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{segments: make(map[SegmentID]*Segment)}
+}
+
+// Create allocates and registers a segment. It fails if id is taken.
+func (r *Registry) Create(id SegmentID, size int) (*Segment, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.segments[id]; ok {
+		return nil, fmt.Errorf("memory: segment %d already registered", id)
+	}
+	s := NewSegment(id, size)
+	r.segments[id] = s
+	return s, nil
+}
+
+// Lookup returns the segment with the given id.
+func (r *Registry) Lookup(id SegmentID) (*Segment, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s, ok := r.segments[id]
+	if !ok {
+		return nil, fmt.Errorf("memory: segment %d not registered", id)
+	}
+	return s, nil
+}
+
+// Delete unregisters a segment.
+func (r *Registry) Delete(id SegmentID) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.segments[id]; !ok {
+		return fmt.Errorf("memory: segment %d not registered", id)
+	}
+	delete(r.segments, id)
+	return nil
+}
+
+// F64 is a bounds-checked float64 view over a byte region, in little-endian
+// layout (8 bytes per element).
+type F64 struct {
+	b []byte
+}
+
+// F64Bytes is the byte size of one F64 element.
+const F64Bytes = 8
+
+// F64View wraps a segment sub-range [byteOff, byteOff+8*n) as n float64s.
+func F64View(s *Segment, byteOff, n int) (F64, error) {
+	b, err := s.Slice(byteOff, n*F64Bytes)
+	if err != nil {
+		return F64{}, err
+	}
+	return F64{b: b}, nil
+}
+
+// F64Of wraps an existing byte slice; len(b) must be a multiple of 8.
+func F64Of(b []byte) F64 {
+	if len(b)%F64Bytes != 0 {
+		panic(fmt.Sprintf("memory: F64Of over %d bytes, not a multiple of 8", len(b)))
+	}
+	return F64{b: b}
+}
+
+// Len returns the number of elements.
+func (v F64) Len() int { return len(v.b) / F64Bytes }
+
+// At returns element i.
+func (v F64) At(i int) float64 {
+	return math.Float64frombits(binary.LittleEndian.Uint64(v.b[i*F64Bytes:]))
+}
+
+// Set stores x into element i.
+func (v F64) Set(i int, x float64) {
+	binary.LittleEndian.PutUint64(v.b[i*F64Bytes:], math.Float64bits(x))
+}
+
+// Fill sets every element to x.
+func (v F64) Fill(x float64) {
+	bits := math.Float64bits(x)
+	for i := 0; i < len(v.b); i += F64Bytes {
+		binary.LittleEndian.PutUint64(v.b[i:], bits)
+	}
+}
+
+// Sub returns the sub-view of n elements starting at element off.
+func (v F64) Sub(off, n int) F64 {
+	return F64{b: v.b[off*F64Bytes : (off+n)*F64Bytes]}
+}
+
+// CopyIn copies the Go slice src into the view starting at element off.
+func (v F64) CopyIn(off int, src []float64) {
+	for i, x := range src {
+		v.Set(off+i, x)
+	}
+}
+
+// CopyOut copies n elements starting at off into a new Go slice.
+func (v F64) CopyOut(off, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = v.At(off + i)
+	}
+	return out
+}
+
+// I64 is a bounds-checked int64 view over a byte region (little-endian).
+type I64 struct {
+	b []byte
+}
+
+// I64Bytes is the byte size of one I64 element.
+const I64Bytes = 8
+
+// I64View wraps a segment sub-range as n int64s.
+func I64View(s *Segment, byteOff, n int) (I64, error) {
+	b, err := s.Slice(byteOff, n*I64Bytes)
+	if err != nil {
+		return I64{}, err
+	}
+	return I64{b: b}, nil
+}
+
+// I64Of wraps an existing byte slice; len(b) must be a multiple of 8.
+func I64Of(b []byte) I64 {
+	if len(b)%I64Bytes != 0 {
+		panic(fmt.Sprintf("memory: I64Of over %d bytes, not a multiple of 8", len(b)))
+	}
+	return I64{b: b}
+}
+
+// Len returns the number of elements.
+func (v I64) Len() int { return len(v.b) / I64Bytes }
+
+// At returns element i.
+func (v I64) At(i int) int64 {
+	return int64(binary.LittleEndian.Uint64(v.b[i*I64Bytes:]))
+}
+
+// Set stores x into element i.
+func (v I64) Set(i int, x int64) {
+	binary.LittleEndian.PutUint64(v.b[i*I64Bytes:], uint64(x))
+}

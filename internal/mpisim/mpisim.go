@@ -1,0 +1,404 @@
+// Package mpisim implements the two-sided MPI subset the paper's baselines
+// use (blocking and non-blocking point-to-point, Test/Testsome/Wait,
+// collectives) plus the MPI one-sided interface of §II-A (windows, put/get,
+// fence and passive synchronization with flush), over the simulated fabric.
+//
+// The model captures the properties the paper's analysis rests on:
+//
+//   - Tag matching with posted-receive and unexpected-message queues, with
+//     MPI's non-overtaking guarantee per (source, destination) pair.
+//   - The eager/rendezvous protocol split at Profile.EagerThreshold; a
+//     rendezvous send costs an extra RTS/CTS control round-trip.
+//   - One process-wide library lock (MPI_THREAD_MULTIPLE) whose service
+//     time is charged for every Isend/Irecv/Test/Testsome call. Under
+//     concurrent calls from many tasks the queueing delay on this lock
+//     grows sharply — the §VI-C observation (27× MPI-time blowup) that
+//     explains TAMPI's small-block collapse.
+//   - MPI_Win_flush requiring a remote ack round-trip, the §III argument
+//     for why the put+flush+send notification idiom underperforms.
+package mpisim
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/fabric"
+	"repro/internal/vclock"
+	"repro/internal/vsync"
+)
+
+// Rank aliases the fabric rank type.
+type Rank = fabric.Rank
+
+// Wildcards for Irecv matching.
+const (
+	AnySource Rank = -1
+	AnyTag    int  = -1
+)
+
+// Status describes a completed receive.
+type Status struct {
+	Source Rank
+	Tag    int
+	Count  int // bytes received
+}
+
+// World owns the MPI processes of one simulated job.
+type World struct {
+	fab   *fabric.Fabric
+	procs []*Proc
+}
+
+// NewWorld creates one Proc per fabric rank and registers their delivery
+// handlers.
+func NewWorld(fab *fabric.Fabric, seed int64) *World {
+	w := &World{fab: fab}
+	n := fab.Topology().Ranks()
+	w.procs = make([]*Proc, n)
+	for r := 0; r < n; r++ {
+		p := &Proc{
+			world:   w,
+			rank:    Rank(r),
+			fab:     fab,
+			clk:     fab.Clock(),
+			prof:    fab.Profile(),
+			libLock: vsync.NewResource(fab.Clock()),
+			jit:     fabric.NewJitterer(seed+int64(r)*7919, fab.Profile().MPIJitter),
+			wins:    make(map[int]*Win),
+		}
+		w.procs[r] = p
+		fab.Register(Rank(r), fabric.ClassMPI, p.deliver)
+	}
+	return w
+}
+
+// Proc returns the process of the given rank.
+func (w *World) Proc(r Rank) *Proc { return w.procs[r] }
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return len(w.procs) }
+
+// Proc is one MPI process: its matching engine, library lock and windows.
+type Proc struct {
+	world *World
+	rank  Rank
+	fab   *fabric.Fabric
+	clk   vclock.Clock
+	prof  fabric.Profile
+
+	// libLock models the MPI_THREAD_MULTIPLE lock: every library call is
+	// served through it, so its queueing statistics measure "time inside
+	// MPI" including lock waits.
+	libLock *vsync.Resource
+
+	mu         sync.Mutex // protects the matching state and jitter RNG
+	jit        *fabric.Jitterer
+	posted     []*postedRecv
+	unexpected []*inMsg
+	nextWin    int
+	wins       map[int]*Win
+	barrierTag int
+}
+
+// Rank returns the process rank.
+func (p *Proc) Rank() Rank { return p.rank }
+
+// Size returns the world size.
+func (p *Proc) Size() int { return len(p.world.procs) }
+
+// LockStats reports the library-lock resource statistics: Busy+Waited is
+// the modelled total time inside MPI (the §VI-C metric).
+func (p *Proc) LockStats() vsync.ResourceStats { return p.libLock.Stats() }
+
+// Request is a non-blocking operation handle.
+type Request struct {
+	p       *Proc
+	rdv     []byte // rendezvous source buffer (set before the RTS is sent)
+	mu      sync.Mutex
+	done    bool
+	status  Status
+	waiters []vclock.Parker
+}
+
+func (r *Request) complete(st Status) {
+	r.mu.Lock()
+	if r.done {
+		r.mu.Unlock()
+		panic("mpisim: request completed twice")
+	}
+	r.done = true
+	r.status = st
+	ws := r.waiters
+	r.waiters = nil
+	r.mu.Unlock()
+	for _, w := range ws {
+		w.Unpark()
+	}
+}
+
+// Done reports completion without charging library time (internal use; the
+// public polling APIs are Test/Testsome, which pay for the lock).
+func (r *Request) Done() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.done
+}
+
+// park blocks the caller until the request completes.
+func (r *Request) park() {
+	r.mu.Lock()
+	if r.done {
+		r.mu.Unlock()
+		return
+	}
+	p := r.p.clk.Parker()
+	p.SetName(fmt.Sprintf("mpi-wait@%d", r.p.rank))
+	r.waiters = append(r.waiters, p)
+	r.mu.Unlock()
+	p.Park()
+}
+
+// postedRecv is a receive waiting for a matching message.
+type postedRecv struct {
+	buf []byte
+	src Rank
+	tag int
+	req *Request
+}
+
+func (pr *postedRecv) matches(src Rank, tag int) bool {
+	return (pr.src == AnySource || pr.src == src) && (pr.tag == AnyTag || pr.tag == tag)
+}
+
+// msgKind discriminates protocol messages.
+type msgKind uint8
+
+const (
+	kindEager msgKind = iota
+	kindRTS
+	kindCTS
+	kindRData
+	kindPut
+	kindGetReq
+	kindGetResp
+	kindFlushReq
+	kindFlushAck
+)
+
+// inMsg is a protocol message payload.
+type inMsg struct {
+	kind msgKind
+	src  Rank
+	tag  int
+	data []byte
+	size int
+
+	sendReq *Request // rendezvous: the sender-side request (RTS/CTS/RData)
+	recvReq *Request // rendezvous: the receiver-side request (CTS/RData)
+	recvBuf []byte   // rendezvous: bound destination buffer
+
+	win     int // RMA: window id
+	off     int // RMA: window offset
+	rmaDone *Request
+}
+
+// charge serves one library call through the THREAD_MULTIPLE lock.
+func (p *Proc) charge(base time.Duration) {
+	p.mu.Lock()
+	d := p.jit.Apply(base)
+	p.mu.Unlock()
+	p.libLock.Use(d)
+}
+
+// validTag panics on reserved tags (negative values are internal).
+func validTag(tag int) {
+	if tag < 0 {
+		panic(fmt.Sprintf("mpisim: application tags must be >= 0, got %d", tag))
+	}
+}
+
+// Isend starts a non-blocking send of buf to dst with the given tag.
+// The returned request completes when the buffer may be reused (eager:
+// local injection; rendezvous: data injection after the CTS).
+func (p *Proc) Isend(buf []byte, dst Rank, tag int) *Request {
+	validTag(tag)
+	return p.isend(buf, dst, tag)
+}
+
+func (p *Proc) isend(buf []byte, dst Rank, tag int) *Request {
+	p.charge(p.prof.MPIOpOverhead + p.prof.MPIMatchCost)
+	req := &Request{p: p}
+	if len(buf) <= p.prof.EagerThreshold {
+		m := &inMsg{kind: kindEager, src: p.rank, tag: tag, size: len(buf)}
+		p.fab.Send(&fabric.Message{
+			Src: p.rank, Dst: dst, Class: fabric.ClassMPI, Size: len(buf),
+			Payload: m,
+			OnInjected: func() {
+				m.data = append([]byte(nil), buf...)
+				req.complete(Status{Source: p.rank, Tag: tag, Count: len(buf)})
+			},
+		})
+		return req
+	}
+	// Rendezvous: request-to-send control message; data flows after CTS.
+	req.rdv = buf
+	m := &inMsg{kind: kindRTS, src: p.rank, tag: tag, size: len(buf), sendReq: req}
+	p.fab.Send(&fabric.Message{
+		Src: p.rank, Dst: dst, Class: fabric.ClassMPI, Control: true, Payload: m,
+	})
+	return req
+}
+
+// Irecv starts a non-blocking receive into buf from src (or AnySource) with
+// the given tag (or AnyTag). It completes when the data is in buf.
+func (p *Proc) Irecv(buf []byte, src Rank, tag int) *Request {
+	if tag != AnyTag {
+		validTag(tag)
+	}
+	return p.irecv(buf, src, tag)
+}
+
+func (p *Proc) irecv(buf []byte, src Rank, tag int) *Request {
+	p.charge(p.prof.MPIOpOverhead + p.prof.MPIMatchCost)
+	req := &Request{p: p}
+	pr := &postedRecv{buf: buf, src: src, tag: tag, req: req}
+	p.mu.Lock()
+	// Search the unexpected queue in arrival order.
+	for i, m := range p.unexpected {
+		if (m.kind == kindEager || m.kind == kindRTS) && pr.matches(m.src, m.tag) {
+			p.unexpected = append(p.unexpected[:i], p.unexpected[i+1:]...)
+			p.mu.Unlock()
+			p.consume(m, pr)
+			return req
+		}
+	}
+	p.posted = append(p.posted, pr)
+	p.mu.Unlock()
+	return req
+}
+
+// consume completes the match of message m with posted receive pr.
+func (p *Proc) consume(m *inMsg, pr *postedRecv) {
+	switch m.kind {
+	case kindEager:
+		n := copy(pr.buf, m.data)
+		pr.req.complete(Status{Source: m.src, Tag: m.tag, Count: n})
+	case kindRTS:
+		// Grant the sender a clear-to-send, binding our buffer.
+		cts := &inMsg{kind: kindCTS, src: p.rank, tag: m.tag,
+			sendReq: m.sendReq, recvReq: pr.req, recvBuf: pr.buf}
+		p.fab.Send(&fabric.Message{
+			Src: p.rank, Dst: m.src, Class: fabric.ClassMPI, Control: true, Payload: cts,
+		})
+	default:
+		panic(fmt.Sprintf("mpisim: consume of kind %d", m.kind))
+	}
+}
+
+// deliver is the fabric handler: it runs on courier goroutines in arrival
+// order per source.
+func (p *Proc) deliver(fm *fabric.Message) {
+	m := fm.Payload.(*inMsg)
+	switch m.kind {
+	case kindEager, kindRTS:
+		p.mu.Lock()
+		for i, pr := range p.posted {
+			if pr.matches(m.src, m.tag) {
+				p.posted = append(p.posted[:i], p.posted[i+1:]...)
+				p.mu.Unlock()
+				p.consume(m, pr)
+				return
+			}
+		}
+		p.unexpected = append(p.unexpected, m)
+		p.mu.Unlock()
+
+	case kindCTS:
+		// We are the original sender: push the data.
+		src := m.src // the receiver granting the CTS
+		buf := m.sendReq.rdv
+		dm := &inMsg{kind: kindRData, src: p.rank, tag: m.tag,
+			sendReq: m.sendReq, recvReq: m.recvReq, recvBuf: m.recvBuf, size: len(buf)}
+		p.fab.Send(&fabric.Message{
+			Src: p.rank, Dst: src, Class: fabric.ClassMPI, Size: len(buf),
+			Payload: dm,
+			OnInjected: func() {
+				dm.data = append([]byte(nil), buf...)
+				m.sendReq.complete(Status{Source: p.rank, Tag: m.tag, Count: len(buf)})
+			},
+		})
+
+	case kindRData:
+		n := copy(m.recvBuf, m.data)
+		m.recvReq.complete(Status{Source: m.src, Tag: m.tag, Count: n})
+
+	case kindPut, kindGetReq, kindGetResp, kindFlushReq, kindFlushAck:
+		p.deliverRMA(m)
+
+	default:
+		panic(fmt.Sprintf("mpisim: deliver of kind %d", m.kind))
+	}
+}
+
+// Test polls a request, charging one library call. It reports completion
+// and, when complete, the receive status.
+func (p *Proc) Test(r *Request) (bool, Status) {
+	p.charge(p.prof.MPIOpOverhead)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.done, r.status
+}
+
+// Testsome polls a set of requests under a single library call, returning
+// the indices of the completed ones (nil requests are skipped). This is the
+// call TAMPI's polling service uses.
+func (p *Proc) Testsome(reqs []*Request) []int {
+	p.charge(p.prof.MPIOpOverhead)
+	var idx []int
+	for i, r := range reqs {
+		if r == nil {
+			continue
+		}
+		r.mu.Lock()
+		if r.done {
+			idx = append(idx, i)
+		}
+		r.mu.Unlock()
+	}
+	return idx
+}
+
+// Wait blocks until the request completes and returns its status.
+func (p *Proc) Wait(r *Request) Status {
+	p.charge(p.prof.MPIOpOverhead)
+	r.park()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.status
+}
+
+// Waitall blocks until every request completes.
+func (p *Proc) Waitall(reqs []*Request) {
+	p.charge(p.prof.MPIOpOverhead)
+	for _, r := range reqs {
+		if r != nil {
+			r.park()
+		}
+	}
+}
+
+// Send is the blocking send.
+func (p *Proc) Send(buf []byte, dst Rank, tag int) {
+	r := p.Isend(buf, dst, tag)
+	r.park()
+}
+
+// Recv is the blocking receive.
+func (p *Proc) Recv(buf []byte, src Rank, tag int) Status {
+	r := p.Irecv(buf, src, tag)
+	r.park()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.status
+}

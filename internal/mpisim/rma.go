@@ -1,0 +1,154 @@
+package mpisim
+
+import (
+	"fmt"
+
+	"repro/internal/fabric"
+	"repro/internal/memory"
+)
+
+// Win is an MPI RMA window exposing one registered segment (§II-A of the
+// paper). Windows must be created collectively: every rank calls WinCreate
+// in the same order, so ids match across ranks.
+//
+// The synchronization modes modelled are the two the paper discusses:
+//
+//   - Fence (active): Fence() flushes all outstanding accesses and runs a
+//     barrier — the "parallelism barrier" cost of §III.
+//   - Passive global shared lock: LockAll/UnlockAll plus per-target Flush,
+//     where Flush costs an ack round-trip behind all prior puts, as in the
+//     Belli et al. analysis the paper cites.
+type Win struct {
+	p   *Proc
+	id  int
+	seg *memory.Segment
+}
+
+// WinCreate registers seg as this rank's window memory and returns the
+// window handle. Collective: every rank must call it in the same order.
+func (p *Proc) WinCreate(seg *memory.Segment) *Win {
+	p.mu.Lock()
+	id := p.nextWin
+	p.nextWin++
+	w := &Win{p: p, id: id, seg: seg}
+	p.wins[id] = w
+	p.mu.Unlock()
+	return w
+}
+
+// Put writes data into dst's window at byte offset dstOff. It returns
+// immediately; remote completion is only guaranteed after Flush(dst) (or a
+// fence). The local buffer is snapshotted at injection, per MPI rules that
+// it must not change before synchronization.
+func (p *Proc) Put(w *Win, data []byte, dst Rank, dstOff int) {
+	p.charge(p.prof.MPIOpOverhead)
+	m := &inMsg{kind: kindPut, src: p.rank, win: w.id, off: dstOff, size: len(data)}
+	src := data
+	p.fab.Send(&fabric.Message{
+		Src: p.rank, Dst: dst, Class: fabric.ClassMPI, Size: len(data),
+		Payload:    m,
+		OnInjected: func() { m.data = append([]byte(nil), src...) },
+	})
+}
+
+// Get reads len(buf) bytes from dst's window at dstOff into buf. The
+// returned request completes when the data has arrived locally.
+func (p *Proc) Get(w *Win, buf []byte, dst Rank, dstOff int) *Request {
+	p.charge(p.prof.MPIOpOverhead)
+	req := &Request{p: p}
+	m := &inMsg{kind: kindGetReq, src: p.rank, win: w.id, off: dstOff,
+		size: len(buf), recvBuf: buf, rmaDone: req}
+	p.fab.Send(&fabric.Message{
+		Src: p.rank, Dst: dst, Class: fabric.ClassMPI, Control: true, Payload: m,
+	})
+	return req
+}
+
+// Flush blocks until all RMA operations this process issued towards dst on
+// this window have completed at the target. It costs a full round-trip
+// queued behind those operations (the §III extra round-trip).
+func (p *Proc) Flush(w *Win, dst Rank) {
+	p.charge(p.prof.MPIOpOverhead)
+	req := &Request{p: p}
+	m := &inMsg{kind: kindFlushReq, src: p.rank, win: w.id, rmaDone: req}
+	p.fab.Send(&fabric.Message{
+		Src: p.rank, Dst: dst, Class: fabric.ClassMPI, Control: true, Payload: m,
+	})
+	req.park()
+}
+
+// Fence completes all outstanding accesses on the window and synchronizes
+// all ranks (the active-target fence sub-mode).
+func (p *Proc) Fence(w *Win) {
+	for r := 0; r < p.Size(); r++ {
+		if Rank(r) != p.rank {
+			p.Flush(w, Rank(r))
+		}
+	}
+	p.Barrier()
+}
+
+// LockAll opens a passive global-shared-lock epoch. In the modelled
+// passive mode all windows are permanently exposed, so this is free; it
+// exists for API fidelity.
+func (p *Proc) LockAll(w *Win) {}
+
+// UnlockAll closes the passive epoch, flushing every target this process
+// might have touched. Callers that know their targets should prefer Flush.
+func (p *Proc) UnlockAll(w *Win) {
+	for r := 0; r < p.Size(); r++ {
+		if Rank(r) != p.rank {
+			p.Flush(w, Rank(r))
+		}
+	}
+}
+
+// deliverRMA handles RMA protocol messages on the target side.
+func (p *Proc) deliverRMA(m *inMsg) {
+	switch m.kind {
+	case kindPut:
+		w := p.winByID(m.win)
+		dst, err := w.seg.Slice(m.off, len(m.data))
+		if err != nil {
+			panic(fmt.Sprintf("mpisim: Put outside window: %v", err))
+		}
+		copy(dst, m.data)
+
+	case kindGetReq:
+		w := p.winByID(m.win)
+		src, err := w.seg.Slice(m.off, m.size)
+		if err != nil {
+			panic(fmt.Sprintf("mpisim: Get outside window: %v", err))
+		}
+		resp := &inMsg{kind: kindGetResp, src: p.rank,
+			data: append([]byte(nil), src...), recvBuf: m.recvBuf, rmaDone: m.rmaDone}
+		p.fab.Send(&fabric.Message{
+			Src: p.rank, Dst: m.src, Class: fabric.ClassMPI, Size: m.size, Payload: resp,
+		})
+
+	case kindGetResp:
+		copy(m.recvBuf, m.data)
+		m.rmaDone.complete(Status{Source: m.src, Count: len(m.data)})
+
+	case kindFlushReq:
+		// All prior puts from m.src arrived before this request (per-pair
+		// FIFO), so the ack certifies their remote completion.
+		ack := &inMsg{kind: kindFlushAck, src: p.rank, rmaDone: m.rmaDone}
+		p.fab.Send(&fabric.Message{
+			Src: p.rank, Dst: m.src, Class: fabric.ClassMPI, Control: true, Payload: ack,
+		})
+
+	case kindFlushAck:
+		m.rmaDone.complete(Status{Source: m.src})
+	}
+}
+
+func (p *Proc) winByID(id int) *Win {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	w, ok := p.wins[id]
+	if !ok {
+		panic(fmt.Sprintf("mpisim: rank %d has no window %d", p.rank, id))
+	}
+	return w
+}

@@ -1,0 +1,240 @@
+// Package tagaspi implements the Task-Aware GASPI library — the paper's
+// primary contribution (§IV). It lets tasks issue fine-grained one-sided
+// operations and asynchronously wait for remote notifications, binding the
+// local completion of RMA operations and the arrival of notifications to
+// the calling task's event counters. The task keeps running and may finish
+// its body at any time, but it does not complete — and does not release its
+// data dependencies — until every bound operation finalises (Figure 1).
+//
+// The implementation mirrors §IV-D:
+//
+//   - RMA operations are posted through the extended GASPI interface
+//     (gaspi_operation_submit) with the task's event counter as the
+//     operation tag; a write+notify accounts for two low-level requests.
+//   - A transparent polling task drains each queue's completed requests
+//     with gaspi_request_wait (non-blocking) and decrements the event
+//     counters codified in the returned tags.
+//   - Pending notification waits are staged on a multi-producer queue and
+//     drained by the polling task into a private list; each pass checks
+//     arrival with a non-blocking notify-reset, stores the notified value
+//     through the user's pointer, and fulfils the task event.
+//
+// The standard gaspi_wait is obsoleted: TAGASPI checks local completion of
+// task-aware operations internally, so applications only decide which
+// queue to post each operation on.
+package tagaspi
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gaspisim"
+	"repro/internal/tasking"
+)
+
+// Re-exported identifier types for caller convenience.
+type (
+	// SegmentID identifies a GASPI segment.
+	SegmentID = gaspisim.SegmentID
+	// NotificationID identifies a notification slot within a segment.
+	NotificationID = gaspisim.NotificationID
+	// Rank identifies a process.
+	Rank = gaspisim.Rank
+)
+
+// Library is the per-rank TAGASPI instance.
+type Library struct {
+	p   *gaspisim.Proc
+	rt  *tasking.Runtime
+	svc *core.Service
+
+	pending core.Pending[*notifWait] // staged notification waits (§IV-D)
+	waiting []*notifWait             // the polling task's private list
+
+	outstanding atomic.Int64 // pending notification waits, for observers
+}
+
+// notifWait is one pending tagaspi_notify_iwait registration.
+type notifWait struct {
+	seg     SegmentID
+	id      NotificationID
+	out     *int64
+	counter *tasking.EventCounter
+}
+
+// DefaultPollInterval is the polling period used when none is configured.
+const DefaultPollInterval = 150 * time.Microsecond
+
+// maxRequestsPerPass bounds one gaspi_request_wait drain (MAX_REQS in the
+// paper's Figure 7).
+const maxRequestsPerPass = 64
+
+// New initialises TAGASPI for one rank (tagaspi_proc_init) and spawns its
+// polling task. A non-positive interval dedicates the polling task.
+func New(p *gaspisim.Proc, rt *tasking.Runtime, interval time.Duration) *Library {
+	l := &Library{p: p, rt: rt}
+	l.svc = core.StartService(rt, "tagaspi-poll", interval, l.poll)
+	return l
+}
+
+// Service exposes the polling service (interval tuning, statistics).
+func (l *Library) Service() *core.Service { return l.svc }
+
+// Proc returns the underlying GASPI process.
+func (l *Library) Proc() *gaspisim.Proc { return l.p }
+
+// WriteNotify issues a task-aware write+notify (tagaspi_write_notify):
+// size bytes from the local segment are written into the remote segment,
+// followed by a notification with the given id and value. The function
+// returns immediately, binding the calling task's completion to the local
+// finalisation of the operation; the source range must be declared as an
+// (at least) input dependency of the task and may only be reused by
+// successor tasks.
+func (l *Library) WriteNotify(t *tasking.Task, localSeg SegmentID, localOff int,
+	remote Rank, remoteSeg SegmentID, remoteOff, size int,
+	id NotificationID, value int64, queue int) error {
+	c := t.Events()
+	c.Increase(2) // write + notify low-level requests (Figure 7)
+	if err := l.p.Submit(gaspisim.Operation{
+		Type: gaspisim.OpWriteNotify, Tag: c,
+		LocalSeg: localSeg, LocalOff: localOff,
+		Remote: remote, RemoteSeg: remoteSeg, RemoteOff: remoteOff, Size: size,
+		NotifyID: id, NotifyVal: value, Queue: queue,
+	}); err != nil {
+		c.Decrease(2)
+		return err
+	}
+	return nil
+}
+
+// Write issues a task-aware plain write (tagaspi_write).
+func (l *Library) Write(t *tasking.Task, localSeg SegmentID, localOff int,
+	remote Rank, remoteSeg SegmentID, remoteOff, size, queue int) error {
+	c := t.Events()
+	c.Increase(1)
+	if err := l.p.Submit(gaspisim.Operation{
+		Type: gaspisim.OpWrite, Tag: c,
+		LocalSeg: localSeg, LocalOff: localOff,
+		Remote: remote, RemoteSeg: remoteSeg, RemoteOff: remoteOff, Size: size,
+		Queue: queue,
+	}); err != nil {
+		c.Decrease(1)
+		return err
+	}
+	return nil
+}
+
+// Read issues a task-aware one-sided read (tagaspi_read): the local range
+// must be declared as an output dependency; successor tasks consume the
+// data once this task completes.
+func (l *Library) Read(t *tasking.Task, localSeg SegmentID, localOff int,
+	remote Rank, remoteSeg SegmentID, remoteOff, size, queue int) error {
+	c := t.Events()
+	c.Increase(1)
+	if err := l.p.Submit(gaspisim.Operation{
+		Type: gaspisim.OpRead, Tag: c,
+		LocalSeg: localSeg, LocalOff: localOff,
+		Remote: remote, RemoteSeg: remoteSeg, RemoteOff: remoteOff, Size: size,
+		Queue: queue,
+	}); err != nil {
+		c.Decrease(1)
+		return err
+	}
+	return nil
+}
+
+// Notify issues a task-aware pure notification (tagaspi_notify), e.g. the
+// ack a consumer sends right after unpacking a chunk (§IV-B).
+func (l *Library) Notify(t *tasking.Task, remote Rank, remoteSeg SegmentID,
+	id NotificationID, value int64, queue int) error {
+	c := t.Events()
+	c.Increase(1)
+	if err := l.p.Submit(gaspisim.Operation{
+		Type: gaspisim.OpNotify, Tag: c,
+		Remote: remote, RemoteSeg: remoteSeg,
+		NotifyID: id, NotifyVal: value, Queue: queue,
+	}); err != nil {
+		c.Decrease(1)
+		return err
+	}
+	return nil
+}
+
+// NotifyIwait asynchronously waits for the arrival of one notification
+// (tagaspi_notify_iwait). If the notification already arrived it consumes
+// it immediately and registers no event; otherwise the calling task's
+// completion — or, from an onready callback, its execution (§V-A) — is
+// delayed until the notification arrives. The notified value is stored
+// through out (if non-nil) upon arrival.
+func (l *Library) NotifyIwait(t *tasking.Task, seg SegmentID, id NotificationID, out *int64) {
+	if v, ok := l.p.NotifyReset(seg, id); ok {
+		if out != nil {
+			*out = v
+		}
+		return
+	}
+	c := t.Events()
+	c.Increase(1)
+	l.outstanding.Add(1)
+	l.pending.Push(&notifWait{seg: seg, id: id, out: out, counter: c})
+}
+
+// NotifyIwaitAll asynchronously waits for a consecutive range of
+// notifications [begin, begin+num) (tagaspi_notify_iwaitall). Values are
+// stored through outs[i] when non-nil (len(outs) must be num or zero).
+func (l *Library) NotifyIwaitAll(t *tasking.Task, seg SegmentID,
+	begin NotificationID, num int, outs []*int64) {
+	for i := 0; i < num; i++ {
+		var out *int64
+		if len(outs) > 0 {
+			out = outs[i]
+		}
+		l.NotifyIwait(t, seg, begin+NotificationID(i), out)
+	}
+}
+
+// poll is one pass of the transparent polling task (Figure 7): drain every
+// queue's completed low-level requests, then check the pending notification
+// list.
+func (l *Library) poll() int {
+	retired := 0
+	for q := 0; q < l.p.Queues(); q++ {
+		for {
+			comp := l.p.RequestWait(q, maxRequestsPerPass, gaspisim.Test)
+			for _, r := range comp {
+				r.Tag.(*tasking.EventCounter).Decrease(1)
+				retired++
+			}
+			if len(comp) < maxRequestsPerPass {
+				break
+			}
+		}
+	}
+	// Drain freshly staged waits into the private list, then scan it.
+	l.waiting = l.pending.Drain(l.waiting)
+	keep := l.waiting[:0]
+	for _, w := range l.waiting {
+		if v, ok := l.p.NotifyReset(w.seg, w.id); ok {
+			if w.out != nil {
+				*w.out = v
+			}
+			w.counter.Decrease(1)
+			l.outstanding.Add(-1)
+			retired++
+		} else {
+			keep = append(keep, w)
+		}
+	}
+	for i := len(keep); i < len(l.waiting); i++ {
+		l.waiting[i] = nil
+	}
+	l.waiting = keep
+	return retired
+}
+
+// PendingNotifications reports how many notification waits are outstanding
+// (staged plus in the poller's private list).
+func (l *Library) PendingNotifications() int {
+	return int(l.outstanding.Load())
+}

@@ -1,0 +1,180 @@
+package tampi_test
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/fabric"
+	"repro/internal/mpisim"
+	"repro/internal/tasking"
+)
+
+func hybridConfig(ranks int) cluster.Config {
+	return cluster.Config{
+		Nodes: ranks, RanksPerNode: 1, CoresPerRank: 4,
+		Profile:     fabric.ProfileIdeal(),
+		WithTasking: true, WithTAMPI: true,
+		TAMPIPoll: 5 * time.Microsecond,
+	}
+}
+
+// The Figure-1 flow: a communication task binds a receive via Iwait and
+// declares the buffer as an output dependency; the successor task that
+// consumes the buffer must only run once the data has arrived.
+func TestIwaitReleasesDepsAfterArrival(t *testing.T) {
+	var got atomic.Int64
+	cluster.Run(hybridConfig(2), func(env *cluster.Env) {
+		switch env.Rank {
+		case 0:
+			env.RT.Submit(func(tk *tasking.Task) {
+				tk.Compute(20 * time.Microsecond) // delay the send
+				req := env.MPI.Isend([]byte("payload"), 1, 0)
+				env.TAMPI.Iwait(tk, req)
+			}, tasking.WithLabel("send"))
+		case 1:
+			buf := make([]byte, 7)
+			env.RT.Submit(func(tk *tasking.Task) {
+				req := env.MPI.Irecv(buf, 0, 0)
+				env.TAMPI.Iwait(tk, req)
+				// TAMPI semantics: we may NOT touch buf here; the recv may
+				// not have completed. Only successors may.
+			}, tasking.WithDeps(tasking.Out(&buf[0], 0, len(buf))), tasking.WithLabel("recv"))
+			env.RT.Submit(func(tk *tasking.Task) {
+				if string(buf) == "payload" {
+					got.Store(1)
+				}
+			}, tasking.WithDeps(tasking.In(&buf[0], 0, len(buf))), tasking.WithLabel("consume"))
+		}
+	})
+	if got.Load() != 1 {
+		t.Fatal("consumer ran without the received payload")
+	}
+}
+
+func TestIwaitallBindsMany(t *testing.T) {
+	const n = 16
+	var sum atomic.Int64
+	cluster.Run(hybridConfig(2), func(env *cluster.Env) {
+		switch env.Rank {
+		case 0:
+			env.RT.Submit(func(tk *tasking.Task) {
+				for i := 0; i < n; i++ {
+					req := env.MPI.Isend([]byte{byte(i)}, 1, i)
+					env.TAMPI.Iwait(tk, req)
+				}
+			})
+		case 1:
+			bufs := make([][]byte, n)
+			flag := new(int)
+			env.RT.Submit(func(tk *tasking.Task) {
+				var reqs []*mpisim.Request
+				for i := 0; i < n; i++ {
+					bufs[i] = make([]byte, 1)
+					reqs = append(reqs, env.MPI.Irecv(bufs[i], 0, i))
+				}
+				env.TAMPI.Iwaitall(tk, reqs...)
+			}, tasking.WithDeps(tasking.OutVal(flag)))
+			env.RT.Submit(func(tk *tasking.Task) {
+				for i := 0; i < n; i++ {
+					sum.Add(int64(bufs[i][0]))
+				}
+			}, tasking.WithDeps(tasking.InVal(flag)))
+		}
+	})
+	if want := int64(n * (n - 1) / 2); sum.Load() != want {
+		t.Fatalf("sum = %d, want %d", sum.Load(), want)
+	}
+}
+
+func TestBlockingWaitYieldsCore(t *testing.T) {
+	// Blocking TAMPI mode on a single-core runtime: the waiting task must
+	// not wedge the rank; another task performs the matching send later.
+	var ok atomic.Bool
+	cfg := hybridConfig(2)
+	cfg.CoresPerRank = 1
+	cluster.Run(cfg, func(env *cluster.Env) {
+		switch env.Rank {
+		case 0:
+			env.RT.Submit(func(tk *tasking.Task) {
+				tk.Compute(50 * time.Microsecond)
+				req := env.MPI.Isend([]byte("x"), 1, 0)
+				env.TAMPI.Iwait(tk, req)
+			})
+		case 1:
+			env.RT.Submit(func(tk *tasking.Task) {
+				buf := make([]byte, 1)
+				req := env.MPI.Irecv(buf, 0, 0)
+				env.TAMPI.Wait(tk, req) // blocking mode
+				ok.Store(buf[0] == 'x')
+			})
+			// A second task must be able to run while the first blocks.
+			env.RT.Submit(func(tk *tasking.Task) { tk.Compute(time.Microsecond) })
+		}
+	})
+	if !ok.Load() {
+		t.Fatal("blocking Wait did not deliver the payload")
+	}
+}
+
+func TestPollIntervalAffectsLatency(t *testing.T) {
+	// With a longer polling period, the receiver task's dependencies are
+	// released later: the paper's motivation for per-service periods.
+	latency := func(poll time.Duration) time.Duration {
+		var release time.Duration
+		cfg := cluster.Config{
+			Nodes: 2, RanksPerNode: 1, CoresPerRank: 2,
+			Profile:     fabric.ProfileOmniPath(),
+			WithTasking: true, WithTAMPI: true,
+			TAMPIPoll: poll,
+		}
+		cluster.Run(cfg, func(env *cluster.Env) {
+			switch env.Rank {
+			case 0:
+				env.RT.Submit(func(tk *tasking.Task) {
+					req := env.MPI.Isend(make([]byte, 64), 1, 0)
+					env.TAMPI.Iwait(tk, req)
+				})
+			case 1:
+				buf := make([]byte, 64)
+				env.RT.Submit(func(tk *tasking.Task) {
+					req := env.MPI.Irecv(buf, 0, 0)
+					env.TAMPI.Iwait(tk, req)
+				}, tasking.WithDeps(tasking.Out(&buf[0], 0, 64)))
+				env.RT.Submit(func(tk *tasking.Task) {
+					release = env.Clk.Now()
+				}, tasking.WithDeps(tasking.In(&buf[0], 0, 64)))
+			}
+		})
+		return release
+	}
+	fast := latency(20 * time.Microsecond)
+	slow := latency(400 * time.Microsecond)
+	if slow <= fast {
+		t.Fatalf("coarser polling (%v) should release later than finer (%v)", slow, fast)
+	}
+}
+
+func TestInFlightDrainsToZero(t *testing.T) {
+	var inflight int
+	cluster.Run(hybridConfig(2), func(env *cluster.Env) {
+		switch env.Rank {
+		case 0:
+			env.RT.Submit(func(tk *tasking.Task) {
+				env.TAMPI.Iwait(tk, env.MPI.Isend([]byte("z"), 1, 0))
+			})
+		case 1:
+			env.RT.Submit(func(tk *tasking.Task) {
+				env.TAMPI.Iwait(tk, env.MPI.Irecv(make([]byte, 1), 0, 0))
+			})
+		}
+		env.RT.TaskWait()
+		if env.Rank == 1 {
+			inflight = env.TAMPI.InFlight()
+		}
+	})
+	if inflight != 0 {
+		t.Fatalf("in-flight = %d after TaskWait", inflight)
+	}
+}

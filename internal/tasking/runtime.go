@@ -1,0 +1,399 @@
+// Package tasking implements the task-based programming model of the paper:
+// an OmpSs-2-style runtime with region data dependencies, the task external
+// events API, the onready clause (§V-A), timed yields (wait_for_us, §V-B)
+// and spawned service tasks (nanos6_spawn_function).
+//
+// Tasks declare in/out/inout dependencies over ranges of application
+// objects; the runtime derives the execution order from those regions,
+// giving the data-flow execution the paper's hybrid variants rely on.
+// A task's completion — and therefore the release of its dependencies —
+// can be delayed past the end of its body by external events, which is the
+// hook the task-aware communication libraries (packages tampi and tagaspi)
+// use to bind in-flight communication operations to tasks.
+//
+// Each simulated rank owns one Runtime whose worker pool has one slot per
+// core. Running tasks are goroutines holding a core slot; blocking library
+// calls yield the slot, as with the Nanos6 blocking API.
+package tasking
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/vclock"
+)
+
+// Config parameterises a Runtime.
+type Config struct {
+	// Cores is the number of worker slots (cores of the rank).
+	Cores int
+	// SubmitOverhead is modelled time charged to the submitter per task
+	// creation (dependency registration cost). Zero under the ideal
+	// profile; nonzero values reproduce the tasking overheads the paper
+	// observes with small block sizes (Figs. 10 and 12).
+	SubmitOverhead time.Duration
+	// DispatchOverhead is modelled time charged on a core before each
+	// task body runs (scheduling cost).
+	DispatchOverhead time.Duration
+}
+
+// Stats counts runtime activity.
+type Stats struct {
+	Submitted int64 // tasks submitted (excluding spawned services)
+	Completed int64 // submitted tasks fully completed
+	Spawned   int64 // service tasks spawned
+}
+
+// Runtime is a per-rank tasking runtime.
+type Runtime struct {
+	clk   vclock.Clock
+	cfg   Config
+	cores *coreSched
+
+	mu        sync.Mutex
+	reg       *depRegistry
+	live      int // incomplete regular tasks
+	spawnLive int // incomplete spawned service tasks
+	stopping  bool
+	twWaiters []vclock.Parker // TaskWait: woken when live hits 0
+	thWaiters []throttleWaiter
+	sdWaiters []vclock.Parker // Shutdown: woken when spawnLive hits 0
+	stats     Stats
+}
+
+type throttleWaiter struct {
+	p   vclock.Parker
+	max int
+}
+
+// New builds a runtime with the given core count and overheads.
+func New(clk vclock.Clock, cfg Config) *Runtime {
+	if cfg.Cores <= 0 {
+		panic(fmt.Sprintf("tasking: invalid core count %d", cfg.Cores))
+	}
+	return &Runtime{
+		clk:   clk,
+		cfg:   cfg,
+		cores: newCoreSched(clk, cfg.Cores),
+		reg:   newDepRegistry(),
+	}
+}
+
+// Clock returns the runtime's time source.
+func (rt *Runtime) Clock() vclock.Clock { return rt.clk }
+
+// Cores returns the worker slot count.
+func (rt *Runtime) Cores() int { return rt.cfg.Cores }
+
+// Option customises one task.
+type Option func(*Task)
+
+// WithDeps attaches region dependencies.
+func WithDeps(deps ...Dep) Option {
+	return func(t *Task) { t.deps = append(t.deps, deps...) }
+}
+
+// WithLabel attaches a diagnostic label.
+func WithLabel(label string) Option {
+	return func(t *Task) { t.label = label }
+}
+
+// WithOnReady attaches an onready callback (§V-A): it runs exactly once,
+// after the task's dependencies are satisfied and before its body, outside
+// any task context. It may register events on the task (via Events()) that
+// delay the body's execution until they are fulfilled.
+func WithOnReady(cb func(*Task)) Option {
+	return func(t *Task) { t.onready = cb }
+}
+
+// Submit creates a task and registers its dependencies in program order.
+// It returns the task handle; the task runs asynchronously once its
+// dependencies are satisfied and a core is free.
+//
+// Submit must not be called concurrently from multiple goroutines of the
+// same runtime when tasks share regions: like OmpSs-2, the sequential
+// submission order defines the data-flow semantics.
+func (rt *Runtime) Submit(body Body, opts ...Option) *Task {
+	if rt.cfg.SubmitOverhead > 0 {
+		rt.clk.Sleep(rt.cfg.SubmitOverhead)
+	}
+	t := &Task{rt: rt, body: body}
+	for _, o := range opts {
+		o(t)
+	}
+	t.pre = EventCounter{t: t, pre: true}
+	t.comp = EventCounter{t: t, n: 1} // the body-execution pseudo-event
+	rt.mu.Lock()
+	if rt.stopping {
+		rt.mu.Unlock()
+		panic("tasking: Submit after Shutdown")
+	}
+	rt.live++
+	rt.stats.Submitted++
+	for _, d := range t.deps {
+		t.preds += rt.reg.register(t, d)
+	}
+	satisfied := t.preds == 0
+	rt.mu.Unlock()
+	if satisfied {
+		rt.depsSatisfied(t)
+	}
+	return t
+}
+
+// Spawn starts an independent service task (nanos6_spawn_function): it has
+// no dependencies, does not count towards TaskWait, and is expected to exit
+// once Stopping() reports true. The task-aware libraries spawn their
+// polling tasks this way.
+func (rt *Runtime) Spawn(body Body, label string) *Task {
+	t := &Task{rt: rt, body: body, label: label, spawned: true}
+	t.pre = EventCounter{t: t, pre: true}
+	t.comp = EventCounter{t: t, n: 1}
+	rt.mu.Lock()
+	if rt.stopping {
+		rt.mu.Unlock()
+		panic("tasking: Spawn after Shutdown")
+	}
+	rt.spawnLive++
+	rt.stats.Spawned++
+	t.state = stateQueued
+	rt.mu.Unlock()
+	rt.dispatch(t)
+	return t
+}
+
+// depsSatisfied advances a task whose dependencies are all released:
+// through the onready callback if present, then to the ready queue.
+func (rt *Runtime) depsSatisfied(t *Task) {
+	if t.onready != nil {
+		rt.mu.Lock()
+		t.state = stateOnready
+		t.pre.n = 1 // guard: the callback itself
+		rt.mu.Unlock()
+		t.onready(t)
+		// Releasing the guard schedules the task once (and only once)
+		// every event the callback registered has been fulfilled.
+		t.pre.Decrease(1)
+		return
+	}
+	rt.mu.Lock()
+	t.state = stateQueued
+	rt.mu.Unlock()
+	rt.dispatch(t)
+}
+
+// dispatch hands a ready task to the worker pool. The core-grant ticket is
+// taken synchronously so that tasks receive cores in readiness order, not
+// in goroutine-scheduling order.
+func (rt *Runtime) dispatch(t *Task) {
+	ticket := rt.cores.ticket()
+	rt.clk.Go(func() {
+		rt.cores.acquire(ticket)
+		if rt.cfg.DispatchOverhead > 0 {
+			rt.clk.Sleep(rt.cfg.DispatchOverhead)
+		}
+		rt.mu.Lock()
+		t.state = stateRunning
+		rt.mu.Unlock()
+		if t.body != nil {
+			t.body(t)
+		}
+		rt.finishBody(t)
+		rt.cores.release()
+	})
+}
+
+// finishBody marks the body done and releases the execution pseudo-event;
+// if no external events remain the task completes immediately.
+func (rt *Runtime) finishBody(t *Task) {
+	rt.mu.Lock()
+	t.state = stateFinished
+	t.comp.n--
+	var ready []*Task
+	if t.comp.n == 0 {
+		ready = rt.completeLocked(t)
+	}
+	rt.mu.Unlock()
+	rt.wakeSatisfied(ready)
+}
+
+// completeLocked finalises a task: releases its dependencies and returns
+// the successors that became ready. Callers hold rt.mu.
+func (rt *Runtime) completeLocked(t *Task) (ready []*Task) {
+	t.state = stateCompleted
+	if !t.spawned {
+		rt.stats.Completed++
+	}
+	if t.spawned {
+		rt.spawnLive--
+		if rt.spawnLive == 0 {
+			for _, p := range rt.sdWaiters {
+				p.Unpark()
+			}
+			rt.sdWaiters = nil
+		}
+	} else {
+		rt.live--
+		if rt.live == 0 {
+			for _, p := range rt.twWaiters {
+				p.Unpark()
+			}
+			rt.twWaiters = nil
+		}
+		if len(rt.thWaiters) > 0 {
+			keep := rt.thWaiters[:0]
+			for _, w := range rt.thWaiters {
+				if rt.live <= w.max {
+					w.p.Unpark()
+				} else {
+					keep = append(keep, w)
+				}
+			}
+			rt.thWaiters = keep
+		}
+	}
+	for _, s := range t.succs {
+		s.preds--
+		if s.preds == 0 && s.state == stateCreated {
+			ready = append(ready, s)
+		}
+	}
+	t.succs = nil
+	return ready
+}
+
+// wakeSatisfied advances tasks collected by completeLocked.
+func (rt *Runtime) wakeSatisfied(ready []*Task) {
+	for _, s := range ready {
+		rt.depsSatisfied(s)
+	}
+}
+
+// TaskWait blocks until every submitted task has completed (dependencies
+// released), like #pragma oss taskwait. It must be called from a non-task
+// goroutine (the rank's main), never from inside a task body.
+func (rt *Runtime) TaskWait() {
+	rt.mu.Lock()
+	if rt.live == 0 {
+		rt.mu.Unlock()
+		return
+	}
+	p := rt.clk.Parker()
+	p.SetName("taskwait")
+	rt.twWaiters = append(rt.twWaiters, p)
+	rt.mu.Unlock()
+	p.Park()
+}
+
+// Throttle blocks until at most max tasks are incomplete. Rank mains call
+// it between iterations to bound the live task window without introducing
+// a barrier (the Nanos6 throttle).
+func (rt *Runtime) Throttle(max int) {
+	rt.mu.Lock()
+	if rt.live <= max {
+		rt.mu.Unlock()
+		return
+	}
+	p := rt.clk.Parker()
+	p.SetName("throttle")
+	rt.thWaiters = append(rt.thWaiters, throttleWaiter{p: p, max: max})
+	rt.mu.Unlock()
+	p.Park()
+}
+
+// Stopping reports whether Shutdown has been requested. Spawned service
+// tasks poll it and return when it turns true.
+func (rt *Runtime) Stopping() bool {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.stopping
+}
+
+// Shutdown asks spawned service tasks to stop and waits for them to exit.
+// Regular tasks must already be complete (TaskWait).
+func (rt *Runtime) Shutdown() {
+	rt.mu.Lock()
+	rt.stopping = true
+	if rt.spawnLive == 0 {
+		rt.mu.Unlock()
+		return
+	}
+	p := rt.clk.Parker()
+	p.SetName("shutdown")
+	rt.sdWaiters = append(rt.sdWaiters, p)
+	rt.mu.Unlock()
+	p.Park()
+}
+
+// Stats returns a snapshot of the runtime counters.
+func (rt *Runtime) Stats() Stats {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.stats
+}
+
+// coreSched grants core slots in readiness order: each ready task draws a
+// ticket synchronously (under the event that made it ready) and cores are
+// granted in strict ticket order, which makes scheduling deterministic in
+// virtual time instead of following the host scheduler's interleaving.
+type coreSched struct {
+	clk       vclock.Clock
+	mu        sync.Mutex
+	free      int
+	nextTkt   uint64
+	nextGrant uint64
+	waiters   map[uint64]vclock.Parker
+}
+
+func newCoreSched(clk vclock.Clock, n int) *coreSched {
+	return &coreSched{clk: clk, free: n, waiters: make(map[uint64]vclock.Parker)}
+}
+
+// ticket reserves the caller's position in the grant order.
+func (cs *coreSched) ticket() uint64 {
+	cs.mu.Lock()
+	t := cs.nextTkt
+	cs.nextTkt++
+	cs.mu.Unlock()
+	return t
+}
+
+// acquire blocks until a core is free and every earlier ticket has been
+// granted.
+func (cs *coreSched) acquire(ticket uint64) {
+	cs.mu.Lock()
+	for !(cs.free > 0 && ticket == cs.nextGrant) {
+		p := cs.clk.Parker()
+		p.SetName("core-wait")
+		cs.waiters[ticket] = p
+		cs.mu.Unlock()
+		p.Park()
+		cs.mu.Lock()
+	}
+	delete(cs.waiters, ticket)
+	cs.free--
+	cs.nextGrant++
+	cs.grantLocked()
+	cs.mu.Unlock()
+}
+
+// release returns a core and passes it to the next ticket in line.
+func (cs *coreSched) release() {
+	cs.mu.Lock()
+	cs.free++
+	cs.grantLocked()
+	cs.mu.Unlock()
+}
+
+// grantLocked wakes the holder of the next grantable ticket, if it is
+// already waiting. If it has not arrived yet it will see the free core on
+// arrival; granting never skips ahead of it.
+func (cs *coreSched) grantLocked() {
+	if cs.free <= 0 {
+		return
+	}
+	if p, ok := cs.waiters[cs.nextGrant]; ok {
+		p.Unpark()
+	}
+}

@@ -1,0 +1,516 @@
+package tasking
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/vclock"
+)
+
+// run executes fn as the "rank main" of a fresh virtual-clock runtime and
+// waits for it to return.
+func run(cores int, fn func(clk *vclock.VirtualClock, rt *Runtime)) {
+	clk := vclock.NewVirtual()
+	rt := New(clk, Config{Cores: cores})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	clk.Go(func() {
+		defer wg.Done()
+		fn(clk, rt)
+	})
+	wg.Wait()
+}
+
+func TestSubmitAndTaskWait(t *testing.T) {
+	var ran atomic.Int32
+	run(4, func(clk *vclock.VirtualClock, rt *Runtime) {
+		for i := 0; i < 20; i++ {
+			rt.Submit(func(*Task) { ran.Add(1) })
+		}
+		rt.TaskWait()
+		if ran.Load() != 20 {
+			t.Errorf("ran = %d, want 20", ran.Load())
+		}
+	})
+}
+
+func TestTaskWaitNoTasks(t *testing.T) {
+	run(1, func(clk *vclock.VirtualClock, rt *Runtime) {
+		rt.TaskWait() // must not block
+	})
+}
+
+func TestDependencySerializationOrder(t *testing.T) {
+	var mu sync.Mutex
+	var order []int
+	run(4, func(clk *vclock.VirtualClock, rt *Runtime) {
+		buf := new(int)
+		for i := 0; i < 10; i++ {
+			i := i
+			rt.Submit(func(tk *Task) {
+				tk.Compute(time.Microsecond)
+				mu.Lock()
+				order = append(order, i)
+				mu.Unlock()
+			}, WithDeps(InOutVal(buf)))
+		}
+		rt.TaskWait()
+	})
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("inout chain ran out of order: %v", order)
+		}
+	}
+}
+
+func TestReadersRunConcurrently(t *testing.T) {
+	// One writer, then 8 readers with 1µs bodies on 8 cores: the readers
+	// must overlap (total well under 8µs of serial time).
+	var end time.Duration
+	run(8, func(clk *vclock.VirtualClock, rt *Runtime) {
+		buf := new(int)
+		rt.Submit(func(tk *Task) { tk.Compute(time.Microsecond) },
+			WithDeps(Out(buf, 0, 100)))
+		for i := 0; i < 8; i++ {
+			rt.Submit(func(tk *Task) { tk.Compute(time.Microsecond) },
+				WithDeps(In(buf, 0, 100)))
+		}
+		rt.TaskWait()
+		end = clk.Now()
+	})
+	if end != 2*time.Microsecond {
+		t.Fatalf("writer+8 parallel readers took %v, want 2µs", end)
+	}
+}
+
+func TestDisjointRegionsParallel(t *testing.T) {
+	var end time.Duration
+	run(4, func(clk *vclock.VirtualClock, rt *Runtime) {
+		buf := new(int)
+		for i := 0; i < 4; i++ {
+			lo := i * 10
+			rt.Submit(func(tk *Task) { tk.Compute(time.Microsecond) },
+				WithDeps(Out(buf, lo, lo+10)))
+		}
+		rt.TaskWait()
+		end = clk.Now()
+	})
+	if end != time.Microsecond {
+		t.Fatalf("4 disjoint writers took %v, want 1µs (parallel)", end)
+	}
+}
+
+func TestCoreLimitSerializes(t *testing.T) {
+	var end time.Duration
+	run(2, func(clk *vclock.VirtualClock, rt *Runtime) {
+		for i := 0; i < 6; i++ {
+			rt.Submit(func(tk *Task) { tk.Compute(time.Microsecond) })
+		}
+		rt.TaskWait()
+		end = clk.Now()
+	})
+	if end != 3*time.Microsecond {
+		t.Fatalf("6 x 1µs tasks on 2 cores took %v, want 3µs", end)
+	}
+}
+
+func TestExternalEventsDelayRelease(t *testing.T) {
+	// A task binds an event; its successor must not run until the event is
+	// fulfilled, even though the body finished long before.
+	var successorAt time.Duration
+	run(4, func(clk *vclock.VirtualClock, rt *Runtime) {
+		buf := new(int)
+		var counter *EventCounter
+		rt.Submit(func(tk *Task) {
+			c := tk.Events()
+			c.Increase(1)
+			counter = c
+		}, WithDeps(OutVal(buf)), WithLabel("comm"))
+		rt.Submit(func(tk *Task) {
+			successorAt = clk.Now()
+		}, WithDeps(InVal(buf)), WithLabel("consumer"))
+
+		// Fulfil the event from a "courier" 50µs later.
+		clk.Go(func() {
+			clk.Sleep(50 * time.Microsecond)
+			counter.Decrease(1)
+		})
+		rt.TaskWait()
+	})
+	if successorAt != 50*time.Microsecond {
+		t.Fatalf("successor ran at %v, want 50µs (after event)", successorAt)
+	}
+}
+
+func TestEventsMultiple(t *testing.T) {
+	var successorRan atomic.Bool
+	run(2, func(clk *vclock.VirtualClock, rt *Runtime) {
+		buf := new(int)
+		var counter *EventCounter
+		rt.Submit(func(tk *Task) {
+			counter = tk.Events()
+			counter.Increase(3)
+		}, WithDeps(OutVal(buf)))
+		rt.Submit(func(*Task) { successorRan.Store(true) }, WithDeps(InVal(buf)))
+		clk.Go(func() {
+			clk.Sleep(time.Microsecond)
+			counter.Decrease(1)
+			clk.Sleep(time.Microsecond)
+			counter.Decrease(1)
+			if successorRan.Load() {
+				t.Error("successor ran before all events fulfilled")
+			}
+			counter.Decrease(1)
+		})
+		rt.TaskWait()
+	})
+	if !successorRan.Load() {
+		t.Fatal("successor never ran")
+	}
+}
+
+func TestEventCounterNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	clk := vclock.NewVirtual()
+	rt := New(clk, Config{Cores: 1})
+	tk := &Task{rt: rt}
+	tk.comp = EventCounter{t: tk, n: 0}
+	tk.comp.Decrease(1)
+}
+
+func TestOnReadyRunsBeforeBody(t *testing.T) {
+	var seq []string
+	var mu sync.Mutex
+	log := func(s string) { mu.Lock(); seq = append(seq, s); mu.Unlock() }
+	run(2, func(clk *vclock.VirtualClock, rt *Runtime) {
+		buf := new(int)
+		rt.Submit(func(*Task) { log("pred") }, WithDeps(OutVal(buf)))
+		rt.Submit(func(*Task) { log("body") },
+			WithDeps(InVal(buf)),
+			WithOnReady(func(*Task) { log("onready") }))
+		rt.TaskWait()
+	})
+	want := []string{"pred", "onready", "body"}
+	if len(seq) != 3 {
+		t.Fatalf("seq = %v", seq)
+	}
+	for i := range want {
+		if seq[i] != want[i] {
+			t.Fatalf("seq = %v, want %v", seq, want)
+		}
+	}
+}
+
+func TestOnReadyEventsDelayExecution(t *testing.T) {
+	// The onready callback registers an event (the §V-A remote-dependency
+	// pattern); the body must not run until it is fulfilled.
+	var bodyAt time.Duration
+	run(2, func(clk *vclock.VirtualClock, rt *Runtime) {
+		var counter *EventCounter
+		rt.Submit(func(tk *Task) {
+			bodyAt = clk.Now()
+		}, WithOnReady(func(tk *Task) {
+			counter = tk.Events()
+			counter.Increase(1) // "waiting for the ack notification"
+		}))
+		clk.Go(func() {
+			clk.Sleep(30 * time.Microsecond)
+			counter.Decrease(1) // "ack arrived"
+		})
+		rt.TaskWait()
+	})
+	if bodyAt != 30*time.Microsecond {
+		t.Fatalf("body ran at %v, want 30µs", bodyAt)
+	}
+}
+
+func TestOnReadyEventAlreadyFulfilled(t *testing.T) {
+	// If the callback registers no events the task runs immediately.
+	var ran atomic.Bool
+	run(1, func(clk *vclock.VirtualClock, rt *Runtime) {
+		rt.Submit(func(*Task) { ran.Store(true) },
+			WithOnReady(func(*Task) {}))
+		rt.TaskWait()
+	})
+	if !ran.Load() {
+		t.Fatal("task never ran")
+	}
+}
+
+func TestWaitForYieldsCore(t *testing.T) {
+	// On a single core, a task sleeping in WaitFor must let another task
+	// run; total time is max not sum.
+	var end time.Duration
+	run(1, func(clk *vclock.VirtualClock, rt *Runtime) {
+		rt.Submit(func(tk *Task) {
+			slept := tk.WaitFor(10 * time.Microsecond)
+			if slept < 10*time.Microsecond {
+				t.Errorf("WaitFor slept %v, want >= 10µs", slept)
+			}
+		})
+		rt.Submit(func(tk *Task) { tk.Compute(10 * time.Microsecond) })
+		rt.TaskWait()
+		end = clk.Now()
+	})
+	// The WaitFor task yields; the compute task uses the core in parallel
+	// with the sleep: total 10µs (plus nothing), not 20µs.
+	if end != 10*time.Microsecond {
+		t.Fatalf("total %v, want 10µs (WaitFor must yield its core)", end)
+	}
+}
+
+func TestYieldReleasesCore(t *testing.T) {
+	var end time.Duration
+	run(1, func(clk *vclock.VirtualClock, rt *Runtime) {
+		rt.Submit(func(tk *Task) {
+			tk.Yield(func() { clk.Sleep(5 * time.Microsecond) })
+		})
+		rt.Submit(func(tk *Task) { tk.Compute(5 * time.Microsecond) })
+		rt.TaskWait()
+		end = clk.Now()
+	})
+	if end != 5*time.Microsecond {
+		t.Fatalf("total %v, want 5µs", end)
+	}
+}
+
+func TestSpawnAndShutdown(t *testing.T) {
+	var polls atomic.Int32
+	run(2, func(clk *vclock.VirtualClock, rt *Runtime) {
+		rt.Spawn(func(tk *Task) {
+			for !rt.Stopping() {
+				polls.Add(1)
+				tk.WaitFor(10 * time.Microsecond)
+			}
+		}, "poller")
+		rt.Submit(func(tk *Task) { tk.Compute(100 * time.Microsecond) })
+		rt.TaskWait()
+		rt.Shutdown()
+	})
+	if p := polls.Load(); p < 5 {
+		t.Fatalf("poller ran %d times, want >= 5", p)
+	}
+}
+
+func TestSpawnDoesNotBlockTaskWait(t *testing.T) {
+	run(2, func(clk *vclock.VirtualClock, rt *Runtime) {
+		rt.Spawn(func(tk *Task) {
+			for !rt.Stopping() {
+				tk.WaitFor(time.Microsecond)
+			}
+		}, "svc")
+		rt.Submit(func(*Task) {})
+		rt.TaskWait() // must return even though the service still runs
+		rt.Shutdown()
+	})
+}
+
+func TestSubmitAfterShutdownPanics(t *testing.T) {
+	run(1, func(clk *vclock.VirtualClock, rt *Runtime) {
+		rt.Shutdown()
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic")
+			}
+		}()
+		rt.Submit(func(*Task) {})
+	})
+}
+
+func TestThrottle(t *testing.T) {
+	run(1, func(clk *vclock.VirtualClock, rt *Runtime) {
+		for i := 0; i < 10; i++ {
+			rt.Submit(func(tk *Task) { tk.Compute(time.Microsecond) })
+		}
+		rt.Throttle(3)
+		rt.mu.Lock()
+		live := rt.live
+		rt.mu.Unlock()
+		if live > 3 {
+			t.Errorf("Throttle returned with %d live tasks, want <= 3", live)
+		}
+		rt.TaskWait()
+	})
+}
+
+func TestSubmitAndDispatchOverheads(t *testing.T) {
+	clk := vclock.NewVirtual()
+	rt := New(clk, Config{Cores: 1, SubmitOverhead: time.Microsecond, DispatchOverhead: 2 * time.Microsecond})
+	var end time.Duration
+	var wg sync.WaitGroup
+	wg.Add(1)
+	clk.Go(func() {
+		defer wg.Done()
+		for i := 0; i < 5; i++ {
+			rt.Submit(func(*Task) {})
+		}
+		rt.TaskWait()
+		end = clk.Now()
+	})
+	wg.Wait()
+	// 5 submissions at 1µs each (serial on the submitter) plus 5 dispatches
+	// at 2µs each on one core; dispatch of task i overlaps submission of
+	// i+1, so total = submit(1µs) + 5*dispatch(2µs) = 11µs.
+	if end != 11*time.Microsecond {
+		t.Fatalf("total %v, want 11µs", end)
+	}
+}
+
+func TestStats(t *testing.T) {
+	run(2, func(clk *vclock.VirtualClock, rt *Runtime) {
+		rt.Spawn(func(tk *Task) {
+			for !rt.Stopping() {
+				tk.WaitFor(time.Microsecond)
+			}
+		}, "svc")
+		for i := 0; i < 7; i++ {
+			rt.Submit(func(*Task) {})
+		}
+		rt.TaskWait()
+		st := rt.Stats()
+		if st.Submitted != 7 || st.Spawned != 1 {
+			t.Errorf("stats = %+v", st)
+		}
+		if st.Completed != 7 {
+			t.Errorf("completed = %d, want 7", st.Completed)
+		}
+		rt.Shutdown()
+	})
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(vclock.NewVirtual(), Config{Cores: 0})
+}
+
+// Property: for any random task graph over a shared array, tasks with
+// conflicting accesses (not both reads) never overlap in virtual time, and
+// conflicting tasks complete in submission order.
+func TestQuickConflictingTasksNeverOverlap(t *testing.T) {
+	const size = 32
+	type span struct {
+		lo, hi     int
+		mode       AccessMode
+		start, end time.Duration
+	}
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := int(n%20) + 2
+		spans := make([]span, k)
+		var mu sync.Mutex
+		ok := true
+		durs := make([]time.Duration, k)
+		for i := range durs {
+			durs[i] = time.Duration(1+rng.Intn(3)) * time.Microsecond
+		}
+		run(4, func(clk *vclock.VirtualClock, rt *Runtime) {
+			base := new(int)
+			for i := 0; i < k; i++ {
+				i := i
+				lo := rng.Intn(size)
+				hi := lo + 1 + rng.Intn(size-lo)
+				mode := AccessMode(rng.Intn(3))
+				spans[i] = span{lo: lo, hi: hi, mode: mode}
+				rt.Submit(func(tk *Task) {
+					mu.Lock()
+					spans[i].start = clk.Now()
+					mu.Unlock()
+					tk.Compute(durs[i])
+					mu.Lock()
+					spans[i].end = clk.Now()
+					mu.Unlock()
+				}, WithDeps(Dep{Mode: mode, Base: base, Lo: lo, Hi: hi}))
+			}
+			rt.TaskWait()
+		})
+		for i := 0; i < k; i++ {
+			for j := i + 1; j < k; j++ {
+				a, b := spans[i], spans[j]
+				overlapRange := a.lo < b.hi && b.lo < a.hi
+				conflict := overlapRange && !(a.mode == AccessIn && b.mode == AccessIn)
+				if !conflict {
+					continue
+				}
+				// i was submitted first: it must fully precede j.
+				if !(a.end <= b.start) {
+					ok = false
+				}
+			}
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every submitted task eventually completes for random graphs
+// (no lost wakeups in the scheduler), and TaskWait returns only after all
+// bodies ran.
+func TestQuickAllTasksComplete(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := int(n%50) + 1
+		var ran atomic.Int32
+		var completedAfterWait int64
+		run(3, func(clk *vclock.VirtualClock, rt *Runtime) {
+			base := new(int)
+			for i := 0; i < k; i++ {
+				lo := rng.Intn(16)
+				hi := lo + 1 + rng.Intn(16-lo+1)
+				mode := AccessMode(rng.Intn(3))
+				rt.Submit(func(tk *Task) { ran.Add(1) },
+					WithDeps(Dep{Mode: mode, Base: base, Lo: lo, Hi: hi}))
+			}
+			rt.TaskWait()
+			completedAfterWait = rt.Stats().Completed
+		})
+		return int(ran.Load()) == k && completedAfterWait == int64(k)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSubmitExecute(b *testing.B) {
+	clk := vclock.NewVirtual()
+	rt := New(clk, Config{Cores: 4})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	clk.Go(func() {
+		defer wg.Done()
+		for i := 0; i < b.N; i++ {
+			rt.Submit(func(*Task) {})
+		}
+		rt.TaskWait()
+	})
+	wg.Wait()
+}
+
+func BenchmarkDependencyChain(b *testing.B) {
+	clk := vclock.NewVirtual()
+	rt := New(clk, Config{Cores: 4})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	clk.Go(func() {
+		defer wg.Done()
+		base := new(int)
+		for i := 0; i < b.N; i++ {
+			rt.Submit(func(*Task) {}, WithDeps(InOutVal(base)))
+		}
+		rt.TaskWait()
+	})
+	wg.Wait()
+}

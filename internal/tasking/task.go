@@ -1,0 +1,166 @@
+package tasking
+
+import (
+	"fmt"
+	"time"
+)
+
+// state is the task lifecycle position (Figure 1 of the paper: ready →
+// running → finished → completed, with creation and onready before ready).
+type state uint8
+
+const (
+	stateCreated   state = iota // submitted, dependencies pending
+	stateOnready                // dependencies satisfied, onready in flight
+	stateQueued                 // ready, waiting for a core
+	stateRunning                // body executing
+	stateFinished               // body done, external events outstanding
+	stateCompleted              // events fulfilled, dependencies released
+)
+
+func (s state) String() string {
+	switch s {
+	case stateCreated:
+		return "created"
+	case stateOnready:
+		return "onready"
+	case stateQueued:
+		return "queued"
+	case stateRunning:
+		return "running"
+	case stateFinished:
+		return "finished"
+	case stateCompleted:
+		return "completed"
+	}
+	return fmt.Sprintf("state(%d)", uint8(s))
+}
+
+// Body is a task body. The task handle gives access to the external events
+// API, timed yields, and modelled compute.
+type Body func(t *Task)
+
+// Task is one unit of work with region dependencies.
+type Task struct {
+	rt      *Runtime
+	label   string
+	body    Body
+	onready func(*Task)
+	deps    []Dep
+	spawned bool
+
+	// Guarded by rt.mu.
+	state state
+	preds int
+	succs []*Task
+
+	pre  EventCounter // gates execution (onready-registered events)
+	comp EventCounter // gates completion (external events API)
+}
+
+// Label returns the task's diagnostic label.
+func (t *Task) Label() string { return t.label }
+
+// Runtime returns the owning runtime.
+func (t *Task) Runtime() *Runtime { return t.rt }
+
+// Events returns the event counter appropriate to the calling context:
+// during the onready callback it gates the task's *execution* (§V-A of the
+// paper); from the body it gates the task's *completion and dependency
+// release* (the task external events API, §II-C). Task-aware communication
+// libraries bind their in-flight operations to this counter.
+func (t *Task) Events() *EventCounter {
+	t.rt.mu.Lock()
+	defer t.rt.mu.Unlock()
+	if t.state == stateOnready {
+		return &t.pre
+	}
+	return &t.comp
+}
+
+// Compute occupies the caller's core for d of modelled time: the body's
+// computational work. Under the ideal profile d is zero and this is free.
+func (t *Task) Compute(d time.Duration) {
+	t.rt.clk.Sleep(d)
+}
+
+// WaitFor blocks the task for approximately d, yielding its core so other
+// tasks can run — the wait_for_us runtime API of §V-B, used by the
+// task-aware libraries' polling tasks. It returns the time actually slept.
+func (t *Task) WaitFor(d time.Duration) time.Duration {
+	start := t.rt.clk.Now()
+	t.rt.cores.release()
+	t.rt.clk.Sleep(d)
+	t.rt.cores.acquire(t.rt.cores.ticket())
+	return t.rt.clk.Now() - start
+}
+
+// Yield releases the task's core, runs f (which may block on modelled
+// time), and re-acquires a core before returning. It is how blocking
+// library calls (e.g. blocking TAMPI receives) free the core while waiting,
+// like the Nanos6 blocking API.
+func (t *Task) Yield(f func()) {
+	t.rt.cores.release()
+	f()
+	t.rt.cores.acquire(t.rt.cores.ticket())
+}
+
+// EventCounter counts outstanding external events bound to one task.
+// It is safe to Decrease from any goroutine (couriers, polling tasks).
+type EventCounter struct {
+	t   *Task
+	pre bool
+	n   int // guarded by t.rt.mu
+}
+
+// Increase registers n new outstanding events. It must be called before
+// the event's fulfilment can possibly race the counter reaching zero, i.e.
+// from the onready callback or the running body (as TAMPI_Iwait and the
+// TAGASPI operations do).
+func (c *EventCounter) Increase(n int) {
+	if n < 0 {
+		panic("tasking: negative event increase")
+	}
+	rt := c.t.rt
+	rt.mu.Lock()
+	c.n += n
+	rt.mu.Unlock()
+}
+
+// Decrease fulfils n events. When the counter reaches zero the runtime
+// advances the task: an execution-gating counter schedules it; the
+// completion counter completes it and releases its dependencies.
+func (c *EventCounter) Decrease(n int) {
+	if n < 0 {
+		panic("tasking: negative event decrease")
+	}
+	rt := c.t.rt
+	rt.mu.Lock()
+	c.n -= n
+	if c.n < 0 {
+		rt.mu.Unlock()
+		panic(fmt.Sprintf("tasking: event counter of task %q went negative", c.t.label))
+	}
+	fire := c.n == 0
+	var ready []*Task
+	if fire {
+		if c.pre {
+			c.t.state = stateQueued
+		} else if c.t.state == stateFinished {
+			ready = rt.completeLocked(c.t)
+		} else {
+			// The body is still running; completion happens when it
+			// finishes (finishBody re-checks the counter).
+			fire = false
+		}
+	}
+	rt.mu.Unlock()
+	if !fire {
+		return
+	}
+	if c.pre {
+		rt.dispatch(c.t)
+		return
+	}
+	rt.wakeSatisfied(ready)
+}

@@ -1,0 +1,454 @@
+// Package vclock provides the time substrate for the simulated cluster.
+//
+// Every component of the stack (fabric, MPI/GASPI models, tasking runtime,
+// task-aware libraries, applications) measures and spends time exclusively
+// through a Clock. Two implementations exist:
+//
+//   - RealClock: delegates to the wall clock. Used by the runnable examples,
+//     where the library behaves as an ordinary concurrent Go library.
+//   - VirtualClock: a conservative discrete-event engine. Goroutines taking
+//     part in a simulation register with the clock; whenever every registered
+//     goroutine is parked, the clock jumps to the earliest pending timer.
+//     This lets thousands of simulated cores run on a single host while
+//     "time" is the modelled time, which is what the figure reproductions
+//     report.
+//
+// The only blocking primitive is the Parker, a one-shot parking slot in the
+// style of the Go runtime's gopark/goready. Higher-level primitives (mutex,
+// condition variable, semaphore, served resource) are built on Parkers in
+// package vsync.
+package vclock
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Clock abstracts time for the simulation stack.
+//
+// For a VirtualClock, Sleep and Parker.Park must only be called from
+// goroutines registered with the clock (spawned via Go, or wrapped in
+// Register/Unregister); calling them from an unregistered goroutine would
+// stall virtual time.
+type Clock interface {
+	// Now reports the time elapsed since the clock started.
+	Now() time.Duration
+	// Sleep suspends the caller for d of this clock's time.
+	// Non-positive durations return immediately.
+	Sleep(d time.Duration)
+	// Go spawns fn on a new goroutine registered with the clock.
+	Go(fn func())
+	// Parker allocates a new parking slot bound to this clock.
+	Parker() Parker
+	// Register adds the calling goroutine to the clock's active set.
+	// It must be paired with Unregister. Go-spawned goroutines are
+	// registered automatically.
+	Register()
+	// Unregister removes the calling goroutine from the active set.
+	Unregister()
+}
+
+// Parker is a one-shot parking slot. At most one goroutine may be parked on
+// a Parker at a time. Unpark may be called before Park, in which case the
+// next Park returns immediately (binary-semaphore semantics). Unpark may be
+// called from any goroutine, registered or not.
+type Parker interface {
+	// Park blocks the caller until Unpark is (or already was) called.
+	Park()
+	// ParkTimeout blocks until Unpark or until d elapses.
+	// It reports whether the wake was an Unpark (true) or timeout (false).
+	ParkTimeout(d time.Duration) bool
+	// Unpark wakes the parked goroutine, or primes the slot if none is
+	// parked yet.
+	Unpark()
+	// SetName attaches a diagnostic label reported on simulated deadlock.
+	// It is a no-op for real-clock parkers.
+	SetName(name string)
+	// SetExternal marks the parker as woken by an agent outside the
+	// simulation (e.g. the test driver). External parkers are exempt from
+	// virtual-time deadlock detection: if only external parkers remain,
+	// the clock freezes and waits for the Unpark instead of panicking.
+	// It is a no-op for real-clock parkers.
+	SetExternal(external bool)
+}
+
+// ---------------------------------------------------------------------------
+// VirtualClock
+// ---------------------------------------------------------------------------
+
+// VirtualClock is a discrete-event virtual time source.
+//
+// The clock maintains an "active" count of registered goroutines that are
+// currently runnable. Parking (Sleep, Parker.Park) decrements the count;
+// when it reaches zero the clock advances to the earliest pending timer and
+// fires it, waking its owner. If the count reaches zero with no pending
+// timers while goroutines remain parked, the simulation has deadlocked and
+// the clock panics with a diagnostic listing the parked goroutines.
+type VirtualClock struct {
+	mu     sync.Mutex
+	now    time.Duration
+	active int
+	seq    uint64
+	timers timerHeap
+	parked map[*vparker]struct{} // parked without a timer, for diagnostics
+}
+
+// NewVirtual returns a virtual clock positioned at time zero with no
+// registered goroutines.
+func NewVirtual() *VirtualClock {
+	return &VirtualClock{parked: make(map[*vparker]struct{})}
+}
+
+// Now implements Clock.
+func (c *VirtualClock) Now() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Register implements Clock.
+func (c *VirtualClock) Register() {
+	c.mu.Lock()
+	c.active++
+	c.mu.Unlock()
+}
+
+// Unregister implements Clock.
+func (c *VirtualClock) Unregister() {
+	c.mu.Lock()
+	c.active--
+	report := c.advanceLocked()
+	c.mu.Unlock()
+	if report != "" {
+		panic(report)
+	}
+}
+
+// Go implements Clock.
+func (c *VirtualClock) Go(fn func()) {
+	c.Register()
+	go func() {
+		defer c.Unregister()
+		fn()
+	}()
+}
+
+// Sleep implements Clock.
+func (c *VirtualClock) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	p := c.newParker()
+	p.ParkTimeout(d)
+}
+
+// Parker implements Clock.
+func (c *VirtualClock) Parker() Parker { return c.newParker() }
+
+func (c *VirtualClock) newParker() *vparker {
+	return &vparker{c: c, ch: make(chan struct{}, 1)}
+}
+
+// timer wakes a parker at a deadline.
+type timer struct {
+	deadline time.Duration
+	seq      uint64
+	p        *vparker
+	stopped  bool
+	index    int
+}
+
+type timerHeap []*timer
+
+func (h timerHeap) Len() int { return len(h) }
+func (h timerHeap) Less(i, j int) bool {
+	if h[i].deadline != h[j].deadline {
+		return h[i].deadline < h[j].deadline
+	}
+	return h[i].seq < h[j].seq
+}
+func (h timerHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *timerHeap) push(t *timer) {
+	t.index = len(*h)
+	*h = append(*h, t)
+	h.up(t.index)
+}
+
+func (h *timerHeap) pop() *timer {
+	old := *h
+	n := len(old)
+	t := old[0]
+	old.Swap(0, n-1)
+	*h = old[:n-1]
+	if n > 1 {
+		h.down(0)
+	}
+	t.index = -1
+	return t
+}
+
+func (h timerHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.Less(i, parent) {
+			break
+		}
+		h.Swap(i, parent)
+		i = parent
+	}
+}
+
+func (h timerHeap) down(i int) {
+	n := len(h)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && h.Less(l, smallest) {
+			smallest = l
+		}
+		if r < n && h.Less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h.Swap(i, smallest)
+		i = smallest
+	}
+}
+
+// vparker implements Parker against a VirtualClock.
+type vparker struct {
+	c        *VirtualClock
+	ch       chan struct{}
+	pending  bool // Unpark arrived while not parked
+	waiting  bool // a goroutine is parked here
+	woke     bool // last wake was an Unpark (vs timeout)
+	external bool
+	name     string
+}
+
+// SetName implements Parker.
+func (p *vparker) SetName(name string) { p.name = name }
+
+// SetExternal implements Parker.
+func (p *vparker) SetExternal(external bool) { p.external = external }
+
+func (p *vparker) Park() { p.park(nil) }
+
+func (p *vparker) ParkTimeout(d time.Duration) bool {
+	if d <= 0 {
+		// A non-positive timeout still honours a pending Unpark.
+		c := p.c
+		c.mu.Lock()
+		if p.pending {
+			p.pending = false
+			c.mu.Unlock()
+			return true
+		}
+		c.mu.Unlock()
+		return false
+	}
+	c := p.c
+	c.mu.Lock()
+	t := &timer{deadline: c.now + d, seq: c.seq, p: p}
+	c.seq++
+	c.mu.Unlock()
+	return p.park(t)
+}
+
+// park blocks until unparkLocked wakes it. If t is non-nil it is armed
+// before parking and disarmed on wake. Reports whether the wake was an
+// Unpark.
+func (p *vparker) park(t *timer) bool {
+	c := p.c
+	c.mu.Lock()
+	if p.pending {
+		p.pending = false
+		c.mu.Unlock()
+		return true
+	}
+	if p.waiting {
+		c.mu.Unlock()
+		panic("vclock: concurrent Park on the same Parker")
+	}
+	if t != nil {
+		c.timers.push(t)
+	} else {
+		c.parked[p] = struct{}{}
+	}
+	p.waiting = true
+	p.woke = false
+	c.active--
+	if report := c.advanceLocked(); report != "" {
+		c.mu.Unlock()
+		panic(report)
+	}
+	for p.waiting {
+		c.mu.Unlock()
+		<-p.ch
+		c.mu.Lock()
+	}
+	if t != nil && t.index >= 0 {
+		t.stopped = true // lazily discarded by advanceLocked
+	}
+	delete(c.parked, p)
+	woke := p.woke
+	c.mu.Unlock()
+	return woke
+}
+
+func (p *vparker) Unpark() {
+	c := p.c
+	c.mu.Lock()
+	c.unparkLocked(p, true)
+	c.mu.Unlock()
+}
+
+// unparkLocked wakes p. wokeByUnpark distinguishes Unpark from timer expiry.
+func (c *VirtualClock) unparkLocked(p *vparker, wokeByUnpark bool) {
+	if !p.waiting {
+		if wokeByUnpark {
+			p.pending = true
+		}
+		return
+	}
+	p.waiting = false
+	p.woke = wokeByUnpark
+	c.active++
+	select {
+	case p.ch <- struct{}{}:
+	default:
+	}
+}
+
+// advanceLocked is called whenever the active count may have reached zero.
+// It advances virtual time to the earliest timer and fires it. If no timers
+// remain and goroutines are still parked, the simulation is deadlocked: the
+// report is returned non-empty and the caller must release the clock lock
+// and panic with it (panicking here would hold the lock across recovery).
+func (c *VirtualClock) advanceLocked() (deadlock string) {
+	for c.active == 0 {
+		// Discard stopped timers.
+		for len(c.timers) > 0 && c.timers[0].stopped {
+			c.timers.pop()
+		}
+		if len(c.timers) == 0 {
+			internal := 0
+			for p := range c.parked {
+				if !p.external {
+					internal++
+				}
+			}
+			if internal > 0 {
+				return c.deadlockReportLocked()
+			}
+			return "" // clean termination, or frozen awaiting external wakes
+		}
+		t := c.timers.pop()
+		if t.deadline > c.now {
+			c.now = t.deadline
+		}
+		c.unparkLocked(t.p, false)
+	}
+	return ""
+}
+
+func (c *VirtualClock) deadlockReportLocked() string {
+	names := make([]string, 0, len(c.parked))
+	for p := range c.parked {
+		n := p.name
+		if n == "" {
+			n = "<unnamed>"
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return fmt.Sprintf("vclock: deadlock at t=%v: %d goroutine(s) parked with no pending timers: %v",
+		c.now, len(names), names)
+}
+
+// ---------------------------------------------------------------------------
+// RealClock
+// ---------------------------------------------------------------------------
+
+// RealClock implements Clock against the wall clock. Register/Unregister are
+// no-ops; Go is a plain goroutine spawn.
+type RealClock struct {
+	start time.Time
+}
+
+// NewReal returns a wall-clock-backed Clock whose Now starts at zero.
+func NewReal() *RealClock {
+	return &RealClock{start: time.Now()}
+}
+
+// Now implements Clock.
+func (c *RealClock) Now() time.Duration { return time.Since(c.start) }
+
+// Sleep implements Clock.
+func (c *RealClock) Sleep(d time.Duration) {
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// Go implements Clock.
+func (c *RealClock) Go(fn func()) { go fn() }
+
+// Register implements Clock.
+func (c *RealClock) Register() {}
+
+// Unregister implements Clock.
+func (c *RealClock) Unregister() {}
+
+// Parker implements Clock.
+func (c *RealClock) Parker() Parker {
+	return &rparker{ch: make(chan struct{}, 1)}
+}
+
+// rparker implements Parker with a buffered channel.
+type rparker struct {
+	ch chan struct{}
+}
+
+func (p *rparker) Park() { <-p.ch }
+
+func (p *rparker) ParkTimeout(d time.Duration) bool {
+	if d <= 0 {
+		select {
+		case <-p.ch:
+			return true
+		default:
+			return false
+		}
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-p.ch:
+		return true
+	case <-t.C:
+		return false
+	}
+}
+
+func (p *rparker) Unpark() {
+	select {
+	case p.ch <- struct{}{}:
+	default:
+	}
+}
+
+// SetName implements Parker (no-op under real time).
+func (p *rparker) SetName(string) {}
+
+// SetExternal implements Parker (no-op under real time).
+func (p *rparker) SetExternal(bool) {}

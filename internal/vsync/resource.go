@@ -1,0 +1,193 @@
+package vsync
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/vclock"
+)
+
+// Resource models a serially-served resource with per-request service
+// times: a lock whose critical sections cost modelled time, a NIC injection
+// port draining at link bandwidth, a DMA engine, and so on.
+//
+// Requests are served in arrival order. Use blocks the caller until every
+// earlier request has been served and then for the caller's own hold time,
+// so the queueing delay under contention emerges naturally in virtual time.
+// Mutual exclusion over data structures is NOT provided — Resource models
+// time only; guard shared state with an ordinary mutex.
+//
+// Package mpisim uses a Resource to model the MPI_THREAD_MULTIPLE library
+// lock (§VI-C of the paper: the lock shared by MPI_Isend/Irecv/Test* is the
+// source of TAMPI's small-block collapse). Package fabric uses Resources
+// for NIC serialization.
+type Resource struct {
+	clk    vclock.Clock
+	mu     sync.Mutex
+	freeAt time.Duration
+
+	// statistics
+	uses    int64
+	busy    time.Duration
+	waited  time.Duration
+	maxWait time.Duration
+}
+
+// NewResource returns an idle resource bound to clk.
+func NewResource(clk vclock.Clock) *Resource {
+	return &Resource{clk: clk}
+}
+
+// Use occupies the resource for hold of modelled time, after waiting for
+// all earlier requests. It returns the time spent queueing (excluding the
+// caller's own service time). A non-positive hold with an idle resource
+// returns immediately.
+func (r *Resource) Use(hold time.Duration) (waited time.Duration) {
+	if hold < 0 {
+		hold = 0
+	}
+	now := r.clk.Now()
+	r.mu.Lock()
+	start := r.freeAt
+	if start < now {
+		start = now
+	}
+	r.freeAt = start + hold
+	r.uses++
+	r.busy += hold
+	wait := start - now
+	r.waited += wait
+	if wait > r.maxWait {
+		r.maxWait = wait
+	}
+	r.mu.Unlock()
+	r.clk.Sleep(start + hold - now)
+	return wait
+}
+
+// Reserve books the resource like Use but returns immediately with the
+// modelled completion time instead of sleeping. Callers that pipeline work
+// (e.g. a NIC injecting a message whose local completion the sender does
+// not wait for) use Reserve and sleep elsewhere.
+func (r *Resource) Reserve(hold time.Duration) (start, done time.Duration) {
+	if hold < 0 {
+		hold = 0
+	}
+	now := r.clk.Now()
+	r.mu.Lock()
+	start = r.freeAt
+	if start < now {
+		start = now
+	}
+	done = start + hold
+	r.freeAt = done
+	r.uses++
+	r.busy += hold
+	wait := start - now
+	r.waited += wait
+	if wait > r.maxWait {
+		r.maxWait = wait
+	}
+	r.mu.Unlock()
+	return start, done
+}
+
+// ResourceStats is a snapshot of a Resource's counters.
+type ResourceStats struct {
+	Uses    int64         // completed Use/Reserve calls
+	Busy    time.Duration // total modelled service time
+	Waited  time.Duration // total modelled queueing time
+	MaxWait time.Duration // longest single queueing delay
+}
+
+// Stats returns a snapshot of the resource's counters.
+func (r *Resource) Stats() ResourceStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return ResourceStats{Uses: r.uses, Busy: r.busy, Waited: r.waited, MaxWait: r.maxWait}
+}
+
+// Queue is an unbounded FIFO with clock-aware blocking Pop, for
+// single-consumer use (the fabric's per-path courier goroutines).
+// Push never blocks and may be called from any goroutine.
+type Queue[T any] struct {
+	clk    vclock.Clock
+	mu     sync.Mutex
+	items  []T
+	closed bool
+	waiter vclock.Parker // consumer parked in Pop, if any
+}
+
+// NewQueue returns an open, empty queue bound to clk.
+func NewQueue[T any](clk vclock.Clock) *Queue[T] {
+	return &Queue[T]{clk: clk}
+}
+
+// Push appends v and wakes the consumer if it is parked.
+// Push on a closed queue panics.
+func (q *Queue[T]) Push(v T) {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		panic("vsync: Push on closed Queue")
+	}
+	q.items = append(q.items, v)
+	p := q.waiter
+	q.waiter = nil
+	q.mu.Unlock()
+	if p != nil {
+		p.Unpark()
+	}
+}
+
+// Pop removes and returns the oldest element, parking until one is
+// available. ok is false if the queue was closed and drained.
+func (q *Queue[T]) Pop() (v T, ok bool) {
+	q.mu.Lock()
+	for {
+		if len(q.items) > 0 {
+			v = q.items[0]
+			q.items = q.items[1:]
+			q.mu.Unlock()
+			return v, true
+		}
+		if q.closed {
+			q.mu.Unlock()
+			return v, false
+		}
+		if q.waiter != nil {
+			q.mu.Unlock()
+			panic("vsync: concurrent Pop on single-consumer Queue")
+		}
+		p := q.clk.Parker()
+		// A queue consumer is a service loop (e.g. a fabric courier): it
+		// legitimately idles when no work exists, so it must not trip
+		// virtual-time deadlock detection.
+		p.SetExternal(true)
+		p.SetName("queue-consumer")
+		q.waiter = p
+		q.mu.Unlock()
+		p.Park()
+		q.mu.Lock()
+	}
+}
+
+// Close marks the queue closed; a parked consumer is woken and Pop returns
+// ok=false once drained. Close is idempotent.
+func (q *Queue[T]) Close() {
+	q.mu.Lock()
+	q.closed = true
+	p := q.waiter
+	q.waiter = nil
+	q.mu.Unlock()
+	if p != nil {
+		p.Unpark()
+	}
+}
+
+// Len reports the number of queued elements.
+func (q *Queue[T]) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}
