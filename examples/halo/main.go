@@ -42,6 +42,14 @@ const (
 	slots     = cells + 4
 )
 
+// must fails fast on simulator API errors: in this example any error is a
+// programming bug (bad offset, unknown segment, invalid queue).
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}
+
 func main() {
 	cfg := cluster.Config{
 		Nodes: ranks, RanksPerNode: 1, CoresPerRank: 4,
@@ -50,8 +58,10 @@ func main() {
 		WithTasking: true, WithTAMPI: true, WithTAGASPI: true,
 	}
 	cluster.Run(cfg, func(env *cluster.Env) {
-		seg, _ := env.GASPI.SegmentCreate(0, slots*memory.F64Bytes)
-		v, _ := memory.F64View(seg, 0, slots)
+		seg, err := env.GASPI.SegmentCreate(0, slots*memory.F64Bytes)
+		must(err)
+		v, err := memory.F64View(seg, 0, slots)
+		must(err)
 		me := int(env.Rank)
 		left := (me - 1 + ranks) % ranks
 		right := (me + 1) % ranks
@@ -118,13 +128,13 @@ func main() {
 			if s < steps-1 {
 				rt.Submit(func(t *tasking.Task) {
 					// My first cell -> left neighbour's right halo.
-					tg.WriteNotify(t, 0, off(interior), fabric.Rank(left),
+					must(tg.WriteNotify(t, 0, off(interior), fabric.Rank(left),
 						0, off(rightHalo+nextPar), memory.F64Bytes,
-						tagaspi.NotificationID(2+nextPar), int64(s+1), 0)
+						tagaspi.NotificationID(2+nextPar), int64(s+1), 0))
 					// My last cell -> right neighbour's left halo.
-					tg.WriteNotify(t, 0, off(interior+cells-1), fabric.Rank(right),
+					must(tg.WriteNotify(t, 0, off(interior+cells-1), fabric.Rank(right),
 						0, off(leftHalo+nextPar), memory.F64Bytes,
-						tagaspi.NotificationID(nextPar), int64(s+1), 1)
+						tagaspi.NotificationID(nextPar), int64(s+1), 1))
 				}, tasking.WithDeps(tasking.In(seg, interior, interior+cells)),
 					tasking.WithLabel("halo write"))
 			}

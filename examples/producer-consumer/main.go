@@ -26,6 +26,14 @@ const (
 	ackNotif   = 20
 )
 
+// must fails fast on simulator API errors: in this example any error is a
+// programming bug (bad offset, unknown segment, invalid queue).
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}
+
 func main() {
 	fmt.Println("== Figure 5: extra wait-ack task ==")
 	run(false)
@@ -41,8 +49,10 @@ func run(useOnready bool) {
 		WithTasking: true, WithTAGASPI: true,
 	}
 	cluster.Run(cfg, func(env *cluster.Env) {
-		seg, _ := env.GASPI.SegmentCreate(0, N)
-		v, _ := memory.F64View(seg, 0, 8)
+		seg, err := env.GASPI.SegmentCreate(0, N)
+		must(err)
+		v, err := memory.F64View(seg, 0, 8)
+		must(err)
 		tg, rt := env.TAGASPI, env.RT
 		switch env.Rank {
 		case 0:
@@ -53,7 +63,7 @@ func run(useOnready bool) {
 					// Figure 8: the ack wait rides on the writer task.
 					rt.Submit(func(t *tasking.Task) {
 						v.Fill(float64(i + 1))
-						tg.WriteNotify(t, 0, 0, 1, 0, 0, N, dataNotif, int64(i+1), 0)
+						must(tg.WriteNotify(t, 0, 0, 1, 0, 0, N, dataNotif, int64(i+1), 0))
 					}, tasking.WithDeps(tasking.In(seg, 0, N)),
 						tasking.WithOnReady(func(t *tasking.Task) {
 							tg.NotifyIwait(t, 0, ackNotif, nil)
@@ -66,7 +76,7 @@ func run(useOnready bool) {
 					}, tasking.WithDeps(tasking.OutVal(&ack)), tasking.WithLabel("wait ack"))
 					rt.Submit(func(t *tasking.Task) {
 						v.Fill(float64(i + 1))
-						tg.WriteNotify(t, 0, 0, 1, 0, 0, N, dataNotif, int64(i+1), 0)
+						must(tg.WriteNotify(t, 0, 0, 1, 0, 0, N, dataNotif, int64(i+1), 0))
 					}, tasking.WithDeps(tasking.In(seg, 0, N), tasking.InVal(&ack)),
 						tasking.WithLabel("write data"))
 				}
@@ -77,7 +87,7 @@ func run(useOnready bool) {
 			}
 		case 1:
 			// Seed the first ack: the receive buffer starts out free.
-			rt.Submit(func(t *tasking.Task) { tg.Notify(t, 0, 0, ackNotif, 1, 0) })
+			rt.Submit(func(t *tasking.Task) { must(tg.Notify(t, 0, 0, ackNotif, 1, 0)) })
 			var got int64
 			for i := 0; i < iterations; i++ {
 				rt.Submit(func(t *tasking.Task) {
@@ -89,7 +99,7 @@ func run(useOnready bool) {
 					fmt.Printf("  consumer: chunk %d = %v\n", got, v.At(0))
 					if !last {
 						// Ack right after consuming (§IV-B).
-						tg.Notify(t, 0, 0, ackNotif, 1, 0)
+						must(tg.Notify(t, 0, 0, ackNotif, 1, 0))
 					}
 				}, tasking.WithDeps(tasking.InOut(seg, 0, N), tasking.InVal(&got)),
 					tasking.WithLabel("process+ack"))

@@ -37,12 +37,15 @@ func main() {
 			// dependency: TAGASPI releases it when the write completes
 			// locally, so only successor tasks may reuse it.
 			env.RT.Submit(func(t *tasking.Task) {
-				env.TAGASPI.WriteNotify(t,
+				err := env.TAGASPI.WriteNotify(t,
 					0, 0, // local segment, offset
 					1,       // destination rank
 					0, 0, N, // remote segment, offset, size
 					7, 1, // notification id and value
 					0) // queue
+				if err != nil {
+					panic(err)
+				}
 				// seg cannot be reused here! (Figure 3)
 			}, tasking.WithDeps(tasking.In(seg, 0, N)), tasking.WithLabel("write data"))
 			env.RT.Submit(func(t *tasking.Task) {

@@ -31,8 +31,13 @@ func main() {
 		Profile: fabric.ProfileInfiniBand(),
 	}
 	cluster.Run(cfg, func(env *cluster.Env) {
-		env.GASPI.SegmentCreate(0, size)
-		winSeg, _ := env.GASPI.SegmentCreate(1, size)
+		if _, err := env.GASPI.SegmentCreate(0, size); err != nil {
+			panic(err)
+		}
+		winSeg, err := env.GASPI.SegmentCreate(1, size)
+		if err != nil {
+			panic(err)
+		}
 		win := env.MPI.WinCreate(winSeg)
 		env.MPI.Barrier()
 		clk := env.Clk
@@ -49,7 +54,9 @@ func main() {
 			mpiLat = (clk.Now() - t0) / iters
 			t1 := clk.Now()
 			for i := 0; i < iters; i++ {
-				env.GASPI.WriteNotify(0, 0, 1, 0, 0, size, 0, 1, 0, nil)
+				if err := env.GASPI.WriteNotify(0, 0, 1, 0, 0, size, 0, 1, 0, nil); err != nil {
+					panic(err)
+				}
 				env.GASPI.Wait(0)
 				env.GASPI.Drain(0)
 				env.GASPI.NotifyWaitSome(0, 1, 1, gaspisim.Block) // ack
@@ -64,7 +71,9 @@ func main() {
 			for i := 0; i < iters; i++ {
 				env.GASPI.NotifyWaitSome(0, 0, 1, gaspisim.Block)
 				env.GASPI.NotifyReset(0, 0)
-				env.GASPI.Notify(0, 0, 1, 1, 0, nil)
+				if err := env.GASPI.Notify(0, 0, 1, 1, 0, nil); err != nil {
+					panic(err)
+				}
 				env.GASPI.Wait(0)
 				env.GASPI.Drain(0)
 			}

@@ -1,0 +1,68 @@
+// Package analysis is a self-contained static-analysis framework modelled
+// on golang.org/x/tools/go/analysis, built only on the standard library's
+// go/ast, go/parser and go/types packages so the repository carries no
+// external dependencies. It exists to host tagalint, the lint suite that
+// enforces the simulator's concurrency and completion invariants (the
+// properties §II and §IV of the paper rely on but the compiler cannot see).
+//
+// The API mirrors x/tools deliberately — Analyzer, Pass, Diagnostic — so
+// the analyzers can be ported to the upstream framework by changing only
+// import paths if the module ever grows a golang.org/x/tools dependency.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one analysis: its name, documentation, and logic.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in //lint:ignore
+	// directives. It must be a valid Go identifier.
+	Name string
+
+	// Doc is the analyzer's documentation: one summary line, a blank
+	// line, then detail.
+	Doc string
+
+	// Run applies the analyzer to a package, reporting diagnostics
+	// through pass.Report / pass.Reportf.
+	Run func(*Pass) error
+}
+
+func (a *Analyzer) String() string { return a.Name }
+
+// Pass provides one analyzer run over one package: the parsed and
+// type-checked syntax plus a sink for diagnostics.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report records one diagnostic. Populated by the driver.
+	Report func(Diagnostic)
+}
+
+// Reportf records a diagnostic at pos with a formatted message.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding tied to a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Inspect walks every file of the pass in depth-first order, calling f for
+// each node; f returning false prunes the subtree (same contract as
+// ast.Inspect).
+func (p *Pass) Inspect(f func(ast.Node) bool) {
+	for _, file := range p.Files {
+		ast.Inspect(file, f)
+	}
+}

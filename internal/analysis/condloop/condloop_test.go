@@ -1,0 +1,12 @@
+package condloop_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/condloop"
+)
+
+func TestCondloop(t *testing.T) {
+	analysistest.Run(t, "testdata/src/condlooptest", condloop.Analyzer)
+}

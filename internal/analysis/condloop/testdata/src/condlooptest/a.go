@@ -1,0 +1,68 @@
+// Fixture for the condloop analyzer.
+package condlooptest
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/vsync"
+)
+
+type box struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	vcond *vsync.Cond
+	ready bool
+}
+
+func (b *box) waitInLoop() {
+	b.mu.Lock()
+	for !b.ready {
+		b.cond.Wait() // ok: predicate re-checked by the loop
+	}
+	b.mu.Unlock()
+}
+
+func (b *box) waitBare() {
+	b.mu.Lock()
+	b.cond.Wait() // want "Wait outside a for loop"
+	b.mu.Unlock()
+}
+
+func (b *box) waitIfGuarded() {
+	b.mu.Lock()
+	if !b.ready {
+		b.vcond.Wait() // want "Wait outside a for loop"
+	}
+	b.mu.Unlock()
+}
+
+func (b *box) vsyncWaitInLoop() {
+	for !b.ready {
+		b.vcond.Wait() // ok
+	}
+}
+
+func (b *box) timeoutBare() bool {
+	return b.vcond.WaitTimeout(time.Millisecond) // want "WaitTimeout outside a for loop"
+}
+
+func (b *box) timeoutInLoop(d time.Duration) {
+	for !b.ready {
+		if !b.vcond.WaitTimeout(d) { // ok
+			return
+		}
+	}
+}
+
+func (b *box) loopInOuterFuncDoesNotCount() {
+	for i := 0; i < 3; i++ {
+		func() {
+			b.cond.Wait() // want "Wait outside a for loop"
+		}()
+	}
+}
+
+func (b *box) unrelatedWaitIsFine(wg *sync.WaitGroup) {
+	wg.Wait() // ok: not a condition variable
+}

@@ -1,0 +1,265 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis. A
+// directory containing an external test package (package foo_test) yields
+// two Packages.
+type Package struct {
+	Dir   string // absolute directory
+	Path  string // import path (module-relative), "_test"-suffixed for external test packages
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+
+	// TypeErrors holds soft type-checking failures. Analyzers still run
+	// on packages with type errors, but drivers should surface them.
+	TypeErrors []error
+}
+
+// Loader parses and type-checks packages from source. One Loader shares a
+// FileSet and an importer cache across all loads, so dependencies are
+// type-checked once.
+type Loader struct {
+	Fset     *token.FileSet
+	importer types.Importer
+}
+
+// NewLoader returns a Loader backed by the standard library's source
+// importer, which resolves both std and module-local imports by
+// type-checking them from source (the process working directory must be
+// inside the module for module-local resolution).
+func NewLoader() *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:     fset,
+		importer: importer.ForCompiler(fset, "source", nil),
+	}
+}
+
+// ModuleRoot walks upward from dir to the nearest directory containing
+// go.mod and returns it alongside the module path declared there.
+func ModuleRoot(dir string) (root, modpath string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := abs; ; d = filepath.Dir(d) {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return d, "", fmt.Errorf("go.mod in %s declares no module path", d)
+		}
+		if filepath.Dir(d) == d {
+			return "", "", fmt.Errorf("no go.mod found above %s", abs)
+		}
+	}
+}
+
+// ExpandPatterns resolves package patterns relative to dir into package
+// directories. Supported forms are a plain directory ("./internal/vsync")
+// and the recursive suffix ("./...", "./internal/..."). Directories named
+// testdata, hidden directories, and directories with no .go files are
+// skipped during recursion.
+func ExpandPatterns(dir string, patterns []string) ([]string, error) {
+	seen := map[string]bool{}
+	var dirs []string
+	add := func(d string) {
+		if !seen[d] {
+			seen[d] = true
+			dirs = append(dirs, d)
+		}
+	}
+	for _, pat := range patterns {
+		recursive := false
+		if pat == "..." {
+			pat, recursive = ".", true
+		} else if strings.HasSuffix(pat, "/...") {
+			pat, recursive = strings.TrimSuffix(pat, "/..."), true
+		}
+		base := pat
+		if !filepath.IsAbs(base) {
+			base = filepath.Join(dir, base)
+		}
+		base = filepath.Clean(base)
+		if !recursive {
+			if hasGoFiles(base) {
+				add(base)
+			}
+			continue
+		}
+		err := filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != base && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(path) {
+				add(path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			return true
+		}
+	}
+	return false
+}
+
+// LoadDir parses and type-checks every package rooted in dir (including
+// in-package test files; an external _test package becomes a second
+// Package). importPath is the canonical path of the non-test package; pass
+// "" to derive it from the enclosing module.
+func (l *Loader) LoadDir(dir, importPath string) ([]*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	if importPath == "" {
+		root, mod, err := ModuleRoot(abs)
+		if err != nil {
+			return nil, err
+		}
+		rel, err := filepath.Rel(root, abs)
+		if err != nil {
+			return nil, err
+		}
+		importPath = mod
+		if rel != "." {
+			importPath = mod + "/" + filepath.ToSlash(rel)
+		}
+	}
+	astPkgs, err := parser.ParseDir(l.Fset, abs, nil, parser.ParseComments)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", dir, err)
+	}
+
+	// Deterministic package order: the primary package first, then any
+	// external test package.
+	names := make([]string, 0, len(astPkgs))
+	for name := range astPkgs {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		it, jt := strings.HasSuffix(names[i], "_test"), strings.HasSuffix(names[j], "_test")
+		if it != jt {
+			return jt
+		}
+		return names[i] < names[j]
+	})
+
+	var pkgs []*Package
+	for _, name := range names {
+		apkg := astPkgs[name]
+		var files []*ast.File
+		var fnames []string
+		for fname := range apkg.Files {
+			fnames = append(fnames, fname)
+		}
+		sort.Strings(fnames)
+		for _, fname := range fnames {
+			files = append(files, apkg.Files[fname])
+		}
+		path := importPath
+		if strings.HasSuffix(name, "_test") && !strings.HasSuffix(importPath, "_test") {
+			path = importPath + "_test"
+		}
+		pkgs = append(pkgs, l.check(abs, path, files))
+	}
+	return pkgs, nil
+}
+
+func (l *Loader) check(dir, path string, files []*ast.File) *Package {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	var terrs []error
+	conf := types.Config{
+		Importer: l.importer,
+		Error:    func(err error) { terrs = append(terrs, err) },
+	}
+	tpkg, _ := conf.Check(path, l.Fset, files, info)
+	return &Package{
+		Dir:        dir,
+		Path:       path,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+		TypeErrors: terrs,
+	}
+}
+
+// LoadFiles parses and type-checks one package from an explicit file list,
+// as handed to a vettool by the go command's unit-checker protocol.
+func (l *Loader) LoadFiles(importPath string, filenames []string) (*Package, error) {
+	var files []*ast.File
+	names := append([]string(nil), filenames...)
+	sort.Strings(names)
+	dir := ""
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+		dir = filepath.Dir(name)
+	}
+	return l.check(dir, importPath, files), nil
+}
+
+// Load expands patterns relative to dir and loads every matched package.
+func (l *Loader) Load(dir string, patterns ...string) ([]*Package, error) {
+	dirs, err := ExpandPatterns(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	var pkgs []*Package
+	for _, d := range dirs {
+		ps, err := l.LoadDir(d, "")
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, ps...)
+	}
+	return pkgs, nil
+}

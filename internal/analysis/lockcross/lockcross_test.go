@@ -1,0 +1,12 @@
+package lockcross_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/lockcross"
+)
+
+func TestLockcross(t *testing.T) {
+	analysistest.Run(t, "testdata/src/lockcrosstest", lockcross.Analyzer)
+}

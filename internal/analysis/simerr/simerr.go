@@ -1,0 +1,152 @@
+// Package simerr defines the tagalint analyzer that forbids discarding
+// error results from the simulator's communication and memory layers.
+// Those errors encode segment-bounds violations, unknown segment ids and
+// invalid queues; dropping one turns a deterministic failure into silent
+// data corruption of a modelled buffer — the misuse class the TAMPI and
+// MPI Continuations papers both identify as the dominant user bug.
+package simerr
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/simcall"
+)
+
+// Analyzer flags ignored error results from gaspisim, mpisim, memory,
+// fabric, tagaspi and tampi calls.
+var Analyzer = &analysis.Analyzer{
+	Name: "simerr",
+	Doc: "report discarded error results from simulator APIs (gaspisim, " +
+		"mpisim, memory, fabric, tagaspi, tampi), including x, _ := forms",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	pass.Inspect(func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := ast.Unparen(st.X).(*ast.CallExpr); ok {
+				checkDropped(pass, call)
+			}
+		case *ast.AssignStmt:
+			checkAssign(pass, st)
+		case *ast.GoStmt:
+			checkDropped(pass, st.Call)
+		case *ast.DeferStmt:
+			checkDropped(pass, st.Call)
+		}
+		return true
+	})
+	return nil
+}
+
+// checkDropped handles a call whose results are discarded entirely.
+func checkDropped(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := watched(pass, call)
+	if fn == nil {
+		return
+	}
+	if len(errIndexes(fn)) == 0 {
+		return
+	}
+	pass.Reportf(call.Pos(), "error result of %s is discarded; handle it or fail fast",
+		funcLabel(fn))
+}
+
+// checkAssign handles `x, _ := f()`, `_ = f()` and `x, _ = f()` forms
+// where the blank identifier lands on an error result.
+func checkAssign(pass *analysis.Pass, st *ast.AssignStmt) {
+	// Only the single-call tuple form `a, b := f()` and the one-to-one
+	// form can place a blank on an error result.
+	if len(st.Rhs) == 1 && len(st.Lhs) > 1 {
+		call, ok := ast.Unparen(st.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		fn := watched(pass, call)
+		if fn == nil {
+			return
+		}
+		for _, i := range errIndexes(fn) {
+			if i < len(st.Lhs) && isBlank(st.Lhs[i]) {
+				pass.Reportf(st.Lhs[i].Pos(),
+					"error result of %s is assigned to the blank identifier; handle it or fail fast",
+					funcLabel(fn))
+			}
+		}
+		return
+	}
+	for i, rhs := range st.Rhs {
+		if i >= len(st.Lhs) || !isBlank(st.Lhs[i]) {
+			continue
+		}
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		fn := watched(pass, call)
+		if fn == nil {
+			continue
+		}
+		if idx := errIndexes(fn); len(idx) == 1 && singleResult(fn) {
+			pass.Reportf(st.Lhs[i].Pos(),
+				"error result of %s is assigned to the blank identifier; handle it or fail fast",
+				funcLabel(fn))
+		}
+	}
+}
+
+// watched resolves the callee and returns it only when it belongs to a
+// package whose errors are load-bearing.
+func watched(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	fn := simcall.Callee(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil || !simcall.IsSimErrPackage(fn.Pkg().Path()) {
+		return nil
+	}
+	return fn
+}
+
+// errIndexes returns the result indexes of type error.
+func errIndexes(fn *types.Func) []int {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	var idx []int
+	for i := 0; i < sig.Results().Len(); i++ {
+		if isErrorType(sig.Results().At(i).Type()) {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+func singleResult(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Results().Len() == 1
+}
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+func funcLabel(fn *types.Func) string {
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			return fn.Pkg().Name() + "." + named.Obj().Name() + "." + fn.Name()
+		}
+	}
+	return fn.Pkg().Name() + "." + fn.Name()
+}

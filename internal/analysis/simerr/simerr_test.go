@@ -1,0 +1,12 @@
+package simerr_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/simerr"
+)
+
+func TestSimerr(t *testing.T) {
+	analysistest.Run(t, "testdata/src/simerrtest", simerr.Analyzer)
+}

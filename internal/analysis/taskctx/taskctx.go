@@ -1,0 +1,136 @@
+// Package taskctx defines the tagalint analyzer that enforces task-context
+// discipline on the task-aware communication libraries. Two rules:
+//
+//  1. A tagaspi/tampi operation must be issued on behalf of a real task —
+//     passing a nil *tasking.Task dereferences nil inside Events() at
+//     modelled runtime, long after the submission site has gone.
+//  2. An onready callback (tasking.WithOnReady, §V-A of the paper) runs on
+//     the runtime's dependency-release path before the task owns a core;
+//     it may only register asynchronous events (NotifyIwait and friends).
+//     Blocking there — a channel op, Task.WaitFor/Yield, or any simulator
+//     wait — stalls dependency release for the whole rank.
+package taskctx
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/simcall"
+)
+
+// Analyzer flags nil *tasking.Task arguments to task-aware operations and
+// blocking calls inside onready callbacks.
+var Analyzer = &analysis.Analyzer{
+	Name: "taskctx",
+	Doc: "report nil *tasking.Task arguments to tagaspi/tampi operations " +
+		"and blocking waits issued from onready callbacks",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	pass.Inspect(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		checkNilTask(pass, call)
+		if fl := onreadyCallback(pass, call); fl != nil {
+			checkOnready(pass, fl)
+		}
+		return true
+	})
+	return nil
+}
+
+// checkNilTask flags a literal nil passed where a tagaspi/tampi operation
+// expects the issuing task.
+func checkNilTask(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := simcall.Callee(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	switch pkgBase(fn.Pkg().Path()) {
+	case "tagaspi", "tampi":
+	default:
+		return
+	}
+	i := simcall.TaskParam(fn)
+	if i < 0 || i >= len(call.Args) {
+		return
+	}
+	if isNil(pass.TypesInfo, call.Args[i]) {
+		pass.Reportf(call.Args[i].Pos(),
+			"nil *tasking.Task passed to %s: task-aware operations must be issued from a task context",
+			fn.Pkg().Name()+"."+fn.Name())
+	}
+}
+
+// onreadyCallback returns the function literal registered through
+// tasking.WithOnReady, if call is such a registration.
+func onreadyCallback(pass *analysis.Pass, call *ast.CallExpr) *ast.FuncLit {
+	fn := simcall.Callee(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil {
+		return nil
+	}
+	if fn.Name() != "WithOnReady" || pkgBase(fn.Pkg().Path()) != "tasking" {
+		return nil
+	}
+	if len(call.Args) != 1 {
+		return nil
+	}
+	fl, _ := ast.Unparen(call.Args[0]).(*ast.FuncLit)
+	return fl
+}
+
+// checkOnready scans an onready body for blocking operations. Nested
+// function literals are skipped: they are values, not code the callback
+// necessarily runs.
+func checkOnready(pass *analysis.Pass, fl *ast.FuncLit) {
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SendStmt:
+			report(pass, n.Pos(), "channel send")
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				report(pass, n.Pos(), "channel receive")
+			}
+		case *ast.SelectStmt:
+			for _, cl := range n.Body.List {
+				if cc, ok := cl.(*ast.CommClause); ok && cc.Comm == nil {
+					return true // non-blocking: has a default case
+				}
+			}
+			report(pass, n.Pos(), "select")
+		case *ast.CallExpr:
+			fn := simcall.Callee(pass.TypesInfo, n)
+			if simcall.IsBlocking(fn) {
+				report(pass, n.Pos(), simcall.BlockDescription(fn))
+			}
+		}
+		return true
+	})
+}
+
+func report(pass *analysis.Pass, pos token.Pos, what string) {
+	pass.Reportf(pos,
+		"%s in an onready callback: onready runs before the task has a core and may only register asynchronous events",
+		what)
+}
+
+func isNil(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[ast.Unparen(e)]
+	return ok && tv.IsNil()
+}
+
+func pkgBase(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[i+1:]
+		}
+	}
+	return path
+}

@@ -1,0 +1,12 @@
+package taskctx_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/taskctx"
+)
+
+func TestTaskctx(t *testing.T) {
+	analysistest.Run(t, "testdata/src/taskctxtest", taskctx.Analyzer)
+}

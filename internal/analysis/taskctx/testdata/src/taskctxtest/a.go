@@ -1,0 +1,62 @@
+// Fixture for the taskctx analyzer.
+package taskctxtest
+
+import (
+	"repro/internal/mpisim"
+	"repro/internal/tagaspi"
+	"repro/internal/tampi"
+	"repro/internal/tasking"
+)
+
+func nilTaskToTagaspi(l *tagaspi.Library) {
+	_ = l.Notify(nil, 1, 0, 0, 1, 0) // want "nil .tasking.Task passed to tagaspi.Notify"
+}
+
+func nilTaskToTampi(l *tampi.Library, req *mpisim.Request) {
+	l.Iwait(nil, req) // want "nil .tasking.Task passed to tampi.Iwait"
+}
+
+func realTaskIsFine(l *tagaspi.Library, t *tasking.Task) {
+	_ = l.Notify(t, 1, 0, 0, 1, 0) // ok
+}
+
+func asyncOnreadyIsFine(rt *tasking.Runtime, tg *tagaspi.Library) {
+	rt.Submit(func(t *tasking.Task) {}, tasking.WithOnReady(func(t *tasking.Task) {
+		tg.NotifyIwait(t, 0, 0, nil) // ok: registers an event, never blocks
+	}))
+}
+
+func blockingWaitInOnready(rt *tasking.Runtime, mpi *mpisim.Proc, req *mpisim.Request) {
+	rt.Submit(func(t *tasking.Task) {}, tasking.WithOnReady(func(t *tasking.Task) {
+		mpi.Wait(req) // want "mpisim.Proc.Wait in an onready callback"
+	}))
+}
+
+func taskWaitInOnready(rt *tasking.Runtime) {
+	rt.Submit(func(t *tasking.Task) {}, tasking.WithOnReady(func(t *tasking.Task) {
+		t.WaitFor(10) // want "tasking.Task.WaitFor in an onready callback"
+	}))
+}
+
+func channelOpsInOnready(rt *tasking.Runtime, ch chan int) {
+	rt.Submit(func(t *tasking.Task) {}, tasking.WithOnReady(func(t *tasking.Task) {
+		<-ch // want "channel receive in an onready callback"
+	}))
+	rt.Submit(func(t *tasking.Task) {}, tasking.WithOnReady(func(t *tasking.Task) {
+		ch <- 1 // want "channel send in an onready callback"
+	}))
+}
+
+func blockingInBodyIsFine(rt *tasking.Runtime, mpi *mpisim.Proc, req *mpisim.Request) {
+	rt.Submit(func(t *tasking.Task) {
+		mpi.Wait(req) // ok: the body owns a core and may block
+	})
+}
+
+func nestedLiteralIsNotTheCallback(rt *tasking.Runtime, ch chan int) {
+	rt.Submit(func(t *tasking.Task) {}, tasking.WithOnReady(func(t *tasking.Task) {
+		t.Runtime().Clock().Go(func() {
+			<-ch // ok: runs on its own goroutine, not in onready
+		})
+	}))
+}

@@ -23,6 +23,15 @@ func (g *grid) rowBytes(row, bj int) []byte {
 // throttleWindow bounds the live-task window of hybrid rank mains.
 const throttleWindow = 4096
 
+// must fails fast on simulator API errors: inside task bodies there is no
+// caller to propagate to, and in this deterministic benchmark any error is
+// a programming bug (bad offset, unknown segment, invalid queue).
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}
+
 // RunMPIOnly executes the optimised MPI-only variant (§VI-A): non-blocking
 // primitives with receives issued as early as possible and waits placed
 // only where needed, overlapping computation and communication. The rank
@@ -191,10 +200,10 @@ func RunTAGASPI(env *cluster.Env, p Params) *grid {
 			if up && t < T-1 {
 				// My first row lands in the upper neighbour's bottom halo.
 				rt.Submit(func(tk *tasking.Task) {
-					tg.WriteNotify(tk, segGrid, g.rowOffsetBytes(1, bj*p.BlockCols),
+					must(tg.WriteNotify(tk, segGrid, g.rowOffsetBytes(1, bj*p.BlockCols),
 						gaspisim.Rank(r-1), segGrid,
 						g.rowOffsetBytes(g.rp+1, bj*p.BlockCols), rowLen,
-						gaspisim.NotificationID(BJ+bj), int64(t+1), bj%Q)
+						gaspisim.NotificationID(BJ+bj), int64(t+1), bj%Q))
 				}, tasking.WithDeps(tasking.In(&keys.blocks, bj, bj+1)),
 					tasking.WithLabel("write top"))
 			}
@@ -202,10 +211,10 @@ func RunTAGASPI(env *cluster.Env, p Params) *grid {
 				last := (BI-1)*BJ + bj
 				// My last row lands in the lower neighbour's top halo.
 				rt.Submit(func(tk *tasking.Task) {
-					tg.WriteNotify(tk, segGrid, g.rowOffsetBytes(g.rp, bj*p.BlockCols),
+					must(tg.WriteNotify(tk, segGrid, g.rowOffsetBytes(g.rp, bj*p.BlockCols),
 						gaspisim.Rank(r+1), segGrid,
 						g.rowOffsetBytes(0, bj*p.BlockCols), rowLen,
-						gaspisim.NotificationID(bj), int64(t+1), bj%Q)
+						gaspisim.NotificationID(bj), int64(t+1), bj%Q))
 				}, tasking.WithDeps(tasking.In(&keys.blocks, last, last+1)),
 					tasking.WithLabel("write bottom"))
 			}

@@ -19,6 +19,23 @@ const (
 	segSend = 1
 )
 
+// must fails fast on simulator API errors: inside task bodies there is no
+// caller to propagate to, and in this deterministic benchmark any error is
+// a programming bug (bad offset, unknown segment, invalid queue).
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}
+
+// mustSlice returns the bytes [off, off+n) of seg, failing fast on bounds
+// errors.
+func mustSlice(seg *memory.Segment, off, n int) []byte {
+	b, err := seg.Slice(off, n)
+	must(err)
+	return b
+}
+
 // migration tags live above the halo-exchange tag space.
 const (
 	tagMigrate = 1 << 20
@@ -356,12 +373,12 @@ func RunMPIOnly(env *cluster.Env, p Params, epochs []*Epoch) Output {
 		recvReqs := make([]*mpisim.Request, len(pl.inRemote))
 		for s := s0; s < s1; s++ {
 			for k, m := range pl.inRemote {
-				buf, _ := a.recvSeg.Slice(pl.inOff[k], m.Elems*p.Vars*memory.F64Bytes)
+				buf := mustSlice(a.recvSeg, pl.inOff[k], m.Elems*p.Vars*memory.F64Bytes)
 				recvReqs[k] = mpi.Irecv(buf, mpisim.Rank(e.Owner[m.Src]), e.InIdx[m])
 			}
 			var sendReqs []*mpisim.Request
 			for k, m := range pl.outRemote {
-				buf, _ := a.sendSeg.Slice(pl.outOff[k], m.Elems*p.Vars*memory.F64Bytes)
+				buf := mustSlice(a.sendSeg, pl.outOff[k], m.Elems*p.Vars*memory.F64Bytes)
 				vals := grow(&tmp, m.Elems*p.Vars)
 				a.p.packMsg(a.blocks[m.Src], m, vals)
 				memory.F64Of(buf).CopyIn(0, vals)
@@ -376,7 +393,7 @@ func RunMPIOnly(env *cluster.Env, p Params, epochs []*Epoch) Output {
 			}
 			for k, m := range pl.inRemote {
 				mpi.Wait(recvReqs[k])
-				buf, _ := a.recvSeg.Slice(pl.inOff[k], m.Elems*p.Vars*memory.F64Bytes)
+				buf := mustSlice(a.recvSeg, pl.inOff[k], m.Elems*p.Vars*memory.F64Bytes)
 				vals := memory.F64Of(buf).CopyOut(0, m.Elems*p.Vars)
 				a.p.unpackMsg(a.blocks[m.Dst], m, vals)
 				env.Clk.Sleep(env.CostOf(float64(m.Elems*p.Vars) / 2))
@@ -466,8 +483,8 @@ func (a *app) seedAcks(pl *plan) {
 	acks := append([]int(nil), pl.ackID...)
 	a.env.RT.Submit(func(tk *tasking.Task) {
 		for k, m := range msgs {
-			tg.Notify(tk, gaspisim.Rank(e.Owner[m.Src]), segSend,
-				gaspisim.NotificationID(acks[k]), 1, k%Q)
+			must(tg.Notify(tk, gaspisim.Rank(e.Owner[m.Src]), segSend,
+				gaspisim.NotificationID(acks[k]), 1, k%Q))
 		}
 	}, tasking.WithLabel("seed acks"))
 }
@@ -485,7 +502,7 @@ func (a *app) tampiStep(pl *plan, keys *depKeys) {
 			vals := make([]float64, nv)
 			tk.Compute(env.CostOf(float64(nv) / 2))
 			p.packMsg(src, m, vals)
-			buf, _ := a.sendSeg.Slice(pl.outOff[k], nv*memory.F64Bytes)
+			buf := mustSlice(a.sendSeg, pl.outOff[k], nv*memory.F64Bytes)
 			memory.F64Of(buf).CopyIn(0, vals)
 			ta.Iwait(tk, mpi.Isend(buf, mpisim.Rank(e.Owner[m.Dst]), e.InIdx[m]))
 		}, tasking.WithDeps(
@@ -497,7 +514,7 @@ func (a *app) tampiStep(pl *plan, keys *depKeys) {
 		k, m := k, m
 		nv := m.Elems * p.Vars
 		rt.Submit(func(tk *tasking.Task) {
-			buf, _ := a.recvSeg.Slice(pl.inOff[k], nv*memory.F64Bytes)
+			buf := mustSlice(a.recvSeg, pl.inOff[k], nv*memory.F64Bytes)
 			ta.Iwait(tk, mpi.Irecv(buf, mpisim.Rank(e.Owner[m.Src]), e.InIdx[m]))
 		}, tasking.WithDeps(tasking.Out(&keys.rslot, k, k+1)),
 			tasking.WithLabel("recv"))
@@ -531,12 +548,12 @@ func (a *app) tagaspiStep(pl *plan, keys *depKeys, s int, lastOfEpoch bool) {
 			vals := make([]float64, nv)
 			tk.Compute(env.CostOf(float64(nv) / 2))
 			p.packMsg(src, m, vals)
-			buf, _ := a.sendSeg.Slice(pl.outOff[k], nv*memory.F64Bytes)
+			buf := mustSlice(a.sendSeg, pl.outOff[k], nv*memory.F64Bytes)
 			memory.F64Of(buf).CopyIn(0, vals)
-			tg.WriteNotify(tk, segSend, pl.outOff[k],
+			must(tg.WriteNotify(tk, segSend, pl.outOff[k],
 				gaspisim.Rank(e.Owner[m.Dst]), segRecv, pl.remOff[k],
 				nv*memory.F64Bytes,
-				gaspisim.NotificationID(pl.remNotif[k]), int64(s+1), k%Q)
+				gaspisim.NotificationID(pl.remNotif[k]), int64(s+1), k%Q))
 		}, opts...)
 	}
 	for k, m := range pl.inRemote {
@@ -562,11 +579,11 @@ func (a *app) submitUnpack(pl *plan, keys *depKeys, k int, m Msg, oneSided, last
 	rt.Submit(func(tk *tasking.Task) {
 		nv := m.Elems * p.Vars
 		tk.Compute(env.CostOf(float64(nv) / 2))
-		buf, _ := a.recvSeg.Slice(pl.inOff[k], nv*memory.F64Bytes)
+		buf := mustSlice(a.recvSeg, pl.inOff[k], nv*memory.F64Bytes)
 		p.unpackMsg(dst, m, memory.F64Of(buf).CopyOut(0, nv))
 		if oneSided && !lastOfEpoch {
-			env.TAGASPI.Notify(tk, gaspisim.Rank(e.Owner[m.Src]), segSend,
-				gaspisim.NotificationID(pl.ackID[k]), 1, k%Q)
+			must(env.TAGASPI.Notify(tk, gaspisim.Rank(e.Owner[m.Src]), segSend,
+				gaspisim.NotificationID(pl.ackID[k]), 1, k%Q))
 		}
 	}, tasking.WithDeps(
 		tasking.In(&keys.rslot, k, k+1),

@@ -122,9 +122,22 @@ func newPipe(env *cluster.Env, p Params) *pipe {
 	if pi.sendSeg, err = env.GASPI.SegmentCreate(segSend, bytes); err != nil {
 		panic(err)
 	}
-	pi.recv, _ = memory.F64View(pi.recvSeg, 0, pi.share)
-	pi.send, _ = memory.F64View(pi.sendSeg, 0, pi.share)
+	if pi.recv, err = memory.F64View(pi.recvSeg, 0, pi.share); err != nil {
+		panic(err)
+	}
+	if pi.send, err = memory.F64View(pi.sendSeg, 0, pi.share); err != nil {
+		panic(err)
+	}
 	return pi
+}
+
+// must fails fast on simulator API errors: inside task bodies there is no
+// caller to propagate to, and in this deterministic benchmark any error is
+// a programming bug (bad offset, unknown segment, invalid queue).
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
 }
 
 // elemBase is the global element index of this rank's block j start within
@@ -260,8 +273,8 @@ func RunTAGASPI(env *cluster.Env, p Params) func() float64 {
 	if pi.prev >= 0 {
 		rt.Submit(func(tk *tasking.Task) {
 			for j := 0; j < pi.nb; j++ {
-				tg.Notify(tk, gaspisim.Rank(pi.prev), segSend, ackNotif(j, pi.nb),
-					1, j%Q)
+				must(tg.Notify(tk, gaspisim.Rank(pi.prev), segSend, ackNotif(j, pi.nb),
+					1, j%Q))
 			}
 		}, tasking.WithLabel("seed acks"))
 	}
@@ -286,15 +299,15 @@ func RunTAGASPI(env *cluster.Env, p Params) func() float64 {
 				if pi.prev >= 0 {
 					// Ack right after consuming: the previous rank may now
 					// overwrite our receive block (§IV-B optimal placement).
-					tg.Notify(tk, gaspisim.Rank(pi.prev), segSend, ackNotif(j, pi.nb),
-						1, j%Q)
+					must(tg.Notify(tk, gaspisim.Rank(pi.prev), segSend, ackNotif(j, pi.nb),
+						1, j%Q))
 				}
 			}, tasking.WithDeps(deps...), tasking.WithLabel("compute"))
 			if pi.next >= 0 {
 				rt.Submit(func(tk *tasking.Task) {
-					tg.WriteNotify(tk, segSend, j*p.BlockSize*memory.F64Bytes,
+					must(tg.WriteNotify(tk, segSend, j*p.BlockSize*memory.F64Bytes,
 						gaspisim.Rank(pi.next), segRecv, j*p.BlockSize*memory.F64Bytes,
-						p.BlockSize*memory.F64Bytes, dataNotif(j), int64(c+1), j%Q)
+						p.BlockSize*memory.F64Bytes, dataNotif(j), int64(c+1), j%Q))
 				}, tasking.WithDeps(tasking.In(&k.send, j, j+1)),
 					tasking.WithOnReady(func(tk *tasking.Task) {
 						// ack_iwait: wait until the consumer freed the slot.

@@ -12,6 +12,14 @@ import (
 	"repro/internal/tasking"
 )
 
+// must fails fast on simulator API errors: the ablation drivers run fixed,
+// deterministic configurations, so any error is a programming bug.
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}
+
 // AblationMPILockBlowup reproduces the in-text §VI-C observation: shrinking
 // the Streaming block size multiplies the total time spent inside MPI (the
 // THREAD_MULTIPLE lock) far beyond the increase in message count — the
@@ -133,7 +141,8 @@ func rmaNotifyLatency(size, iters int) (mpiAvg, gaspiAvg time.Duration) {
 		Profile: fabric.ProfileInfiniBand(), Seed: 4,
 	}
 	cluster.Run(cfg, func(env *cluster.Env) {
-		seg, _ := env.GASPI.SegmentCreate(0, size)
+		seg, err := env.GASPI.SegmentCreate(0, size)
+		must(err)
 		winSeg, err := env.GASPI.SegmentCreate(1, size)
 		if err != nil {
 			panic(err)
@@ -157,7 +166,7 @@ func rmaNotifyLatency(size, iters int) (mpiAvg, gaspiAvg time.Duration) {
 			// receiver's notification-based ack.
 			t1 := clk.Now()
 			for i := 0; i < iters; i++ {
-				env.GASPI.WriteNotify(0, 0, 1, 0, 0, size, 0, 1, 0, nil)
+				must(env.GASPI.WriteNotify(0, 0, 1, 0, 0, size, 0, 1, 0, nil))
 				env.GASPI.Wait(0)
 				env.GASPI.Drain(0)
 				env.GASPI.NotifyWaitSome(0, 1, 1, gaspisim.Block)
@@ -175,7 +184,7 @@ func rmaNotifyLatency(size, iters int) (mpiAvg, gaspiAvg time.Duration) {
 			for i := 0; i < iters; i++ {
 				env.GASPI.NotifyWaitSome(0, 0, 1, gaspisim.Block)
 				env.GASPI.NotifyReset(0, 0)
-				env.GASPI.Notify(0, 0, 1, 1, 0, nil) // ack back
+				must(env.GASPI.Notify(0, 0, 1, 1, 0, nil)) // ack back
 				env.GASPI.Wait(0)
 				env.GASPI.Drain(0)
 			}
@@ -228,7 +237,8 @@ func producerConsumer(iters int, useOnready bool) time.Duration {
 		Seed:        5,
 	}
 	res := cluster.Run(cfg, func(env *cluster.Env) {
-		seg, _ := env.GASPI.SegmentCreate(0, slots*N)
+		seg, err := env.GASPI.SegmentCreate(0, slots*N)
+		must(err)
 		tg, rt := env.TAGASPI, env.RT
 		dataID := func(j int) gaspisim.NotificationID { return gaspisim.NotificationID(j) }
 		ackID := func(j int) gaspisim.NotificationID { return gaspisim.NotificationID(slots + j) }
@@ -241,7 +251,7 @@ func producerConsumer(iters int, useOnready bool) time.Duration {
 					lo, hi := j*N, (j+1)*N
 					if useOnready {
 						rt.Submit(func(tk *tasking.Task) {
-							tg.WriteNotify(tk, 0, lo, 1, 0, lo, N, dataID(j), int64(i+1), j%4)
+							must(tg.WriteNotify(tk, 0, lo, 1, 0, lo, N, dataID(j), int64(i+1), j%4))
 						}, tasking.WithDeps(tasking.In(seg, lo, hi)),
 							tasking.WithOnReady(func(tk *tasking.Task) {
 								tg.NotifyIwait(tk, 0, ackID(j), nil)
@@ -251,7 +261,7 @@ func producerConsumer(iters int, useOnready bool) time.Duration {
 							tg.NotifyIwait(tk, 0, ackID(j), &acks[j])
 						}, tasking.WithDeps(tasking.OutVal(&acks[j])))
 						rt.Submit(func(tk *tasking.Task) {
-							tg.WriteNotify(tk, 0, lo, 1, 0, lo, N, dataID(j), int64(i+1), j%4)
+							must(tg.WriteNotify(tk, 0, lo, 1, 0, lo, N, dataID(j), int64(i+1), j%4))
 						}, tasking.WithDeps(tasking.In(seg, lo, hi), tasking.InVal(&acks[j])))
 					}
 					rt.Submit(func(tk *tasking.Task) {
@@ -263,7 +273,7 @@ func producerConsumer(iters int, useOnready bool) time.Duration {
 		case 1:
 			rt.Submit(func(tk *tasking.Task) {
 				for j := 0; j < slots; j++ {
-					tg.Notify(tk, 0, 0, ackID(j), 1, j%4)
+					must(tg.Notify(tk, 0, 0, ackID(j), 1, j%4))
 				}
 			})
 			got := make([]int64, slots)
@@ -278,7 +288,7 @@ func producerConsumer(iters int, useOnready bool) time.Duration {
 					rt.Submit(func(tk *tasking.Task) {
 						tk.Compute(env.CostOf(6 * N))
 						if !last {
-							tg.Notify(tk, 0, 0, ackID(j), 1, j%4)
+							must(tg.Notify(tk, 0, 0, ackID(j), 1, j%4))
 						}
 					}, tasking.WithDeps(tasking.InOut(seg, lo, hi), tasking.InVal(&got[j])))
 				}

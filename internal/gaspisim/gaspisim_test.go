@@ -9,8 +9,24 @@ import (
 	"time"
 
 	"repro/internal/fabric"
+	"repro/internal/memory"
 	"repro/internal/vclock"
 )
+
+// must fails fast on simulator API errors in rank goroutines, which run
+// outside the test goroutine and have no *testing.T to report to.
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}
+
+// mustCreate is SegmentCreate with the error turned into a panic.
+func mustCreate(p *Proc, id SegmentID, size int) *memory.Segment {
+	seg, err := p.SegmentCreate(id, size)
+	must(err)
+	return seg
+}
 
 func testProfile() fabric.Profile {
 	return fabric.Profile{
@@ -77,7 +93,7 @@ func TestWriteNotifyDeliversDataThenNotification(t *testing.T) {
 
 func TestWriteWithoutNotify(t *testing.T) {
 	withWorld(2, 1, func(p *Proc) {
-		seg, _ := p.SegmentCreate(0, 64)
+		seg := mustCreate(p, 0, 64)
 		switch p.Rank() {
 		case 0:
 			copy(seg.Bytes(), "silent write")
@@ -86,7 +102,7 @@ func TestWriteWithoutNotify(t *testing.T) {
 			}
 			p.Wait(0)
 			// Signal completion out of band for the test.
-			p.Notify(1, 0, 0, 1, 0, nil)
+			must(p.Notify(1, 0, 0, 1, 0, nil))
 			p.Wait(0)
 		case 1:
 			p.NotifyWaitSome(0, 0, 1, Block)
@@ -99,7 +115,7 @@ func TestWriteWithoutNotify(t *testing.T) {
 
 func TestReadPullsRemoteData(t *testing.T) {
 	withWorld(2, 1, func(p *Proc) {
-		seg, _ := p.SegmentCreate(0, 128)
+		seg := mustCreate(p, 0, 128)
 		switch p.Rank() {
 		case 0:
 			// Wait for rank 1 to populate, then read it.
@@ -116,7 +132,7 @@ func TestReadPullsRemoteData(t *testing.T) {
 			}
 		case 1:
 			copy(seg.Bytes()[64:], "pull me 9")
-			p.Notify(0, 0, 5, 1, 0, nil)
+			must(p.Notify(0, 0, 5, 1, 0, nil))
 			p.Wait(0)
 		}
 	})
@@ -125,10 +141,10 @@ func TestReadPullsRemoteData(t *testing.T) {
 func TestWriteNotifyYieldsTwoLowLevelRequests(t *testing.T) {
 	// §IV-D: a write+notify expands into two tagged low-level requests.
 	withWorld(2, 1, func(p *Proc) {
-		p.SegmentCreate(0, 64)
+		mustCreate(p, 0, 64)
 		switch p.Rank() {
 		case 0:
-			p.WriteNotify(0, 0, 1, 0, 0, 8, 0, 1, 0, "wn")
+			must(p.WriteNotify(0, 0, 1, 0, 0, 8, 0, 1, 0, "wn"))
 			var got []CompletedRequest
 			for len(got) < 2 {
 				got = append(got, p.RequestWait(0, 4, Block)...)
@@ -149,10 +165,10 @@ func TestWriteNotifyYieldsTwoLowLevelRequests(t *testing.T) {
 
 func TestPlainWriteYieldsOneRequest(t *testing.T) {
 	withWorld(2, 1, func(p *Proc) {
-		p.SegmentCreate(0, 64)
+		mustCreate(p, 0, 64)
 		switch p.Rank() {
 		case 0:
-			p.Write(0, 0, 1, 0, 0, 8, 0, "w")
+			must(p.Write(0, 0, 1, 0, 0, 8, 0, "w"))
 			got := p.RequestWait(0, 4, Block)
 			if len(got) != 1 || got[0].Tag != "w" {
 				t.Fatalf("got %+v, want one request tagged w", got)
@@ -172,15 +188,15 @@ func TestSameQueueSameTargetOrdering(t *testing.T) {
 	// last write wins on an overlapping cell.
 	const n = 64
 	withWorld(2, 1, func(p *Proc) {
-		seg, _ := p.SegmentCreate(0, 8)
+		seg := mustCreate(p, 0, 8)
 		switch p.Rank() {
 		case 0:
-			src, _ := p.SegmentCreate(1, n)
+			src := mustCreate(p, 1, n)
 			for i := 0; i < n; i++ {
 				src.Bytes()[i] = byte(i + 1)
-				p.Write(1, i, 1, 0, 0, 1, 0, nil)
+				must(p.Write(1, i, 1, 0, 0, 1, 0, nil))
 			}
-			p.Notify(1, 0, 0, 1, 0, nil)
+			must(p.Notify(1, 0, 0, 1, 0, nil))
 			p.Wait(0)
 		case 1:
 			p.NotifyWaitSome(0, 0, 1, Block)
@@ -195,12 +211,12 @@ func TestNotificationAfterDataSameQueue(t *testing.T) {
 	// A notify posted after a write on the same queue must not arrive
 	// before the write's data.
 	withWorld(2, 1, func(p *Proc) {
-		seg, _ := p.SegmentCreate(0, 1024)
+		seg := mustCreate(p, 0, 1024)
 		switch p.Rank() {
 		case 0:
 			copy(seg.Bytes(), bytes.Repeat([]byte{0xAB}, 1024))
-			p.Write(0, 0, 1, 0, 0, 1024, 0, nil)
-			p.Notify(1, 0, 3, 7, 0, nil)
+			must(p.Write(0, 0, 1, 0, 0, 1024, 0, nil))
+			must(p.Notify(1, 0, 3, 7, 0, nil))
 			p.Wait(0)
 		case 1:
 			p.NotifyWaitSome(0, 3, 1, Block)
@@ -231,7 +247,7 @@ func TestQueuesAreIndependentResources(t *testing.T) {
 			p.clk.Go(func() {
 				defer inner.Done()
 				for i := 0; i < 4; i++ {
-					p.Notify(1, 0, NotificationID(c*4+i), 1, c%queues, nil)
+					must(p.Notify(1, 0, NotificationID(c*4+i), 1, c%queues, nil))
 				}
 			})
 		}
@@ -247,14 +263,14 @@ func TestQueuesAreIndependentResources(t *testing.T) {
 	clk.Go(func() {
 		defer wg.Done()
 		p := w.Proc(0)
-		p.SegmentCreate(0, 64)
+		mustCreate(p, 0, 64)
 		oneQ = runPosts(p, 1)
 		fourQ = runPosts(p, 4)
 	})
 	clk.Go(func() {
 		defer wg.Done()
 		p := w.Proc(1)
-		p.SegmentCreate(0, 64)
+		mustCreate(p, 0, 64)
 		clk.Sleep(time.Second)
 	})
 	wg.Wait()
@@ -265,7 +281,7 @@ func TestQueuesAreIndependentResources(t *testing.T) {
 
 func TestNotifyWaitSomeTimeout(t *testing.T) {
 	withWorld(1, 1, func(p *Proc) {
-		p.SegmentCreate(0, 64)
+		mustCreate(p, 0, 64)
 		t0 := p.clk.Now()
 		_, ok := p.NotifyWaitSome(0, 0, 8, 50*time.Microsecond)
 		if ok {
@@ -279,10 +295,10 @@ func TestNotifyWaitSomeTimeout(t *testing.T) {
 
 func TestNotifyWaitSomeRange(t *testing.T) {
 	withWorld(2, 1, func(p *Proc) {
-		p.SegmentCreate(0, 64)
+		mustCreate(p, 0, 64)
 		switch p.Rank() {
 		case 0:
-			p.Notify(1, 0, 12, 99, 0, nil)
+			must(p.Notify(1, 0, 12, 99, 0, nil))
 			p.Wait(0)
 		case 1:
 			// Waiting on [10, 20): id 12 must wake it.
@@ -304,7 +320,7 @@ func TestNotifyWaitSomeRange(t *testing.T) {
 
 func TestRequestWaitTestIsNonBlocking(t *testing.T) {
 	withWorld(1, 1, func(p *Proc) {
-		p.SegmentCreate(0, 64)
+		mustCreate(p, 0, 64)
 		t0 := p.clk.Now()
 		if got := p.RequestWait(0, 8, Test); len(got) != 0 {
 			t.Errorf("got %+v from idle queue", got)
@@ -317,7 +333,7 @@ func TestRequestWaitTestIsNonBlocking(t *testing.T) {
 
 func TestSubmitValidation(t *testing.T) {
 	withWorld(2, 1, func(p *Proc) {
-		p.SegmentCreate(0, 64)
+		mustCreate(p, 0, 64)
 		if p.Rank() != 0 {
 			return
 		}
@@ -372,14 +388,14 @@ func TestQuickWriteNotifyIntegrity(t *testing.T) {
 		good := true
 		var mu sync.Mutex
 		withWorld(2, 3, func(p *Proc) {
-			seg, _ := p.SegmentCreate(0, total)
+			seg := mustCreate(p, 0, total)
 			switch p.Rank() {
 			case 0:
-				src, _ := p.SegmentCreate(1, total)
+				src := mustCreate(p, 1, total)
 				for i, o := range ops {
 					copy(src.Bytes()[o.off:], o.data)
-					p.WriteNotify(1, o.off, 1, 0, o.off, o.size,
-						NotificationID(i), int64(o.size), o.queue, i)
+					must(p.WriteNotify(1, o.off, 1, 0, o.off, o.size,
+						NotificationID(i), int64(o.size), o.queue, i))
 				}
 				for q := 0; q < 3; q++ {
 					p.Wait(q)
@@ -421,9 +437,9 @@ func BenchmarkWriteNotify(b *testing.B) {
 	clk.Go(func() {
 		p := w.Proc(0)
 		defer wg.Done()
-		p.SegmentCreate(0, 4096)
+		mustCreate(p, 0, 4096)
 		for i := 0; i < b.N; i++ {
-			p.WriteNotify(0, 0, 1, 0, 0, 1024, 0, 1, 0, nil)
+			must(p.WriteNotify(0, 0, 1, 0, 0, 1024, 0, 1, 0, nil))
 			for got := 0; got < 2; {
 				got += len(p.RequestWait(0, 4, Block))
 			}
@@ -432,7 +448,7 @@ func BenchmarkWriteNotify(b *testing.B) {
 	clk.Go(func() {
 		p := w.Proc(1)
 		defer wg.Done()
-		p.SegmentCreate(0, 4096)
+		mustCreate(p, 0, 4096)
 		for i := 0; i < b.N; i++ {
 			p.NotifyWaitSome(0, 0, 1, Block)
 			p.NotifyReset(0, 0)

@@ -7,9 +7,26 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/fabric"
+	"repro/internal/gaspisim"
+	"repro/internal/memory"
 	"repro/internal/tagaspi"
 	"repro/internal/tasking"
 )
+
+// must fails fast on simulator API errors in rank mains and task bodies,
+// which run outside the test goroutine and have no *testing.T to report to.
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}
+
+// mustSeg is SegmentCreate with the error turned into a panic.
+func mustSeg(env *cluster.Env, id gaspisim.SegmentID, size int) *memory.Segment {
+	seg, err := env.GASPI.SegmentCreate(id, size)
+	must(err)
+	return seg
+}
 
 func hybridConfig(ranks int) cluster.Config {
 	return cluster.Config{
@@ -40,7 +57,7 @@ func TestWriteNotifyDataFlow(t *testing.T) {
 			}
 			env.RT.Submit(func(tk *tasking.Task) {
 				// write data: A[0:N] is an input dependency (the source).
-				env.TAGASPI.WriteNotify(tk, 0, 0, 1, 0, 0, N, 10, 1, 0)
+				must(env.TAGASPI.WriteNotify(tk, 0, 0, 1, 0, 0, N, 10, 1, 0))
 				// A[0:N] cannot be reused here! (Figure 3)
 			}, tasking.WithDeps(tasking.In(seg, 0, N)), tasking.WithLabel("write data"))
 			env.RT.Submit(func(tk *tasking.Task) {
@@ -88,11 +105,11 @@ func TestLocalCompletionGatesReuse(t *testing.T) {
 		TAGASPIPoll: 2 * time.Microsecond,
 	}, func(env *cluster.Env) {
 		const N = 1 << 20 // 1 MiB: injection takes measurable modelled time
-		seg, _ := env.GASPI.SegmentCreate(0, N)
+		seg := mustSeg(env, 0, N)
 		switch env.Rank {
 		case 0:
 			env.RT.Submit(func(tk *tasking.Task) {
-				env.TAGASPI.WriteNotify(tk, 0, 0, 1, 0, 0, N, 0, 1, 0)
+				must(env.TAGASPI.WriteNotify(tk, 0, 0, 1, 0, 0, N, 0, 1, 0))
 				writeLocalDone = env.Clk.Now() // body end; completion comes later
 			}, tasking.WithDeps(tasking.In(seg, 0, N)))
 			env.RT.Submit(func(tk *tasking.Task) {
@@ -123,7 +140,7 @@ func TestIterativeProducerConsumerWithAckTask(t *testing.T) {
 	const N = 32
 	var received atomic.Int64
 	cluster.Run(hybridConfig(2), func(env *cluster.Env) {
-		seg, _ := env.GASPI.SegmentCreate(0, N)
+		seg := mustSeg(env, 0, N)
 		switch env.Rank {
 		case 0:
 			var ackNotified int64
@@ -139,7 +156,7 @@ func TestIterativeProducerConsumerWithAckTask(t *testing.T) {
 				// write data
 				env.RT.Submit(func(tk *tasking.Task) {
 					seg.Bytes()[0] = byte(i + 1)
-					env.TAGASPI.WriteNotify(tk, 0, 0, 1, 0, 0, N, 10, int64(i+1), 0)
+					must(env.TAGASPI.WriteNotify(tk, 0, 0, 1, 0, 0, N, 10, int64(i+1), 0))
 				}, tasking.WithDeps(tasking.In(seg, 0, N), tasking.InVal(&ackNotified)),
 					tasking.WithLabel("write data"))
 				// reuse
@@ -150,7 +167,7 @@ func TestIterativeProducerConsumerWithAckTask(t *testing.T) {
 		case 1:
 			// Seed the first ack so the producer may write iteration 0.
 			env.RT.Submit(func(tk *tasking.Task) {
-				env.TAGASPI.Notify(tk, 0, 0, 20, 1, 0)
+				must(env.TAGASPI.Notify(tk, 0, 0, 20, 1, 0))
 			}, tasking.WithLabel("seed ack"))
 			var notified int64
 			for i := 0; i < iters; i++ {
@@ -166,7 +183,7 @@ func TestIterativeProducerConsumerWithAckTask(t *testing.T) {
 					if notified == int64(i+1) && seg.Bytes()[0] == byte(i+1) {
 						received.Add(1)
 					}
-					env.TAGASPI.Notify(tk, 0, 0, 20, 1, 0)
+					must(env.TAGASPI.Notify(tk, 0, 0, 20, 1, 0))
 				}, tasking.WithDeps(tasking.InOut(seg, 0, N), tasking.InVal(&notified)),
 					tasking.WithLabel("process"))
 			}
@@ -184,14 +201,14 @@ func TestProducerConsumerWithOnready(t *testing.T) {
 	const N = 32
 	var received atomic.Int64
 	cluster.Run(hybridConfig(2), func(env *cluster.Env) {
-		seg, _ := env.GASPI.SegmentCreate(0, N)
+		seg := mustSeg(env, 0, N)
 		switch env.Rank {
 		case 0:
 			for i := 0; i < iters; i++ {
 				i := i
 				env.RT.Submit(func(tk *tasking.Task) {
 					seg.Bytes()[0] = byte(i + 1)
-					env.TAGASPI.WriteNotify(tk, 0, 0, 1, 0, 0, N, 10, int64(i+1), 0)
+					must(env.TAGASPI.WriteNotify(tk, 0, 0, 1, 0, 0, N, 10, int64(i+1), 0))
 				}, tasking.WithDeps(tasking.In(seg, 0, N)),
 					tasking.WithOnReady(func(tk *tasking.Task) {
 						// ack_iwait: delays execution until the ack arrives.
@@ -204,7 +221,7 @@ func TestProducerConsumerWithOnready(t *testing.T) {
 			}
 		case 1:
 			env.RT.Submit(func(tk *tasking.Task) {
-				env.TAGASPI.Notify(tk, 0, 0, 20, 1, 0)
+				must(env.TAGASPI.Notify(tk, 0, 0, 20, 1, 0))
 			}, tasking.WithLabel("seed ack"))
 			var notified int64
 			for i := 0; i < iters; i++ {
@@ -217,7 +234,7 @@ func TestProducerConsumerWithOnready(t *testing.T) {
 					if notified == int64(i+1) && seg.Bytes()[0] == byte(i+1) {
 						received.Add(1)
 					}
-					env.TAGASPI.Notify(tk, 0, 0, 20, 1, 0)
+					must(env.TAGASPI.Notify(tk, 0, 0, 20, 1, 0))
 				}, tasking.WithDeps(tasking.InOut(seg, 0, N), tasking.InVal(&notified)),
 					tasking.WithLabel("process"))
 			}
@@ -234,7 +251,7 @@ func TestTaskAwareRead(t *testing.T) {
 	var ok atomic.Bool
 	cluster.Run(hybridConfig(2), func(env *cluster.Env) {
 		const N = 16
-		seg, _ := env.GASPI.SegmentCreate(0, 2*N)
+		seg := mustSeg(env, 0, 2*N)
 		switch env.Rank {
 		case 0:
 			// Expose data for the remote read, then signal readiness.
@@ -242,7 +259,7 @@ func TestTaskAwareRead(t *testing.T) {
 				seg.Bytes()[i] = byte(100 + i)
 			}
 			env.RT.Submit(func(tk *tasking.Task) {
-				env.TAGASPI.Notify(tk, 1, 0, 5, 1, 0)
+				must(env.TAGASPI.Notify(tk, 1, 0, 5, 1, 0))
 			})
 		case 1:
 			var ready int64
@@ -250,7 +267,7 @@ func TestTaskAwareRead(t *testing.T) {
 				env.TAGASPI.NotifyIwait(tk, 0, 5, &ready)
 			}, tasking.WithDeps(tasking.OutVal(&ready)))
 			env.RT.Submit(func(tk *tasking.Task) {
-				env.TAGASPI.Read(tk, 0, N, 0, 0, 0, N, 0)
+				must(env.TAGASPI.Read(tk, 0, N, 0, 0, 0, N, 0))
 			}, tasking.WithDeps(tasking.InVal(&ready), tasking.Out(seg, N, 2*N)),
 				tasking.WithLabel("read"))
 			env.RT.Submit(func(tk *tasking.Task) {
@@ -274,11 +291,11 @@ func TestNotifyIwaitAlreadyArrived(t *testing.T) {
 	// immediately and registers no event (§IV-D).
 	var value int64
 	cluster.Run(hybridConfig(2), func(env *cluster.Env) {
-		env.GASPI.SegmentCreate(0, 8)
+		mustSeg(env, 0, 8)
 		switch env.Rank {
 		case 0:
 			env.RT.Submit(func(tk *tasking.Task) {
-				env.TAGASPI.Notify(tk, 1, 0, 0, 42, 0)
+				must(env.TAGASPI.Notify(tk, 1, 0, 0, 42, 0))
 			})
 		case 1:
 			env.RT.Submit(func(tk *tasking.Task) {
@@ -305,12 +322,12 @@ func TestNotifyIwaitAlreadyArrived(t *testing.T) {
 func TestNotifyIwaitAllRange(t *testing.T) {
 	var sum atomic.Int64
 	cluster.Run(hybridConfig(2), func(env *cluster.Env) {
-		env.GASPI.SegmentCreate(0, 8)
+		mustSeg(env, 0, 8)
 		switch env.Rank {
 		case 0:
 			env.RT.Submit(func(tk *tasking.Task) {
 				for i := 0; i < 4; i++ {
-					env.TAGASPI.Notify(tk, 1, 0, tagaspi.NotificationID(i), int64(i+1), i%2)
+					must(env.TAGASPI.Notify(tk, 1, 0, tagaspi.NotificationID(i), int64(i+1), i%2))
 				}
 			})
 		case 1:
@@ -344,7 +361,7 @@ func TestInteroperabilityWithTAMPI(t *testing.T) {
 	cfg.TAMPIPoll = 5 * time.Microsecond
 	cluster.Run(cfg, func(env *cluster.Env) {
 		const N = 16
-		seg, _ := env.GASPI.SegmentCreate(0, N)
+		seg := mustSeg(env, 0, N)
 		switch env.Rank {
 		case 0:
 			for i := 0; i < N; i++ {
@@ -352,7 +369,7 @@ func TestInteroperabilityWithTAMPI(t *testing.T) {
 			}
 			env.RT.Submit(func(tk *tasking.Task) {
 				// One task mixing both libraries' services.
-				env.TAGASPI.WriteNotify(tk, 0, 0, 1, 0, 0, N, 0, 1, 0)
+				must(env.TAGASPI.WriteNotify(tk, 0, 0, 1, 0, 0, N, 0, 1, 0))
 				env.TAMPI.Iwait(tk, env.MPI.Isend([]byte("meta"), 1, 0))
 			}, tasking.WithDeps(tasking.In(seg, 0, N)))
 		case 1:

@@ -95,6 +95,7 @@ func TestMutexFIFOHandoffVirtual(t *testing.T) {
 	var fns []func()
 	fns = append(fns, func() {
 		m.Lock()
+		//lint:ignore lockcross holding the lock across the sleep is the test: it queues all five waiters so their grant order is observable
 		c.Sleep(10 * time.Millisecond) // let all waiters queue in id order
 		m.Unlock()
 	})
@@ -192,6 +193,7 @@ func TestCondWaitTimeout(t *testing.T) {
 	var at time.Duration
 	join(c, func() {
 		m.Lock()
+		//lint:ignore condloop this test exercises the timeout path itself; no predicate exists to re-check
 		timedOut = !cond.WaitTimeout(5 * time.Millisecond)
 		at = c.Now()
 		m.Unlock()
@@ -218,6 +220,7 @@ func TestCondWaitTimeoutSignaled(t *testing.T) {
 	join(c,
 		func() {
 			m.Lock()
+			//lint:ignore condloop this test checks the wake-by-Signal return value; no predicate exists to re-check
 			woke = cond.WaitTimeout(time.Hour)
 			m.Unlock()
 		},

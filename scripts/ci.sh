@@ -1,0 +1,33 @@
+#!/usr/bin/env sh
+# Tier-1 verification gate. Run from anywhere; it cds to the repo root.
+#
+#   ./scripts/ci.sh          # full gate
+#   CI_SHORT=1 ./scripts/ci.sh   # skip the -race pass (fast local check)
+#
+# The gate is: build everything, run the standard vet analyzers, run the
+# repository's own invariant analyzers (tagalint), then the test suite
+# under the race detector. The simulator is heavily concurrent (one
+# goroutine per rank main plus one per running task), so -race is part of
+# the gate, not an optional extra — see EXPERIMENTS.md.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go run ./cmd/tagalint ./..."
+go run ./cmd/tagalint ./...
+
+if [ "${CI_SHORT:-0}" = "1" ]; then
+    echo "== go test ./... (CI_SHORT=1: race detector skipped)"
+    go test ./...
+else
+    echo "== go test -race ./..."
+    go test -race ./...
+fi
+
+echo "ci: OK"
