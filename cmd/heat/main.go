@@ -16,6 +16,7 @@ import (
 	"repro/internal/apps/heat"
 	"repro/internal/cluster"
 	"repro/internal/fabric"
+	"repro/internal/obscli"
 )
 
 func main() {
@@ -31,6 +32,7 @@ func main() {
 	profile := flag.String("profile", "omnipath", "omnipath | infiniband | ideal")
 	poll := flag.Duration("poll", 10*time.Microsecond, "task-aware polling period")
 	verify := flag.Bool("verify", false, "run real arithmetic and check against the serial reference")
+	ofl := obscli.Register()
 	flag.Parse()
 
 	var prof fabric.Profile
@@ -68,6 +70,11 @@ func main() {
 		os.Exit(2)
 	}
 
+	col := ofl.Collector(*nodes * cfg.RanksPerNode)
+	if col != nil {
+		cfg.Recorder = col
+	}
+
 	start := time.Now()
 	res := cluster.Run(cfg, func(env *cluster.Env) {
 		switch *variant {
@@ -87,5 +94,9 @@ func main() {
 		res.Fabric.Messages, float64(res.Fabric.Bytes)/(1<<20), res.TotalMPITime())
 	if *verify {
 		fmt.Println("verify: arithmetic ran inside the simulation; use the test suite for the bit-exact check")
+	}
+	if err := ofl.Finish(os.Stdout, col, res); err != nil {
+		fmt.Fprintf(os.Stderr, "observability output: %v\n", err)
+		os.Exit(1)
 	}
 }

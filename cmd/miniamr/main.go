@@ -17,6 +17,7 @@ import (
 	"repro/internal/apps/miniamr"
 	"repro/internal/cluster"
 	"repro/internal/fabric"
+	"repro/internal/obscli"
 )
 
 func main() {
@@ -32,6 +33,7 @@ func main() {
 	maxLevel := flag.Int("maxlevel", 2, "maximum refinement level")
 	profile := flag.String("profile", "omnipath", "omnipath | infiniband | ideal")
 	poll := flag.Duration("poll", 10*time.Microsecond, "task-aware polling period")
+	ofl := obscli.Register()
 	flag.Parse()
 
 	var prof fabric.Profile
@@ -71,6 +73,10 @@ func main() {
 	}
 
 	ranks := cfg.Nodes * cfg.RanksPerNode
+	col := ofl.Collector(ranks)
+	if col != nil {
+		cfg.Recorder = col
+	}
 	epochs := p.Epochs(ranks)
 	leaves := 0
 	for _, e := range epochs {
@@ -109,4 +115,8 @@ func main() {
 		time.Since(start).Round(time.Millisecond))
 	fmt.Printf("fabric: %d messages;  MPI time (all ranks): %v\n",
 		res.Fabric.Messages, res.TotalMPITime())
+	if err := ofl.Finish(os.Stdout, col, res); err != nil {
+		fmt.Fprintf(os.Stderr, "observability output: %v\n", err)
+		os.Exit(1)
+	}
 }

@@ -16,6 +16,7 @@ import (
 	"repro/internal/apps/streaming"
 	"repro/internal/cluster"
 	"repro/internal/fabric"
+	"repro/internal/obscli"
 )
 
 func main() {
@@ -29,6 +30,7 @@ func main() {
 	block := flag.Int("block", 1024, "block size (elements)")
 	profile := flag.String("profile", "infiniband", "omnipath | infiniband | ideal")
 	poll := flag.Duration("poll", time.Microsecond, "task-aware polling period")
+	ofl := obscli.Register()
 	flag.Parse()
 
 	var prof fabric.Profile
@@ -61,6 +63,11 @@ func main() {
 		os.Exit(2)
 	}
 
+	col := ofl.Collector(cfg.Nodes * cfg.RanksPerNode)
+	if col != nil {
+		cfg.Recorder = col
+	}
+
 	start := time.Now()
 	res := cluster.Run(cfg, func(env *cluster.Env) {
 		switch *variant {
@@ -78,4 +85,8 @@ func main() {
 		res.Elapsed, p.Elements()/res.Elapsed.Seconds()/1e9, time.Since(start).Round(time.Millisecond))
 	fmt.Printf("fabric: %d messages;  MPI time (all ranks): %v\n",
 		res.Fabric.Messages, res.TotalMPITime())
+	if err := ofl.Finish(os.Stdout, col, res); err != nil {
+		fmt.Fprintf(os.Stderr, "observability output: %v\n", err)
+		os.Exit(1)
+	}
 }

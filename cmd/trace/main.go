@@ -1,0 +1,64 @@
+// Command trace inspects Chrome trace_event JSON timelines written by the
+// simulator's -trace flag (package obs): it validates their structure and
+// prints a summary or the longest spans.
+//
+// Example:
+//
+//	heat -variant tagaspi -nodes 2 -trace /tmp/heat.json
+//	trace /tmp/heat.json            # summary
+//	trace -check /tmp/heat.json     # validate only; exit 0/1
+//	trace -top 20 /tmp/heat.json    # longest spans
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	check := flag.Bool("check", false, "validate only: exit 0 if the trace is well-formed, 1 otherwise")
+	top := flag.Int("top", 0, "print the N longest spans instead of the summary")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: trace [-check] [-top N] <trace.json>...\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	fail := false
+	for _, path := range flag.Args() {
+		if flag.NArg() > 1 {
+			fmt.Printf("== %s\n", path)
+		}
+		t, err := obs.ReadTraceFile(path)
+		if err == nil {
+			err = t.Validate()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %s: %v\n", path, err)
+			fail = true
+			continue
+		}
+		if *check {
+			fmt.Printf("%s: ok (%d events)\n", path, len(t.TraceEvents))
+			continue
+		}
+		if *top > 0 {
+			for _, e := range t.TopSpans(*top) {
+				fmt.Printf("%12.3fus  %-28s rank=%d tid=%d @%.3fus\n",
+					e.Dur, e.Name, e.Pid, e.Tid, e.Ts)
+			}
+			continue
+		}
+		t.Summarize().Write(os.Stdout)
+	}
+	if fail {
+		os.Exit(1)
+	}
+}

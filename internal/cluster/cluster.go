@@ -18,6 +18,7 @@ import (
 	"repro/internal/fabric"
 	"repro/internal/gaspisim"
 	"repro/internal/mpisim"
+	"repro/internal/obs"
 	"repro/internal/tagaspi"
 	"repro/internal/tampi"
 	"repro/internal/tasking"
@@ -50,6 +51,13 @@ type Config struct {
 
 	// RealTime runs on the wall clock instead of the virtual clock.
 	RealTime bool
+
+	// Recorder, when non-nil, instruments every layer of the job (fabric,
+	// MPI, GASPI, tasking runtimes) with the observability subsystem of
+	// package obs. A typical caller passes obs.NewCollector(ranks) and
+	// writes its trace and metrics after Run returns. Nil (the default)
+	// keeps every hot path on its uninstrumented single-branch fast path.
+	Recorder obs.Recorder
 
 	Seed int64
 }
@@ -95,6 +103,14 @@ type Result struct {
 	Fabric  fabric.Stats          // traffic totals
 	MPILock []vsync.ResourceStats // per-rank library-lock statistics
 	Tasking []tasking.Stats       // per-rank runtime statistics (hybrid only)
+
+	// NIC is the per-node NIC port utilisation (injection/delivery
+	// serialization), in node order.
+	NIC []fabric.NICSnapshot
+	// Snapshots is every component's statistics in the common obs shape:
+	// the fabric first, then per-rank MPI, GASPI and (hybrid only) tasking
+	// snapshots.
+	Snapshots []obs.Snapshot
 }
 
 // TotalMPITime sums Busy+Waited over all ranks: the paper's "total time
@@ -148,6 +164,11 @@ func Run(cfg Config, main func(*Env)) Result {
 	fab := fabric.New(clk, topo, cfg.Profile)
 	mw := mpisim.NewWorld(fab, cfg.Seed)
 	gw := gaspisim.NewWorld(fab, cfg.Queues, cfg.Seed+0x9e3779b9)
+	if cfg.Recorder != nil {
+		fab.SetRecorder(cfg.Recorder)
+		mw.SetRecorder(cfg.Recorder)
+		gw.SetRecorder(cfg.Recorder)
+	}
 
 	n := topo.Ranks()
 	envs := make([]*Env, n)
@@ -167,6 +188,9 @@ func Run(cfg Config, main func(*Env)) Result {
 					SubmitOverhead:   cfg.TaskSubmitOverhead,
 					DispatchOverhead: cfg.TaskDispatchOverhead,
 				})
+				if cfg.Recorder != nil {
+					env.RT.SetRecorder(cfg.Recorder, r)
+				}
 				if cfg.WithTAMPI {
 					env.TAMPI = tampi.New(env.MPI, env.RT, cfg.TAMPIPoll)
 				}
@@ -196,6 +220,21 @@ func Run(cfg Config, main func(*Env)) Result {
 		for r := 0; r < n; r++ {
 			if envs[r] != nil && envs[r].RT != nil {
 				res.Tasking[r] = envs[r].RT.Stats()
+			}
+		}
+	}
+	res.NIC = fab.NICSnapshots()
+	res.Snapshots = append(res.Snapshots, fab.Snapshot())
+	for r := 0; r < n; r++ {
+		res.Snapshots = append(res.Snapshots, mw.Proc(fabric.Rank(r)).Snapshot())
+	}
+	for r := 0; r < n; r++ {
+		res.Snapshots = append(res.Snapshots, gw.Proc(fabric.Rank(r)).Snapshot())
+	}
+	if cfg.WithTasking {
+		for r := 0; r < n; r++ {
+			if envs[r] != nil && envs[r].RT != nil {
+				res.Snapshots = append(res.Snapshots, envs[r].RT.Snapshot())
 			}
 		}
 	}

@@ -22,6 +22,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/tasking"
 )
 
@@ -56,11 +57,28 @@ func StartService(rt *tasking.Runtime, name string, interval time.Duration, poll
 	s.interval.Store(int64(interval))
 	rt.Spawn(func(t *tasking.Task) {
 		clk := rt.Clock()
+		// Polling iterations are recorded on a per-service track; metric
+		// names are built once, outside the hot loop. Idle passes only
+		// bump a counter — a dedicated poller makes millions of them and
+		// spans for each would swamp the trace.
+		rec := rt.Recorder()
+		rank := rt.Rank()
+		track := obs.PollTrack(name)
+		spanName := "poll:" + name
+		passCtr := "poll." + name + ".passes"
+		retiredCtr := "poll." + name + ".retired"
 		for !rt.Stopping() {
 			before := clk.Now()
 			n := poll()
 			s.passes.Add(1)
 			s.retired.Add(int64(n))
+			if rec != nil {
+				rec.Count(passCtr, 1)
+				if n > 0 {
+					rec.Count(retiredCtr, int64(n))
+					rec.Span(rank, track, obs.CatPoll, spanName, before, clk.Now(), int64(n))
+				}
+			}
 			if s.adaptive.Load() {
 				s.adapt(n)
 			}

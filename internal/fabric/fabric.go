@@ -27,6 +27,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/vclock"
 	"repro/internal/vsync"
 )
@@ -176,6 +177,11 @@ type Message struct {
 	// (the source buffer may be reused). Protocol layers snapshot the
 	// payload bytes here.
 	OnInjected func()
+
+	// enqueued is the Send timestamp, stamped only when a recorder is
+	// installed; the injection courier turns it into the queue-residency
+	// latency sample.
+	enqueued time.Duration
 }
 
 // Handler consumes delivered messages on the destination rank.
@@ -218,6 +224,7 @@ type Fabric struct {
 	nicTx  []*vsync.Resource // per-NODE inter-node injection port
 	nicRx  []*vsync.Resource // per-NODE inter-node reception port
 	shm    []*vsync.Resource // per-rank intra-node copy engine
+	rec    obs.Recorder      // nil: uninstrumented
 	mu     sync.Mutex
 	paths  map[pathKey]*path
 	hands  map[Class][]Handler // per class, indexed by rank
@@ -261,6 +268,11 @@ func (f *Fabric) Profile() Profile { return f.prof }
 // Clock returns the fabric's time source.
 func (f *Fabric) Clock() vclock.Clock { return f.clk }
 
+// SetRecorder installs the observability recorder. It must be called
+// before any traffic flows; a nil recorder (the default) keeps the fabric
+// uninstrumented.
+func (f *Fabric) SetRecorder(rec obs.Recorder) { f.rec = rec }
+
 // Register installs the delivery handler for one rank and class.
 // It must be called before any message of that class reaches the rank.
 func (f *Fabric) Register(r Rank, class Class, h Handler) {
@@ -285,6 +297,9 @@ func (f *Fabric) Send(m *Message) {
 	f.msgs.Add(1)
 	f.bytes.Add(int64(m.Size))
 	f.byClass[m.Class].Add(1)
+	if f.rec != nil {
+		m.enqueued = f.clk.Now()
+	}
 	key := pathKey{src: m.Src, dst: m.Dst, class: m.Class, lane: m.Lane}
 	f.mu.Lock()
 	if f.closed {
@@ -323,6 +338,11 @@ func (f *Fabric) inject(p *path) {
 		if !ok {
 			return
 		}
+		var popTs time.Duration
+		if f.rec != nil {
+			popTs = f.clk.Now()
+			f.rec.Latency("fabric.queue_residency", popTs-m.enqueued)
+		}
 		intra := f.topo.SameNode(m.Src, m.Dst)
 		var lat time.Duration
 		var bw float64
@@ -355,6 +375,10 @@ func (f *Fabric) inject(p *path) {
 		}
 		if m.OnInjected != nil {
 			m.OnInjected() // local completion: source buffer reusable
+		}
+		if f.rec != nil {
+			f.rec.Span(int(m.Src), obs.TrackFabricTx, obs.CatFabric, "fabric:inject",
+				popTs, f.clk.Now(), int64(m.Size))
 		}
 		rx := wire
 		if intra {
@@ -392,6 +416,10 @@ func (f *Fabric) deliver(p *path) {
 		}
 		if h == nil {
 			panic(fmt.Sprintf("fabric: no handler for class %d on rank %d", m.Class, m.Dst))
+		}
+		if f.rec != nil {
+			f.rec.Instant(int(m.Dst), obs.TrackFabricRx, obs.CatFabric, "fabric:deliver",
+				f.clk.Now(), int64(m.Size))
 		}
 		h(m)
 	}
@@ -432,6 +460,62 @@ func (f *Fabric) Stats() Stats {
 func (f *Fabric) NICStats(r Rank) (tx, rx vsync.ResourceStats) {
 	n := f.topo.NodeOf(r)
 	return f.nicTx[n].Stats(), f.nicRx[n].Stats()
+}
+
+// NICSnapshot is the (tx, rx) port statistics of one node's NIC.
+type NICSnapshot struct {
+	Node   int
+	Tx, Rx vsync.ResourceStats
+}
+
+// NICSnapshots returns the NIC port statistics of every node.
+func (f *Fabric) NICSnapshots() []NICSnapshot {
+	out := make([]NICSnapshot, f.topo.Nodes())
+	for n := range out {
+		out[n] = NICSnapshot{Node: n, Tx: f.nicTx[n].Stats(), Rx: f.nicRx[n].Stats()}
+	}
+	return out
+}
+
+// Snapshot returns the fabric's statistics — traffic totals plus the
+// per-node NIC port occupancy — in the unified observability shape.
+func (f *Fabric) Snapshot() obs.Snapshot {
+	s := f.Stats()
+	samples := []obs.Sample{
+		{Name: "messages", Value: float64(s.Messages)},
+		{Name: "bytes", Value: float64(s.Bytes), Unit: "B"},
+		{Name: "mpi.messages", Value: float64(s.ByClass[ClassMPI])},
+		{Name: "gaspi.messages", Value: float64(s.ByClass[ClassGASPI])},
+	}
+	for _, nic := range f.NICSnapshots() {
+		p := fmt.Sprintf("node%d.", nic.Node)
+		samples = append(samples,
+			obs.Sample{Name: p + "nic.tx.uses", Value: float64(nic.Tx.Uses)},
+			obs.Sample{Name: p + "nic.tx.busy", Value: nic.Tx.Busy.Seconds(), Unit: "s"},
+			obs.Sample{Name: p + "nic.tx.waited", Value: nic.Tx.Waited.Seconds(), Unit: "s"},
+			obs.Sample{Name: p + "nic.rx.uses", Value: float64(nic.Rx.Uses)},
+			obs.Sample{Name: p + "nic.rx.busy", Value: nic.Rx.Busy.Seconds(), Unit: "s"},
+			obs.Sample{Name: p + "nic.rx.waited", Value: nic.Rx.Waited.Seconds(), Unit: "s"},
+		)
+	}
+	return obs.Snapshot{Component: "fabric", Rank: -1, Samples: samples}
+}
+
+// Reset clears the fabric's statistics counters (traffic totals, NIC and
+// intra-node port statistics), opening a steady-state measurement window.
+// In-flight traffic and port booking state are untouched.
+func (f *Fabric) Reset() {
+	f.msgs.Store(0)
+	f.bytes.Store(0)
+	f.byClass[0].Store(0)
+	f.byClass[1].Store(0)
+	for i := range f.nicTx {
+		f.nicTx[i].ResetStats()
+		f.nicRx[i].ResetStats()
+	}
+	for i := range f.shm {
+		f.shm[i].ResetStats()
+	}
 }
 
 // Jitterer produces deterministic multiplicative jitter for software-cost

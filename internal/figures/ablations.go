@@ -79,8 +79,9 @@ func AblationPollingPeriod(pr Preset) Figure {
 	var ys []float64
 	for _, us := range periods {
 		p := streaming.Params{Chunks: chunks, ChunkElems: chunk, BlockSize: bs}
-		ys = append(ys, stRun(stTAGASPI, nodes, 1, p, fabric.ProfileInfiniBand(),
-			time.Duration(us)*time.Microsecond))
+		gps, _ := stRun(stTAGASPI, nodes, 1, p, fabric.ProfileInfiniBand(),
+			time.Duration(us)*time.Microsecond)
+		ys = append(ys, gps)
 	}
 	fig.Series = append(fig.Series, Series{Name: "TAGASPI", Y: ys})
 

@@ -1,6 +1,7 @@
 package figures
 
 import (
+	"fmt"
 	"time"
 
 	"repro/internal/apps/streaming"
@@ -26,8 +27,9 @@ var stNames = []string{"MPI-Only", "TAMPI", "TAGASPI"}
 const streamPoll = 1 * time.Microsecond
 
 // stRun executes one Streaming configuration and returns its throughput in
-// GElements/s of modelled time.
-func stRun(v stVariant, nodes, hybridRPN int, p streaming.Params, prof fabric.Profile, poll time.Duration) float64 {
+// GElements/s of modelled time, along with the full job result (the NIC
+// utilisation notes of Fig. 13 read the per-node port statistics from it).
+func stRun(v stVariant, nodes, hybridRPN int, p streaming.Params, prof fabric.Profile, poll time.Duration) (float64, cluster.Result) {
 	cfg := cluster.Config{
 		Nodes:   nodes,
 		Profile: prof,
@@ -57,7 +59,23 @@ func stRun(v stVariant, nodes, hybridRPN int, p streaming.Params, prof fabric.Pr
 			streaming.RunTAGASPI(env, p)
 		}
 	})
-	return p.Elements() / res.Elapsed.Seconds() / 1e9
+	return p.Elements() / res.Elapsed.Seconds() / 1e9, res
+}
+
+// nicPeakTx reduces a result's per-node NIC statistics to the highest
+// injection-port busy fraction and the summed injection queueing time — the
+// serialization behind Fig. 13's block-size sensitivity.
+func nicPeakTx(res cluster.Result) (frac float64, wait time.Duration) {
+	if res.Elapsed <= 0 {
+		return 0, 0
+	}
+	for _, nic := range res.NIC {
+		if f := nic.Tx.Busy.Seconds() / res.Elapsed.Seconds(); f > frac {
+			frac = f
+		}
+		wait += nic.Tx.Waited
+	}
+	return frac, wait
 }
 
 // streamingFigure builds one Fig. 13 panel.
@@ -71,11 +89,18 @@ func streamingFigure(id, title string, prof fabric.Profile, nodes, hybridRPN int
 	}
 	for v := stMPIOnly; v <= stTAGASPI; v++ {
 		var ys []float64
+		var last cluster.Result
 		for _, bs := range blocks {
 			p := streaming.Params{Chunks: chunks, ChunkElems: chunkElems, BlockSize: bs}
-			ys = append(ys, stRun(v, nodes, hybridRPN, p, prof, streamPoll))
+			gps, res := stRun(v, nodes, hybridRPN, p, prof, streamPoll)
+			ys = append(ys, gps)
+			last = res
 		}
 		fig.Series = append(fig.Series, Series{Name: stNames[v], Y: ys})
+		frac, wait := nicPeakTx(last)
+		fig.Notes = append(fig.Notes, fmt.Sprintf(
+			"nic (block %d, %s): peak tx port busy %.1f%%, total tx queueing %v",
+			blocks[len(blocks)-1], stNames[v], 100*frac, wait))
 	}
 	return fig
 }

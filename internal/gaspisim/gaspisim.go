@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/fabric"
 	"repro/internal/memory"
+	"repro/internal/obs"
 	"repro/internal/vclock"
 	"repro/internal/vsync"
 )
@@ -107,7 +108,7 @@ func NewWorld(fab *fabric.Fabric, queues int, seed int64) *World {
 		}
 		p.queues = make([]*queue, queues)
 		for q := range p.queues {
-			p.queues[q] = &queue{p: p, res: vsync.NewResource(fab.Clock())}
+			p.queues[q] = &queue{p: p, idx: q, res: vsync.NewResource(fab.Clock())}
 		}
 		w.procs[r] = p
 		fab.Register(Rank(r), fabric.ClassGASPI, p.deliver)
@@ -117,6 +118,15 @@ func NewWorld(fab *fabric.Fabric, queues int, seed int64) *World {
 
 // Proc returns the process of the given rank.
 func (w *World) Proc(r Rank) *Proc { return w.procs[r] }
+
+// SetRecorder installs the observability recorder on every process. It must
+// be called before any traffic; a nil recorder (the default) keeps the
+// world uninstrumented.
+func (w *World) SetRecorder(rec obs.Recorder) {
+	for _, p := range w.procs {
+		p.rec = rec
+	}
+}
 
 // Size returns the number of ranks.
 func (w *World) Size() int { return len(w.procs) }
@@ -130,6 +140,7 @@ type Proc struct {
 	prof  fabric.Profile
 	jit   *fabric.Jitterer
 	reg   *memory.Registry
+	rec   obs.Recorder // nil: uninstrumented
 
 	queues []*queue
 
@@ -153,6 +164,7 @@ type notifWaiter struct {
 // low-level request list of the §IV-C extension.
 type queue struct {
 	p           *Proc
+	idx         int
 	res         *vsync.Resource
 	mu          sync.Mutex
 	completed   []CompletedRequest
@@ -200,6 +212,7 @@ type gMsg struct {
 	notify    bool
 	notifyID  NotificationID
 	notifyVal int64
+	postTs    time.Duration // virtual post time; stamped only when recording
 
 	// read protocol
 	replySeg SegmentID
@@ -238,12 +251,16 @@ func (p *Proc) Submit(op Operation) error {
 			size: op.Size, notify: op.Type == OpWriteNotify,
 			notifyID: op.NotifyID, notifyVal: op.NotifyVal}
 		q.post(op, func() {
+			if p.rec != nil {
+				m.postTs = p.clk.Now()
+			}
 			p.fab.Send(&fabric.Message{
 				Src: p.rank, Dst: op.Remote, Class: fabric.ClassGASPI, Lane: op.Queue,
 				Size: op.Size, Payload: m,
 				OnInjected: func() {
 					m.data = append([]byte(nil), buf...)
 					q.completeLocal(op.Tag, nreq)
+					p.recComplete(op.Queue, op.Size, m.postTs)
 				},
 			})
 		}, nreq)
@@ -253,10 +270,16 @@ func (p *Proc) Submit(op Operation) error {
 		m := &gMsg{kind: OpNotify, src: p.rank, seg: op.RemoteSeg,
 			notify: true, notifyID: op.NotifyID, notifyVal: op.NotifyVal}
 		q.post(op, func() {
+			if p.rec != nil {
+				m.postTs = p.clk.Now()
+			}
 			p.fab.Send(&fabric.Message{
 				Src: p.rank, Dst: op.Remote, Class: fabric.ClassGASPI, Lane: op.Queue,
 				Control: true, Payload: m,
-				OnInjected: func() { q.completeLocal(op.Tag, 1) },
+				OnInjected: func() {
+					q.completeLocal(op.Tag, 1)
+					p.recComplete(op.Queue, 0, m.postTs)
+				},
 			})
 		}, 1)
 		return nil
@@ -269,6 +292,9 @@ func (p *Proc) Submit(op Operation) error {
 			size: op.Size, replySeg: op.LocalSeg, replyOff: op.LocalOff,
 			replyQ: q, replyTag: op.Tag}
 		q.post(op, func() {
+			if p.rec != nil {
+				m.postTs = p.clk.Now()
+			}
 			p.fab.Send(&fabric.Message{
 				Src: p.rank, Dst: op.Remote, Class: fabric.ClassGASPI, Lane: op.Queue,
 				Control: true, Payload: m,
@@ -285,8 +311,47 @@ func (q *queue) post(op Operation, send func(), nreq int) {
 	q.mu.Lock()
 	q.outstanding += nreq
 	q.mu.Unlock()
-	q.res.Use(q.p.jit.Apply(q.p.prof.RDMAOpOverhead))
+	rec := q.p.rec
+	var start time.Duration
+	if rec != nil {
+		start = q.p.clk.Now()
+	}
+	waited := q.res.Use(q.p.jit.Apply(q.p.prof.RDMAOpOverhead))
+	if rec != nil {
+		rec.Latency("gaspi.post_wait", waited)
+		rec.Span(int(q.p.rank), obs.QueueTrack(op.Queue), obs.CatGaspi,
+			opSpanName(op.Type), start, q.p.clk.Now(), int64(op.Size))
+	}
 	send()
+}
+
+// opSpanName is the timeline label of a posted operation.
+func opSpanName(t OpType) string {
+	switch t {
+	case OpWrite:
+		return "gaspi:write"
+	case OpWriteNotify:
+		return "gaspi:write_notify"
+	case OpNotify:
+		return "gaspi:notify"
+	case OpRead:
+		return "gaspi:read"
+	}
+	return "gaspi:op"
+}
+
+// recComplete records a local completion: a timeline instant on the queue's
+// track and the post-to-completion latency. postTs comes from the posting
+// rank, which is valid across goroutines because all ranks share one
+// virtual clock.
+func (p *Proc) recComplete(queueID, size int, postTs time.Duration) {
+	if p.rec == nil {
+		return
+	}
+	now := p.clk.Now()
+	p.rec.Instant(int(p.rank), obs.QueueTrack(queueID), obs.CatGaspi,
+		"gaspi:complete", now, int64(size))
+	p.rec.Latency("gaspi.local_completion", now-postTs)
 }
 
 // completeLocal records nreq completed low-level requests with the given
@@ -369,10 +434,12 @@ func (p *Proc) deliver(fm *fabric.Message) {
 		copy(dst, m.data)
 		if m.notify {
 			p.setNotification(m.seg, m.notifyID, m.notifyVal)
+			p.recNotify(m.notifyID, m.postTs)
 		}
 
 	case OpNotify:
 		p.setNotification(m.seg, m.notifyID, m.notifyVal)
+		p.recNotify(m.notifyID, m.postTs)
 
 	case OpRead:
 		seg, err := p.reg.Lookup(m.seg)
@@ -384,7 +451,7 @@ func (p *Proc) deliver(fm *fabric.Message) {
 			panic(fmt.Sprintf("gaspisim: read outside segment: %v", err))
 		}
 		resp := &gMsg{kind: opReadResp, src: p.rank,
-			seg: m.replySeg, off: m.replyOff,
+			seg: m.replySeg, off: m.replyOff, postTs: m.postTs,
 			data: append([]byte(nil), src...), replyQ: m.replyQ, replyTag: m.replyTag}
 		p.fab.Send(&fabric.Message{
 			Src: p.rank, Dst: m.src, Class: fabric.ClassGASPI, Lane: 0,
@@ -402,7 +469,21 @@ func (p *Proc) deliver(fm *fabric.Message) {
 		}
 		copy(dst, m.data)
 		m.replyQ.completeLocal(m.replyTag, 1)
+		p.recComplete(m.replyQ.idx, len(m.data), m.postTs)
 	}
+}
+
+// recNotify records a fulfilled remote notification: an instant on the
+// notification track plus the post-to-fulfilment latency (the figure the
+// paper's §IV-D polling-frequency discussion turns on).
+func (p *Proc) recNotify(id NotificationID, postTs time.Duration) {
+	if p.rec == nil {
+		return
+	}
+	now := p.clk.Now()
+	p.rec.Instant(int(p.rank), obs.TrackNotify, obs.CatNotify,
+		"notify:fulfill", now, int64(id))
+	p.rec.Latency("gaspi.notify_latency", now-postTs)
 }
 
 // opReadResp is the internal read-response kind (not user-submittable).
@@ -467,6 +548,19 @@ func (p *Proc) NotifyTest(seg SegmentID, id NotificationID) (int64, bool) {
 // once; with Block it waits indefinitely; otherwise it waits at most the
 // timeout. ok reports whether a notification was found.
 func (p *Proc) NotifyWaitSome(seg SegmentID, begin NotificationID, num int,
+	timeout time.Duration) (NotificationID, bool) {
+	if p.rec == nil || timeout == Test {
+		return p.notifyWaitSome(seg, begin, num, timeout)
+	}
+	start := p.clk.Now()
+	id, ok := p.notifyWaitSome(seg, begin, num, timeout)
+	p.rec.Span(int(p.rank), obs.TrackNotify, obs.CatNotify, "notify:wait",
+		start, p.clk.Now(), int64(id))
+	return id, ok
+}
+
+// notifyWaitSome is NotifyWaitSome without the trace span.
+func (p *Proc) notifyWaitSome(seg SegmentID, begin NotificationID, num int,
 	timeout time.Duration) (NotificationID, bool) {
 	deadline := time.Duration(-1)
 	if timeout > 0 {
@@ -594,4 +688,27 @@ func (p *Proc) Drain(queueID int) {
 	q.mu.Lock()
 	q.completed = nil
 	q.mu.Unlock()
+}
+
+// Snapshot returns the per-queue post-resource statistics in the common
+// observability shape (obs.Snapshotter).
+func (p *Proc) Snapshot() obs.Snapshot {
+	s := obs.Snapshot{Component: "gaspi", Rank: int(p.rank)}
+	for i, q := range p.queues {
+		st := q.res.Stats()
+		pre := fmt.Sprintf("queue%d.", i)
+		s.Samples = append(s.Samples,
+			obs.Sample{Name: pre + "posts", Value: float64(st.Uses)},
+			obs.Sample{Name: pre + "busy", Value: st.Busy.Seconds(), Unit: "s"},
+			obs.Sample{Name: pre + "waited", Value: st.Waited.Seconds(), Unit: "s"},
+		)
+	}
+	return s
+}
+
+// Reset clears the queue statistics (obs.Snapshotter).
+func (p *Proc) Reset() {
+	for _, q := range p.queues {
+		q.res.ResetStats()
+	}
 }

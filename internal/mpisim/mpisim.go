@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"repro/internal/fabric"
+	"repro/internal/obs"
 	"repro/internal/vclock"
 	"repro/internal/vsync"
 )
@@ -79,6 +80,15 @@ func (w *World) Proc(r Rank) *Proc { return w.procs[r] }
 // Size returns the number of ranks.
 func (w *World) Size() int { return len(w.procs) }
 
+// SetRecorder installs the observability recorder on every process. It must
+// be called before any traffic; a nil recorder (the default) keeps the
+// world uninstrumented.
+func (w *World) SetRecorder(rec obs.Recorder) {
+	for _, p := range w.procs {
+		p.rec = rec
+	}
+}
+
 // Proc is one MPI process: its matching engine, library lock and windows.
 type Proc struct {
 	world *World
@@ -91,6 +101,7 @@ type Proc struct {
 	// served through it, so its queueing statistics measure "time inside
 	// MPI" including lock waits.
 	libLock *vsync.Resource
+	rec     obs.Recorder // nil: uninstrumented
 
 	mu         sync.Mutex // protects the matching state and jitter RNG
 	jit        *fabric.Jitterer
@@ -110,6 +121,25 @@ func (p *Proc) Size() int { return len(p.world.procs) }
 // LockStats reports the library-lock resource statistics: Busy+Waited is
 // the modelled total time inside MPI (the §VI-C metric).
 func (p *Proc) LockStats() vsync.ResourceStats { return p.libLock.Stats() }
+
+// Snapshot returns the library-lock statistics in the common observability
+// shape (obs.Snapshotter).
+func (p *Proc) Snapshot() obs.Snapshot {
+	st := p.libLock.Stats()
+	return obs.Snapshot{
+		Component: "mpi",
+		Rank:      int(p.rank),
+		Samples: []obs.Sample{
+			{Name: "lock.uses", Value: float64(st.Uses)},
+			{Name: "lock.busy", Value: st.Busy.Seconds(), Unit: "s"},
+			{Name: "lock.waited", Value: st.Waited.Seconds(), Unit: "s"},
+			{Name: "lock.max_wait", Value: st.MaxWait.Seconds(), Unit: "s"},
+		},
+	}
+}
+
+// Reset clears the library-lock statistics (obs.Snapshotter).
+func (p *Proc) Reset() { p.libLock.ResetStats() }
 
 // Request is a non-blocking operation handle.
 type Request struct {
@@ -132,6 +162,10 @@ func (r *Request) complete(st Status) {
 	ws := r.waiters
 	r.waiters = nil
 	r.mu.Unlock()
+	if rec := r.p.rec; rec != nil {
+		rec.Instant(int(r.p.rank), obs.TrackMPI, obs.CatMPI, "mpi:complete",
+			r.p.clk.Now(), int64(st.Count))
+	}
 	for _, w := range ws {
 		w.Unpark()
 	}
@@ -203,12 +237,18 @@ type inMsg struct {
 	rmaDone *Request
 }
 
-// charge serves one library call through the THREAD_MULTIPLE lock.
+// charge serves one library call through the THREAD_MULTIPLE lock. The
+// queueing delay it returns from the lock resource is the per-call share of
+// the §VI-C "time inside MPI" blowup; instrumented runs feed it straight
+// into the mpi.lock_wait histogram.
 func (p *Proc) charge(base time.Duration) {
 	p.mu.Lock()
 	d := p.jit.Apply(base)
 	p.mu.Unlock()
-	p.libLock.Use(d)
+	waited := p.libLock.Use(d)
+	if p.rec != nil {
+		p.rec.Latency("mpi.lock_wait", waited)
+	}
 }
 
 // validTag panics on reserved tags (negative values are internal).
@@ -227,7 +267,15 @@ func (p *Proc) Isend(buf []byte, dst Rank, tag int) *Request {
 }
 
 func (p *Proc) isend(buf []byte, dst Rank, tag int) *Request {
+	var start time.Duration
+	if p.rec != nil {
+		start = p.clk.Now()
+	}
 	p.charge(p.prof.MPIOpOverhead + p.prof.MPIMatchCost)
+	if p.rec != nil {
+		p.rec.Span(int(p.rank), obs.TrackMPI, obs.CatMPI, "mpi:isend",
+			start, p.clk.Now(), int64(len(buf)))
+	}
 	req := &Request{p: p}
 	if len(buf) <= p.prof.EagerThreshold {
 		m := &inMsg{kind: kindEager, src: p.rank, tag: tag, size: len(buf)}
@@ -260,7 +308,15 @@ func (p *Proc) Irecv(buf []byte, src Rank, tag int) *Request {
 }
 
 func (p *Proc) irecv(buf []byte, src Rank, tag int) *Request {
+	var start time.Duration
+	if p.rec != nil {
+		start = p.clk.Now()
+	}
 	p.charge(p.prof.MPIOpOverhead + p.prof.MPIMatchCost)
+	if p.rec != nil {
+		p.rec.Span(int(p.rank), obs.TrackMPI, obs.CatMPI, "mpi:irecv",
+			start, p.clk.Now(), int64(len(buf)))
+	}
 	req := &Request{p: p}
 	pr := &postedRecv{buf: buf, src: src, tag: tag, req: req}
 	p.mu.Lock()

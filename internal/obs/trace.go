@@ -1,0 +1,229 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Event is one recorded trace event. Spans carry a duration; instants do
+// not. Timestamps are virtual-clock readings.
+type Event struct {
+	Name  string
+	Cat   Cat
+	Rank  int32
+	Track Track
+	Ph    byte // 'X' (complete span) or 'i' (instant)
+	Ts    time.Duration
+	Dur   time.Duration
+	Arg   int64
+}
+
+// Tracer records events into per-rank buffers. Recording takes one short
+// host-mutex section per event (the buffers are sharded by rank, so ranks
+// never contend with each other); serialization sorts events by virtual
+// timestamp, which makes the output independent of host-scheduler
+// interleaving and therefore deterministic across identical runs.
+type Tracer struct {
+	shards []tshard
+}
+
+type tshard struct {
+	mu     sync.Mutex
+	events []Event
+	_      [32]byte // padding: keep neighbouring shards off one cache line
+}
+
+// NewTracer returns a tracer accepting events for ranks [0, ranks).
+// Events for out-of-range ranks are dropped rather than crashing the
+// simulation.
+func NewTracer(ranks int) *Tracer {
+	if ranks <= 0 {
+		ranks = 1
+	}
+	return &Tracer{shards: make([]tshard, ranks)}
+}
+
+// Span records a completed interval. A span whose end precedes its start is
+// clamped to zero duration at start.
+func (t *Tracer) Span(rank int, track Track, cat Cat, name string, start, end time.Duration, arg int64) {
+	if end < start {
+		end = start
+	}
+	t.append(rank, Event{Name: name, Cat: cat, Rank: int32(rank), Track: track,
+		Ph: 'X', Ts: start, Dur: end - start, Arg: arg})
+}
+
+// Instant records a point event.
+func (t *Tracer) Instant(rank int, track Track, cat Cat, name string, ts time.Duration, arg int64) {
+	t.append(rank, Event{Name: name, Cat: cat, Rank: int32(rank), Track: track,
+		Ph: 'i', Ts: ts, Arg: arg})
+}
+
+func (t *Tracer) append(rank int, e Event) {
+	if rank < 0 || rank >= len(t.shards) {
+		return
+	}
+	s := &t.shards[rank]
+	s.mu.Lock()
+	s.events = append(s.events, e)
+	s.mu.Unlock()
+}
+
+// Len reports the total number of recorded events.
+func (t *Tracer) Len() int {
+	n := 0
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		n += len(s.events)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Events returns a copy of all recorded events in canonical order.
+func (t *Tracer) Events() []Event {
+	var all []Event
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		all = append(all, s.events...)
+		s.mu.Unlock()
+	}
+	sortEvents(all)
+	return all
+}
+
+// sortEvents orders events canonically: by timestamp, then rank, track and
+// the remaining fields. The total order over all fields makes serialized
+// traces byte-identical across runs that recorded the same event set,
+// regardless of goroutine interleaving during recording.
+func sortEvents(evs []Event) {
+	sort.Slice(evs, func(i, j int) bool {
+		a, b := evs[i], evs[j]
+		if a.Ts != b.Ts {
+			return a.Ts < b.Ts
+		}
+		if a.Rank != b.Rank {
+			return a.Rank < b.Rank
+		}
+		if a.Track != b.Track {
+			return a.Track < b.Track
+		}
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		if a.Dur != b.Dur {
+			return a.Dur < b.Dur
+		}
+		if a.Arg != b.Arg {
+			return a.Arg < b.Arg
+		}
+		return a.Ph < b.Ph
+	})
+}
+
+// Write serializes the trace as Chrome trace_event JSON (the "JSON Array
+// with metadata" flavour), loadable in chrome://tracing and Perfetto.
+// Timestamps and durations are microseconds with nanosecond precision.
+// The event stream is sorted canonically and preceded by process/thread
+// naming metadata, so identical simulator runs produce identical bytes.
+func (t *Tracer) Write(w io.Writer) error {
+	evs := t.Events()
+
+	// Collect the (rank, track) pairs in use for naming metadata.
+	type rt struct {
+		rank  int32
+		track Track
+	}
+	ranks := map[int32]bool{}
+	tracks := map[rt]bool{}
+	for _, e := range evs {
+		ranks[e.Rank] = true
+		tracks[rt{e.Rank, e.Track}] = true
+	}
+	rankList := make([]int, 0, len(ranks))
+	for r := range ranks {
+		rankList = append(rankList, int(r))
+	}
+	sort.Ints(rankList)
+	trackList := make([]rt, 0, len(tracks))
+	for k := range tracks {
+		trackList = append(trackList, k)
+	}
+	sort.Slice(trackList, func(i, j int) bool {
+		if trackList[i].rank != trackList[j].rank {
+			return trackList[i].rank < trackList[j].rank
+		}
+		return trackList[i].track < trackList[j].track
+	})
+
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("{\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	first := true
+	sep := func() string {
+		if first {
+			first = false
+			return ""
+		}
+		return ",\n"
+	}
+	for _, r := range rankList {
+		fmt.Fprintf(bw, "%s{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":0,\"args\":{\"name\":\"rank %d\"}}", sep(), r, r)
+	}
+	for _, k := range trackList {
+		fmt.Fprintf(bw, "%s{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"args\":{\"name\":%s}}",
+			sep(), k.rank, k.track, jsonString(TrackName(k.track)))
+	}
+	for _, e := range evs {
+		switch e.Ph {
+		case 'X':
+			fmt.Fprintf(bw, "%s{\"name\":%s,\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%s,\"dur\":%s,\"pid\":%d,\"tid\":%d,\"args\":{\"v\":%d}}",
+				sep(), jsonString(e.Name), e.Cat, usec(e.Ts), usec(e.Dur), e.Rank, e.Track, e.Arg)
+		case 'i':
+			fmt.Fprintf(bw, "%s{\"name\":%s,\"cat\":\"%s\",\"ph\":\"i\",\"s\":\"t\",\"ts\":%s,\"pid\":%d,\"tid\":%d,\"args\":{\"v\":%d}}",
+				sep(), jsonString(e.Name), e.Cat, usec(e.Ts), e.Rank, e.Track, e.Arg)
+		}
+	}
+	if _, err := bw.WriteString("\n],\"displayTimeUnit\":\"ns\"}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// WriteFile serializes the trace to path.
+func (t *Tracer) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// usec renders a duration as microseconds with nanosecond precision,
+// without trailing-zero jitter (fixed three decimals).
+func usec(d time.Duration) string {
+	ns := d.Nanoseconds()
+	return fmt.Sprintf("%d.%03d", ns/1000, ns%1000)
+}
+
+// jsonString quotes s as a JSON string (names may carry user task labels).
+func jsonString(s string) string {
+	b, err := json.Marshal(s)
+	if err != nil {
+		return "\"?\""
+	}
+	return string(b)
+}

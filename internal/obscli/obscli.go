@@ -1,0 +1,88 @@
+// Package obscli wires the observability subsystem (package obs) into the
+// simulator command-line tools: a common -trace/-metrics flag pair, the
+// collector handed to cluster.Config.Recorder, and the end-of-run output.
+package obscli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+
+	"repro/internal/cluster"
+	"repro/internal/obs"
+)
+
+// Flags holds the observability options of one CLI.
+type Flags struct {
+	TracePath string
+	Metrics   bool
+}
+
+// Register declares the -trace and -metrics flags on the default flag set.
+func Register() *Flags {
+	f := &Flags{}
+	flag.StringVar(&f.TracePath, "trace", "",
+		"write a Chrome trace_event JSON timeline to this file (open in Perfetto)")
+	flag.BoolVar(&f.Metrics, "metrics", false,
+		"print latency histograms and per-component statistics after the run")
+	return f
+}
+
+// Enabled reports whether any observability output was requested.
+func (f *Flags) Enabled() bool { return f.TracePath != "" || f.Metrics }
+
+// Collector builds the recorder for a job with the given rank count, or
+// returns nil when no observability output was requested — the nil keeps
+// every instrumentation site on its single-branch fast path.
+func (f *Flags) Collector(ranks int) *obs.Collector {
+	if !f.Enabled() {
+		return nil
+	}
+	c := &obs.Collector{}
+	if f.TracePath != "" {
+		c.Tracer = obs.NewTracer(ranks)
+	}
+	if f.Metrics {
+		c.Metrics = obs.NewRegistry()
+	}
+	return c
+}
+
+// Finish writes the requested outputs: the trace file, then (on w) the
+// latency histograms and the per-component snapshots of the finished job,
+// including the per-node NIC port utilisation relative to elapsed time.
+func (f *Flags) Finish(w io.Writer, c *obs.Collector, res cluster.Result) error {
+	if c == nil {
+		return nil
+	}
+	if f.TracePath != "" && c.Tracer != nil {
+		if err := c.Tracer.WriteFile(f.TracePath); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "trace: %d events written to %s\n", c.Tracer.Len(), f.TracePath)
+	}
+	if f.Metrics {
+		if c.Metrics != nil {
+			c.Metrics.Write(w)
+		}
+		obs.WriteSnapshots(w, res.Snapshots)
+		WriteNICUtilisation(w, res)
+	}
+	return nil
+}
+
+// WriteNICUtilisation prints each node's NIC injection/delivery port busy
+// fraction over the modelled run — the serialization bottleneck figure the
+// fabric's Resource statistics measure.
+func WriteNICUtilisation(w io.Writer, res cluster.Result) {
+	if res.Elapsed <= 0 || len(res.NIC) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "-- nic utilisation (of %v elapsed)\n", res.Elapsed)
+	for _, nic := range res.NIC {
+		fmt.Fprintf(w, "   node%-3d tx %5.1f%% (%d msgs, wait %v)   rx %5.1f%% (%d msgs, wait %v)\n",
+			nic.Node,
+			100*nic.Tx.Busy.Seconds()/res.Elapsed.Seconds(), nic.Tx.Uses, nic.Tx.Waited,
+			100*nic.Rx.Busy.Seconds()/res.Elapsed.Seconds(), nic.Rx.Uses, nic.Rx.Waited)
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/vclock"
 )
 
@@ -51,11 +52,16 @@ type Runtime struct {
 	cfg   Config
 	cores *coreSched
 
+	rec   obs.Recorder // nil: uninstrumented
+	rank  int          // rank identity for trace events
+	lanes laneAlloc    // timeline rows for concurrently running bodies
+
 	mu        sync.Mutex
 	reg       *depRegistry
 	live      int // incomplete regular tasks
 	spawnLive int // incomplete spawned service tasks
 	stopping  bool
+	seq       int64           // task ids for trace correlation
 	twWaiters []vclock.Parker // TaskWait: woken when live hits 0
 	thWaiters []throttleWaiter
 	sdWaiters []vclock.Parker // Shutdown: woken when spawnLive hits 0
@@ -85,6 +91,21 @@ func (rt *Runtime) Clock() vclock.Clock { return rt.clk }
 
 // Cores returns the worker slot count.
 func (rt *Runtime) Cores() int { return rt.cfg.Cores }
+
+// SetRecorder installs the observability recorder and the runtime's rank
+// identity for trace events. It must be called before the first Submit or
+// Spawn; a nil recorder (the default) keeps the runtime uninstrumented.
+func (rt *Runtime) SetRecorder(rec obs.Recorder, rank int) {
+	rt.rec = rec
+	rt.rank = rank
+}
+
+// Recorder returns the installed recorder (nil when uninstrumented). The
+// task-aware libraries and their polling services inherit it from here.
+func (rt *Runtime) Recorder() obs.Recorder { return rt.rec }
+
+// Rank returns the rank identity set with SetRecorder (zero by default).
+func (rt *Runtime) Rank() int { return rt.rank }
 
 // Option customises one task.
 type Option func(*Task)
@@ -131,11 +152,16 @@ func (rt *Runtime) Submit(body Body, opts ...Option) *Task {
 	}
 	rt.live++
 	rt.stats.Submitted++
+	rt.seq++
+	t.id = rt.seq
 	for _, d := range t.deps {
 		t.preds += rt.reg.register(t, d)
 	}
 	satisfied := t.preds == 0
 	rt.mu.Unlock()
+	if rt.rec != nil {
+		rt.rec.Instant(rt.rank, obs.TrackMain, obs.CatTask, "task:create", rt.clk.Now(), t.id)
+	}
 	if satisfied {
 		rt.depsSatisfied(t)
 	}
@@ -157,6 +183,8 @@ func (rt *Runtime) Spawn(body Body, label string) *Task {
 	}
 	rt.spawnLive++
 	rt.stats.Spawned++
+	rt.seq++
+	t.id = rt.seq
 	t.state = stateQueued
 	rt.mu.Unlock()
 	rt.dispatch(t)
@@ -180,6 +208,17 @@ func (rt *Runtime) depsSatisfied(t *Task) {
 	rt.mu.Lock()
 	t.state = stateQueued
 	rt.mu.Unlock()
+	rt.markReady(t)
+}
+
+// markReady records the task's readiness (for the ready-to-run latency and
+// the timeline) and hands it to the worker pool. Callers must not hold
+// rt.mu.
+func (rt *Runtime) markReady(t *Task) {
+	if rt.rec != nil {
+		t.readyAt = rt.clk.Now()
+		rt.rec.Instant(rt.rank, obs.TrackMain, obs.CatTask, "task:ready", t.readyAt, t.id)
+	}
 	rt.dispatch(t)
 }
 
@@ -196,8 +235,21 @@ func (rt *Runtime) dispatch(t *Task) {
 		rt.mu.Lock()
 		t.state = stateRunning
 		rt.mu.Unlock()
+		var start time.Duration
+		if rt.rec != nil {
+			start = rt.clk.Now()
+			t.lane = rt.lanes.acquire()
+			if !t.spawned {
+				rt.rec.Latency("tasking.ready_to_run", start-t.readyAt)
+			}
+		}
 		if t.body != nil {
 			t.body(t)
+		}
+		if rt.rec != nil {
+			rt.rec.Span(rt.rank, obs.TaskTrack(t.lane), obs.CatTask, t.spanName(),
+				start, rt.clk.Now(), t.id)
+			rt.lanes.release(t.lane)
 		}
 		rt.finishBody(t)
 		rt.cores.release()
@@ -211,10 +263,14 @@ func (rt *Runtime) finishBody(t *Task) {
 	t.state = stateFinished
 	t.comp.n--
 	var ready []*Task
-	if t.comp.n == 0 {
+	completed := t.comp.n == 0
+	if completed {
 		ready = rt.completeLocked(t)
 	}
 	rt.mu.Unlock()
+	if completed && rt.rec != nil {
+		rt.rec.Instant(rt.rank, obs.TrackMain, obs.CatTask, "task:complete", rt.clk.Now(), t.id)
+	}
 	rt.wakeSatisfied(ready)
 }
 
@@ -268,6 +324,44 @@ func (rt *Runtime) wakeSatisfied(ready []*Task) {
 	for _, s := range ready {
 		rt.depsSatisfied(s)
 	}
+}
+
+// laneAlloc hands out dense timeline-row indices for concurrently running
+// task bodies: a body takes the lowest free lane for its whole run (held
+// across yields), so the trace draws at most lanes-in-use rows per rank.
+// It uses its own host mutex, never the runtime lock, and is touched only
+// on instrumented runs.
+type laneAlloc struct {
+	mu   sync.Mutex
+	free []int32
+	next int32
+}
+
+func (la *laneAlloc) acquire() int32 {
+	la.mu.Lock()
+	defer la.mu.Unlock()
+	if n := len(la.free); n > 0 {
+		l := la.free[n-1]
+		la.free = la.free[:n-1]
+		return l
+	}
+	l := la.next
+	la.next++
+	return l
+}
+
+func (la *laneAlloc) release(l int32) {
+	la.mu.Lock()
+	// Keep the free list sorted descending so acquire reuses the lowest
+	// lane first, keeping timelines compact.
+	i := len(la.free)
+	la.free = append(la.free, l)
+	for i > 0 && la.free[i-1] < l {
+		la.free[i] = la.free[i-1]
+		i--
+	}
+	la.free[i] = l
+	la.mu.Unlock()
 }
 
 // TaskWait blocks until every submitted task has completed (dependencies
@@ -331,6 +425,28 @@ func (rt *Runtime) Stats() Stats {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	return rt.stats
+}
+
+// Snapshot returns the runtime counters in the common observability shape
+// (obs.Snapshotter).
+func (rt *Runtime) Snapshot() obs.Snapshot {
+	s := rt.Stats()
+	return obs.Snapshot{
+		Component: "tasking",
+		Rank:      rt.rank,
+		Samples: []obs.Sample{
+			{Name: "tasks.submitted", Value: float64(s.Submitted)},
+			{Name: "tasks.completed", Value: float64(s.Completed)},
+			{Name: "tasks.spawned", Value: float64(s.Spawned)},
+		},
+	}
+}
+
+// Reset clears the runtime counters (obs.Snapshotter).
+func (rt *Runtime) Reset() {
+	rt.mu.Lock()
+	rt.stats = Stats{}
+	rt.mu.Unlock()
 }
 
 // coreSched grants core slots in readiness order: each ready task draws a

@@ -3,6 +3,8 @@ package tasking
 import (
 	"fmt"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // state is the task lifecycle position (Figure 1 of the paper: ready →
@@ -56,6 +58,21 @@ type Task struct {
 
 	pre  EventCounter // gates execution (onready-registered events)
 	comp EventCounter // gates completion (external events API)
+
+	// Trace identity, used only on instrumented runs. id is assigned under
+	// rt.mu at submission; readyAt is written by markReady before dispatch;
+	// lane is written and read only by the body's goroutine.
+	id      int64
+	readyAt time.Duration
+	lane    int32
+}
+
+// spanName is the label of the task's body span in the timeline.
+func (t *Task) spanName() string {
+	if t.label != "" {
+		return t.label
+	}
+	return "task"
 }
 
 // Label returns the task's diagnostic label.
@@ -92,7 +109,12 @@ func (t *Task) WaitFor(d time.Duration) time.Duration {
 	t.rt.cores.release()
 	t.rt.clk.Sleep(d)
 	t.rt.cores.acquire(t.rt.cores.ticket())
-	return t.rt.clk.Now() - start
+	slept := t.rt.clk.Now() - start
+	if rec := t.rt.rec; rec != nil {
+		rec.Span(t.rt.rank, obs.TaskTrack(t.lane), obs.CatTask, "task:wait",
+			start, start+slept, t.id)
+	}
+	return slept
 }
 
 // Yield releases the task's core, runs f (which may block on modelled
@@ -100,9 +122,18 @@ func (t *Task) WaitFor(d time.Duration) time.Duration {
 // library calls (e.g. blocking TAMPI receives) free the core while waiting,
 // like the Nanos6 blocking API.
 func (t *Task) Yield(f func()) {
+	rec := t.rt.rec
+	var start time.Duration
+	if rec != nil {
+		start = t.rt.clk.Now()
+	}
 	t.rt.cores.release()
 	f()
 	t.rt.cores.acquire(t.rt.cores.ticket())
+	if rec != nil {
+		rec.Span(t.rt.rank, obs.TaskTrack(t.lane), obs.CatTask, "task:yield",
+			start, t.rt.clk.Now(), t.id)
+	}
 }
 
 // EventCounter counts outstanding external events bound to one task.
@@ -159,8 +190,12 @@ func (c *EventCounter) Decrease(n int) {
 		return
 	}
 	if c.pre {
-		rt.dispatch(c.t)
+		rt.markReady(c.t)
 		return
+	}
+	if rt.rec != nil {
+		rt.rec.Instant(rt.rank, obs.TrackMain, obs.CatTask, "task:complete",
+			rt.clk.Now(), c.t.id)
 	}
 	rt.wakeSatisfied(ready)
 }

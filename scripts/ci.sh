@@ -6,7 +6,8 @@
 #
 # The gate is: build everything, run the standard vet analyzers, run the
 # repository's own invariant analyzers (tagalint), then the test suite
-# under the race detector. The simulator is heavily concurrent (one
+# under the race detector, then a smoke check that an instrumented run
+# produces a valid trace. The simulator is heavily concurrent (one
 # goroutine per rank main plus one per running task), so -race is part of
 # the gate, not an optional extra — see EXPERIMENTS.md.
 set -eu
@@ -29,5 +30,15 @@ else
     echo "== go test -race ./..."
     go test -race ./...
 fi
+
+# Observability smoke: an instrumented run must produce a trace that the
+# trace inspector accepts (README "Observability", DESIGN.md §7).
+echo "== trace smoke: instrumented cmd/heat run + cmd/trace -check"
+trace_tmp="$(mktemp -t heat-trace.XXXXXX.json)"
+trap 'rm -f "$trace_tmp"' EXIT
+go run ./cmd/heat -variant tagaspi -nodes 2 -rpn 1 -cores 2 \
+    -rows 128 -cols 256 -steps 2 -block 64 \
+    -trace "$trace_tmp" -metrics > /dev/null
+go run ./cmd/trace -check "$trace_tmp"
 
 echo "ci: OK"
