@@ -14,6 +14,7 @@ import (
 	"repro/internal/apps/miniamr"
 	"repro/internal/apps/streaming"
 	"repro/internal/cluster"
+	"repro/internal/exp"
 	"repro/internal/fabric"
 	"repro/internal/figures"
 )
@@ -56,10 +57,28 @@ func benchFigure(b *testing.B, id string) {
 	gen := figures.All()[id]
 	var last figures.Figure
 	for i := 0; i < b.N; i++ {
-		last = gen(figures.Quick)
+		last = gen(figures.Opts{Preset: figures.Quick})
 	}
 	reportSeries(b, last)
 }
+
+// benchAllFigures regenerates the complete Quick figure set through the
+// exp engine at the given host-worker bound — the repo's hot path, and
+// the headline measurement for the engine's host-parallel speedup.
+func benchAllFigures(b *testing.B, workers int) {
+	gens := figures.All()
+	for i := 0; i < b.N; i++ {
+		for _, id := range figures.IDs() {
+			gens[id](figures.Opts{
+				Preset: figures.Quick,
+				Exec:   exp.Options{Workers: workers},
+			})
+		}
+	}
+}
+
+func BenchmarkAllFiguresSequential(b *testing.B) { benchAllFigures(b, 1) }
+func BenchmarkAllFiguresParallel(b *testing.B)   { benchAllFigures(b, 0) }
 
 func BenchmarkFig09GaussSeidelScaling(b *testing.B)   { benchFigure(b, "9") }
 func BenchmarkFig10GaussSeidelBlocksize(b *testing.B) { benchFigure(b, "10") }

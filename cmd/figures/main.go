@@ -1,28 +1,68 @@
 // Command figures regenerates the paper's evaluation figures (§VI) on the
-// simulated cluster, printing each as a text table.
+// simulated cluster, printing each as a text table. Figures are declarative
+// sweeps of independent simulation points (internal/exp); points run
+// host-parallel on a bounded worker pool, and modelled results are
+// identical at any worker count.
 //
 // Usage:
 //
-//	figures -fig 9          # one figure (9, 10, 11, 12, 13a, 13b,
-//	                        # lock, poll, rma, onready)
-//	figures -all            # everything, in paper order
-//	figures -all -quick     # reduced scale (seconds instead of minutes)
+//	figures -fig 9            # one figure (9, 10, 11, 12, 13a, 13b,
+//	                          # lock, poll, rma, onready)
+//	figures -fig 9 -fig 13b   # a subset, in the order given
+//	figures -all              # everything, in paper order
+//	figures -all -quick       # reduced scale (seconds instead of minutes)
+//	figures -all -parallel 8  # at most 8 concurrent simulation points
+//	figures -all -seq         # fully sequential (one point at a time)
+//	figures -all -quick -json BENCH_figures.json
+//	                          # machine-readable rows {fig, series, x, y,
+//	                          # host_ms, modelled_ms, seed}
+//	figures -list             # print the known figure ids
+//
+// With -json-host=false the JSON omits measured host times, making two
+// runs of the same sweep byte-identical — the CI determinism gate diffs
+// exactly that.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sync"
 	"time"
 
+	"repro/internal/exp"
 	"repro/internal/figures"
 )
 
+// figList collects repeated -fig flags, preserving the order given.
+type figList []string
+
+func (f *figList) String() string { return fmt.Sprint([]string(*f)) }
+
+func (f *figList) Set(v string) error {
+	*f = append(*f, v)
+	return nil
+}
+
 func main() {
-	fig := flag.String("fig", "", "figure id to regenerate")
+	var figs figList
+	flag.Var(&figs, "fig", "figure id to regenerate (repeatable)")
 	all := flag.Bool("all", false, "regenerate every figure")
 	quick := flag.Bool("quick", false, "use the reduced Quick preset")
+	list := flag.Bool("list", false, "list the known figure ids and exit")
+	parallel := flag.Int("parallel", 0, "max concurrent simulation points (0 = GOMAXPROCS)")
+	seq := flag.Bool("seq", false, "run points sequentially (same as -parallel 1)")
+	jsonOut := flag.String("json", "", "write machine-readable results to this file")
+	jsonHost := flag.Bool("json-host", true,
+		"include measured host times in -json rows (false: byte-stable output)")
 	flag.Parse()
+
+	if *list {
+		for _, id := range figures.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
 
 	preset := figures.Full
 	if *quick {
@@ -33,20 +73,88 @@ func main() {
 	switch {
 	case *all:
 		ids = figures.IDs()
-	case *fig != "":
-		if _, ok := gens[*fig]; !ok {
-			fmt.Fprintf(os.Stderr, "unknown figure %q; known: %v\n", *fig, figures.IDs())
-			os.Exit(2)
+	case len(figs) > 0:
+		for _, id := range figs {
+			if _, ok := gens[id]; !ok {
+				fmt.Fprintf(os.Stderr, "unknown figure %q; known: %v\n", id, figures.IDs())
+				os.Exit(2)
+			}
 		}
-		ids = []string{*fig}
+		ids = figs
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
-	for _, id := range ids {
+
+	workers := *parallel
+	if *seq {
+		workers = 1
+	}
+
+	// Every figure gets its own row sink (merged in paper order below) and
+	// all figures share one point pool, so -parallel bounds the whole run
+	// no matter how many figures are in flight.
+	type output struct {
+		fig  figures.Figure
+		host time.Duration
+		sink *exp.Sink
+	}
+	outs := make([]output, len(ids))
+	pool := exp.NewPool(workers)
+	run := func(i int) {
+		o := figures.Opts{Preset: preset, Exec: exp.Options{Pool: pool}}
+		if *jsonOut != "" {
+			o.Sink = &exp.Sink{IncludeHost: *jsonHost}
+			outs[i].sink = o.Sink
+		}
 		start := time.Now()
-		f := gens[id](preset)
-		f.Render(os.Stdout)
-		fmt.Printf("   (host time: %v)\n\n", time.Since(start).Round(time.Millisecond))
+		outs[i].fig = gens[ids[i]](o)
+		outs[i].host = time.Since(start)
+	}
+
+	total := time.Now()
+	if workers == 1 {
+		for i := range ids {
+			run(i)
+		}
+	} else {
+		var wg sync.WaitGroup
+		for i := range ids {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				run(i)
+			}(i)
+		}
+		wg.Wait()
+	}
+	hostTotal := time.Since(total)
+
+	for _, out := range outs {
+		out.fig.Render(os.Stdout)
+		fmt.Printf("   (host time: %v)\n\n", out.host.Round(time.Millisecond))
+	}
+	if len(ids) > 1 {
+		fmt.Printf("total host time: %v (%d workers)\n",
+			hostTotal.Round(time.Millisecond), pool.Workers())
+	}
+
+	if *jsonOut != "" {
+		var rows []exp.Row
+		for _, out := range outs {
+			rows = append(rows, out.sink.Rows()...)
+		}
+		f, err := os.Create(*jsonOut)
+		if err == nil {
+			err = exp.WriteJSON(f, rows)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figures: writing %s: %v\n", *jsonOut, err)
+			os.Exit(1)
+		}
+		fmt.Printf("json: %d rows written to %s\n", len(rows), *jsonOut)
 	}
 }

@@ -11,7 +11,7 @@ import (
 // absolute numbers live in EXPERIMENTS.md; these tests pin the shape.
 
 func TestHeadlineFig10TAGASPIWinsAcrossBlockSizes(t *testing.T) {
-	f := figures.Fig10GaussSeidelBlocksize(figures.Quick)
+	f := figures.Fig10GaussSeidelBlocksize(figures.Opts{Preset: figures.Quick})
 	series := seriesMap(f)
 	for i := range f.X {
 		if series["TAGASPI"][i] < series["TAMPI"][i] {
@@ -22,7 +22,7 @@ func TestHeadlineFig10TAGASPIWinsAcrossBlockSizes(t *testing.T) {
 }
 
 func TestHeadlineFig13bTAGASPIWinsOnInfiniBand(t *testing.T) {
-	f := figures.Fig13bStreamingInfiniBand(figures.Quick)
+	f := figures.Fig13bStreamingInfiniBand(figures.Opts{Preset: figures.Quick})
 	series := seriesMap(f)
 	// At the small block size, TAMPI collapses on the MPI lock while
 	// TAGASPI stays close to (or above) MPI-only.
@@ -34,7 +34,7 @@ func TestHeadlineFig13bTAGASPIWinsOnInfiniBand(t *testing.T) {
 }
 
 func TestHeadlineRMANotificationRoundTrip(t *testing.T) {
-	f := figures.AblationRMANotification(figures.Quick)
+	f := figures.AblationRMANotification(figures.Opts{Preset: figures.Quick})
 	series := seriesMap(f)
 	for i := range f.X {
 		mpi := series["MPI put+flush+send"][i]
@@ -47,7 +47,7 @@ func TestHeadlineRMANotificationRoundTrip(t *testing.T) {
 }
 
 func TestHeadlinePollingPeriodMatters(t *testing.T) {
-	f := figures.AblationPollingPeriod(figures.Quick)
+	f := figures.AblationPollingPeriod(figures.Opts{Preset: figures.Quick})
 	series := seriesMap(f)
 	ys := series["TAGASPI"]
 	if ys[0] <= ys[len(ys)-1] {
@@ -57,7 +57,7 @@ func TestHeadlinePollingPeriodMatters(t *testing.T) {
 }
 
 func TestHeadlineLockBlowupSuperlinear(t *testing.T) {
-	f := figures.AblationMPILockBlowup(figures.Quick)
+	f := figures.AblationMPILockBlowup(figures.Opts{Preset: figures.Quick})
 	series := seriesMap(f)
 	times := series["MPI time (s)"]
 	msgs := series["messages"]

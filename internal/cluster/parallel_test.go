@@ -1,0 +1,160 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/fabric"
+	"repro/internal/gaspisim"
+	"repro/internal/obs"
+)
+
+// mixedTrafficMain exchanges both two-sided MPI messages and one-sided
+// GASPI write+notify traffic between the two ranks of a job: the traffic
+// mix of the paper's hybrid applications, exercising every simulator
+// layer that could leak state across concurrently running jobs.
+func mixedTrafficMain(msgs, size int) func(*Env) {
+	return func(env *Env) {
+		if _, err := env.GASPI.SegmentCreate(0, size); err != nil {
+			panic(err)
+		}
+		env.MPI.Barrier()
+		buf := make([]byte, size)
+		switch env.Rank {
+		case 0:
+			for i := 0; i < msgs; i++ {
+				env.MPI.Send(buf, 1, i)
+				err := env.GASPI.WriteNotify(0, 0, 1, 0, 0, size,
+					gaspisim.NotificationID(i%16), int64(i+1), i%4, nil)
+				if err != nil {
+					panic(err)
+				}
+			}
+			for q := 0; q < 4; q++ {
+				env.GASPI.Wait(q)
+				env.GASPI.Drain(q)
+			}
+		case 1:
+			for i := 0; i < msgs; i++ {
+				env.MPI.Recv(buf, 0, i)
+				env.GASPI.NotifyWaitSome(0, gaspisim.NotificationID(i%16), 1, gaspisim.Block)
+				env.GASPI.NotifyReset(0, gaspisim.NotificationID(i%16))
+			}
+		}
+	}
+}
+
+// jobConfig is one two-rank job with per-job distinct traffic volume.
+func jobConfig(i int) (Config, func(*Env), int) {
+	msgs := 8 + 4*i
+	size := 256 << (i % 3)
+	cfg := Config{
+		Nodes: 2, RanksPerNode: 1, CoresPerRank: 1,
+		Profile: fabric.ProfileInfiniBand(),
+		Seed:    fabric.SeedOf("parallel_test", fmt.Sprint(i)),
+	}
+	return cfg, mixedTrafficMain(msgs, size), msgs
+}
+
+// TestConcurrentClustersIsolated runs six two-rank clusters with mixed
+// MPI/GASPI traffic simultaneously from one process — the execution shape
+// of the exp engine's host-parallel sweeps — and checks that every job
+// reproduces exactly the statistics it yields when run alone: disjoint
+// fabrics, clocks, worlds and RNG chains, with no cross-job interference.
+// Run under -race (scripts/ci.sh), this is the isolation proof behind
+// `figures -parallel`.
+func TestConcurrentClustersIsolated(t *testing.T) {
+	const jobs = 6
+
+	// Reference: each configuration run by itself.
+	solo := make([]Result, jobs)
+	for i := 0; i < jobs; i++ {
+		cfg, main, _ := jobConfig(i)
+		solo[i] = Run(cfg, main)
+	}
+
+	// The same configurations, all in flight at once.
+	conc := make([]Result, jobs)
+	var wg sync.WaitGroup
+	for i := 0; i < jobs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cfg, main, _ := jobConfig(i)
+			conc[i] = Run(cfg, main)
+		}(i)
+	}
+	wg.Wait()
+
+	seenElapsed := map[time.Duration]bool{}
+	for i := 0; i < jobs; i++ {
+		_, _, msgs := jobConfig(i)
+		if conc[i].Elapsed != solo[i].Elapsed {
+			t.Errorf("job %d: elapsed %v concurrent vs %v solo", i, conc[i].Elapsed, solo[i].Elapsed)
+		}
+		if conc[i].Fabric != solo[i].Fabric {
+			t.Errorf("job %d: fabric stats %+v concurrent vs %+v solo", i, conc[i].Fabric, solo[i].Fabric)
+		}
+		// Disjointness: stats scale with this job's own traffic only.
+		// Every MPI message and every write+notify crosses the fabric at
+		// least once; a job observing another's traffic would inflate this.
+		if conc[i].Fabric.Messages < int64(2*msgs) {
+			t.Errorf("job %d: only %d fabric messages for %d sends+writes",
+				i, conc[i].Fabric.Messages, msgs)
+		}
+		if i > 0 && conc[i].Fabric.Messages == conc[i-1].Fabric.Messages {
+			t.Errorf("jobs %d and %d report identical message counts %d — stats not disjoint?",
+				i-1, i, conc[i].Fabric.Messages)
+		}
+		seenElapsed[conc[i].Elapsed] = true
+	}
+	// Six different workloads must not collapse onto one clock.
+	if len(seenElapsed) != jobs {
+		t.Errorf("only %d distinct elapsed times across %d distinct jobs", len(seenElapsed), jobs)
+	}
+}
+
+// TestInstrumentedJobIsolatedUnderConcurrency runs one instrumented job
+// alone and again while three other jobs are in flight: the serialized
+// trace must validate and be byte-identical in both settings — neither
+// virtual timestamps nor event sets may leak between concurrent jobs.
+func TestInstrumentedJobIsolatedUnderConcurrency(t *testing.T) {
+	run := func(concurrent bool) []byte {
+		col := obs.NewCollector(2)
+		cfg, main, _ := jobConfig(2)
+		cfg.Recorder = col
+		var wg sync.WaitGroup
+		if concurrent {
+			for i := 3; i < 6; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					bg, bgMain, _ := jobConfig(i)
+					Run(bg, bgMain)
+				}(i)
+			}
+		}
+		Run(cfg, main)
+		wg.Wait()
+		var buf bytes.Buffer
+		if err := col.Tracer.Write(&buf); err != nil {
+			t.Fatal(err)
+		}
+		tf, err := obs.ParseTrace(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tf.Validate(); err != nil {
+			t.Fatalf("trace invalid (concurrent=%v): %v", concurrent, err)
+		}
+		return buf.Bytes()
+	}
+	solo := run(false)
+	conc := run(true)
+	if !bytes.Equal(solo, conc) {
+		t.Fatal("instrumented trace differs when other jobs run concurrently")
+	}
+}

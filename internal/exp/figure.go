@@ -1,0 +1,84 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Series is one line of a figure.
+type Series struct {
+	Name string
+	Y    []float64 // aligned with the figure's X values
+}
+
+// Figure is one reproduced figure as a table.
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	X      []float64
+	YLabel string
+	Series []Series
+	Notes  []string
+}
+
+// Render prints the figure as an aligned text table.
+func (f Figure) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", f.ID, f.Title)
+	for _, n := range f.Notes {
+		fmt.Fprintf(w, "   note: %s\n", n)
+	}
+	cols := []string{f.XLabel}
+	for _, s := range f.Series {
+		cols = append(cols, s.Name)
+	}
+	rows := [][]string{cols}
+	for i, x := range f.X {
+		row := []string{trimFloat(x)}
+		for _, s := range f.Series {
+			if i < len(s.Y) {
+				row = append(row, fmt.Sprintf("%.4g", s.Y[i]))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		rows = append(rows, row)
+	}
+	widths := make([]int, len(cols))
+	for _, row := range rows {
+		for c, cell := range row {
+			if len(cell) > widths[c] {
+				widths[c] = len(cell)
+			}
+		}
+	}
+	for ri, row := range rows {
+		var b strings.Builder
+		for c, cell := range row {
+			if c > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(pad(cell, widths[c]))
+		}
+		fmt.Fprintln(w, "  "+b.String())
+		if ri == 0 {
+			fmt.Fprintln(w, "  "+strings.Repeat("-", len(b.String())))
+		}
+	}
+	fmt.Fprintln(w)
+}
+
+func pad(s string, w int) string {
+	for len(s) < w {
+		s = " " + s
+	}
+	return s
+}
+
+func trimFloat(x float64) string {
+	if x == float64(int64(x)) {
+		return fmt.Sprintf("%d", int64(x))
+	}
+	return fmt.Sprintf("%g", x)
+}

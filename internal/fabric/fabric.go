@@ -518,6 +518,40 @@ func (f *Fabric) Reset() {
 	}
 }
 
+// SeedOf derives a deterministic, platform-independent seed from a
+// sequence of identifier strings (FNV-1a over each part's bytes followed
+// by its length, so part boundaries are significant). Experiment
+// harnesses use it to seed every Jitterer chain from a stable point
+// identity instead of sweep iteration order, so a run's modelled times do
+// not depend on how many points preceded it or on host-side execution
+// order. The result is always positive, so a zero Config seed can keep
+// meaning "derive one for me".
+func SeedOf(parts ...string) int64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, p := range parts {
+		for j := 0; j < len(p); j++ {
+			h ^= uint64(p[j])
+			h *= prime64
+		}
+		for n := len(p); ; n >>= 8 {
+			h ^= uint64(n & 0xff)
+			h *= prime64
+			if n < 0x100 {
+				break
+			}
+		}
+	}
+	seed := int64(h &^ (1 << 63))
+	if seed == 0 {
+		seed = 1
+	}
+	return seed
+}
+
 // Jitterer produces deterministic multiplicative jitter for software-cost
 // modelling. Each protocol-layer process owns one (no locking).
 type Jitterer struct {

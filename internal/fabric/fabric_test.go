@@ -426,3 +426,38 @@ func BenchmarkFabricThroughput(b *testing.B) {
 	wg.Wait()
 	<-delivered
 }
+
+func TestSeedOfStableDistinctPositive(t *testing.T) {
+	a := SeedOf("9", "TAGASPI/n4")
+	if a != SeedOf("9", "TAGASPI/n4") {
+		t.Fatal("SeedOf not stable")
+	}
+	if a <= 0 {
+		t.Fatalf("SeedOf must be positive, got %d", a)
+	}
+	// Joining with '/' must keep part boundaries significant.
+	if SeedOf("a", "b/c") == SeedOf("a/b", "c") {
+		t.Fatal("SeedOf ignores part boundaries")
+	}
+	seen := map[int64]string{}
+	for _, id := range []string{"", "a", "b", "aa", "ab", "ba", "TAGASPI/n1", "TAGASPI/n2"} {
+		s := SeedOf("fig", id)
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("SeedOf collision: %q and %q -> %d", prev, id, s)
+		}
+		seen[s] = id
+	}
+	// Jitterer chains built from derived seeds must themselves diverge.
+	j1 := NewJitterer(SeedOf("fig", "p1"), 0.5)
+	j2 := NewJitterer(SeedOf("fig", "p2"), 0.5)
+	d := 1000 * time.Microsecond
+	same := true
+	for i := 0; i < 8; i++ {
+		if j1.Apply(d) != j2.Apply(d) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("distinct point ids produced identical jitter chains")
+	}
+}

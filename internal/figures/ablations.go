@@ -1,12 +1,14 @@
 package figures
 
 import (
+	"fmt"
 	"sync"
 	"time"
 
 	"repro/internal/apps/heat"
 	"repro/internal/apps/streaming"
 	"repro/internal/cluster"
+	"repro/internal/exp"
 	"repro/internal/fabric"
 	"repro/internal/gaspisim"
 	"repro/internal/tasking"
@@ -24,278 +26,308 @@ func must(err error) {
 // the Streaming block size multiplies the total time spent inside MPI (the
 // THREAD_MULTIPLE lock) far beyond the increase in message count — the
 // paper measures a 27x blowup from 8192- to 2048-element blocks.
-func AblationMPILockBlowup(pr Preset) Figure {
+func AblationMPILockBlowup(o Opts) Figure {
 	nodes, chunks, chunk := 4, 16, 64<<10
 	blocks := []int{256, 512, 1024, 2048, 4096}
-	if pr == Quick {
+	if o.Preset == Quick {
 		nodes, chunks, chunk = 3, 6, 16<<10
 		blocks = []int{512, 2048}
 	}
-	fig := Figure{
-		ID: "lock", Title: "TAMPI Streaming: total time inside MPI vs block size",
-		XLabel: "blocksize", X: toF(blocks),
-		YLabel: "MPI seconds (modelled, all ranks) / messages",
-		Notes: []string{
-			"paper (§VI-C): MPI time grows 27x from block 8192 to 2048 while messages grow 4x: the THREAD_MULTIPLE lock",
+	sw := &exp.Sweep{
+		Fig: Figure{
+			ID: "lock", Title: "TAMPI Streaming: total time inside MPI vs block size",
+			XLabel: "blocksize", X: toF(blocks),
+			YLabel: "MPI seconds (modelled, all ranks) / messages",
+			Notes: []string{
+				"paper (§VI-C): MPI time grows 27x from block 8192 to 2048 while messages grow 4x: the THREAD_MULTIPLE lock",
+			},
 		},
+		Series: []string{"MPI time (s)", "messages"},
 	}
-	var mpiTime, msgs []float64
 	for _, bs := range blocks {
 		p := streaming.Params{Chunks: chunks, ChunkElems: chunk, BlockSize: bs}
-		cfg := cluster.Config{
-			Nodes: nodes, RanksPerNode: 1, CoresPerRank: coresPerNode,
-			Profile:     fabric.ProfileOmniPath(),
-			WithTasking: true, WithTAMPI: true,
-			TAMPIPoll: 50 * time.Microsecond,
-		}
-		res := cluster.Run(cfg, func(env *cluster.Env) { streaming.RunTAMPI(env, p) })
-		mpiTime = append(mpiTime, res.TotalMPITime().Seconds())
-		msgs = append(msgs, float64(res.Fabric.Messages))
+		sw.Points = append(sw.Points, exp.Point{
+			ID: stPointID(stTAMPI, bs),
+			X:  float64(bs),
+			Cfg: cluster.Config{
+				Nodes: nodes, RanksPerNode: 1, CoresPerRank: coresPerNode,
+				Profile:     fabric.ProfileOmniPath(),
+				WithTasking: true, WithTAMPI: true,
+				TAMPIPoll: 50 * time.Microsecond,
+			},
+			Main: func(env *cluster.Env) { streaming.RunTAMPI(env, p) },
+			Values: func(job cluster.Result) map[string]float64 {
+				return map[string]float64{
+					"MPI time (s)": job.TotalMPITime().Seconds(),
+					"messages":     float64(job.Fabric.Messages),
+				}
+			},
+		})
 	}
-	fig.Series = append(fig.Series,
-		Series{Name: "MPI time (s)", Y: mpiTime},
-		Series{Name: "messages", Y: msgs})
-	return fig
+	return runSweep(o, sw)
 }
 
 // AblationPollingPeriod reproduces the §VI polling-frequency tuning: the
 // task-aware libraries' throughput as a function of the polling-task
-// period, for a communication-bound workload (Streaming / TAGASPI).
-func AblationPollingPeriod(pr Preset) Figure {
+// period, for a communication-bound workload (Streaming / TAGASPI) and a
+// compute-bound one (Gauss–Seidel), whose lower communication intensity
+// tolerates coarser polling.
+func AblationPollingPeriod(o Opts) Figure {
 	nodes, chunks, chunk, bs := 4, 16, 32<<10, 512
 	periods := []int{10, 50, 150, 500, 1500}
-	if pr == Quick {
+	if o.Preset == Quick {
 		nodes, chunks, chunk = 3, 6, 8<<10
 		periods = []int{50, 500}
 	}
-	fig := Figure{
-		ID: "poll", Title: "TAGASPI Streaming throughput vs polling period",
-		XLabel: "period (us)", X: toF(periods),
-		YLabel: "GElements/s",
-		Notes: []string{
-			"paper (§VI): optimal polling period is workload-dependent: 150us for Gauss-Seidel and miniAMR, 50us for Streaming (CTE-AMD TAMPI even needs a dedicated core)",
+	sw := &exp.Sweep{
+		Fig: Figure{
+			ID: "poll", Title: "TAGASPI Streaming throughput vs polling period",
+			XLabel: "period (us)", X: toF(periods),
+			YLabel: "GElements/s",
+			Notes: []string{
+				"paper (§VI): optimal polling period is workload-dependent: 150us for Gauss-Seidel and miniAMR, 50us for Streaming (CTE-AMD TAMPI even needs a dedicated core)",
+			},
 		},
+		Series: []string{"TAGASPI", "Gauss-Seidel"},
 	}
-	var ys []float64
 	for _, us := range periods {
 		p := streaming.Params{Chunks: chunks, ChunkElems: chunk, BlockSize: bs}
-		gps, _ := stRun(stTAGASPI, nodes, 1, p, fabric.ProfileInfiniBand(),
-			time.Duration(us)*time.Microsecond)
-		ys = append(ys, gps)
+		sw.Points = append(sw.Points, stPoint(
+			fmt.Sprintf("stream/p%dus", us), stTAGASPI, nodes, 1, p,
+			fabric.ProfileInfiniBand(), time.Duration(us)*time.Microsecond, float64(us)))
 	}
-	fig.Series = append(fig.Series, Series{Name: "TAGASPI", Y: ys})
-
-	// Gauss-Seidel at the same periods: its lower communication intensity
-	// tolerates coarser polling.
-	var gs []float64
 	for _, us := range periods {
 		p := gsParams(4, 32, 32, 6)
-		cfg := cluster.Config{
-			Nodes: 4, RanksPerNode: hybridRanks, CoresPerRank: coresPerNode / hybridRanks,
-			Profile:     fabric.ProfileInfiniBand(),
-			WithTasking: true, WithTAGASPI: true,
-			TAGASPIPoll: time.Duration(us) * time.Microsecond,
-		}
-		res := cluster.Run(cfg, func(env *cluster.Env) { heat.RunTAGASPI(env, p) })
-		gs = append(gs, p.Updates()/res.Elapsed.Seconds()/1e9)
+		sw.Points = append(sw.Points, exp.Point{
+			ID: fmt.Sprintf("gauss/p%dus", us),
+			X:  float64(us),
+			Cfg: cluster.Config{
+				Nodes: 4, RanksPerNode: hybridRanks, CoresPerRank: coresPerNode / hybridRanks,
+				Profile:     fabric.ProfileInfiniBand(),
+				WithTasking: true, WithTAGASPI: true,
+				TAGASPIPoll: time.Duration(us) * time.Microsecond,
+			},
+			Main: func(env *cluster.Env) { heat.RunTAGASPI(env, p) },
+			Values: func(job cluster.Result) map[string]float64 {
+				return map[string]float64{"Gauss-Seidel": p.Updates() / job.Elapsed.Seconds() / 1e9}
+			},
+		})
 	}
-	fig.Series = append(fig.Series, Series{Name: "Gauss-Seidel", Y: gs})
-	return fig
+	return runSweep(o, sw)
 }
 
 // AblationRMANotification reproduces the §III analysis: notifying remote
 // completion with MPI RMA (put + flush + two-sided message) costs an extra
 // round-trip versus GASPI's write+notify, and the gap dominates for small
 // messages.
-func AblationRMANotification(pr Preset) Figure {
+func AblationRMANotification(o Opts) Figure {
 	sizes := []int{64, 512, 4096, 32768, 262144}
 	iters := 50
-	if pr == Quick {
+	if o.Preset == Quick {
 		sizes = []int{64, 4096}
 		iters = 10
 	}
-	fig := Figure{
-		ID: "rma", Title: "Notified one-sided transfer latency: MPI put+flush+send vs GASPI write_notify",
-		XLabel: "bytes", X: toF(sizes),
-		YLabel: "us per notified transfer (modelled)",
-		Notes: []string{
-			"paper (§III, after Belli et al.): the flush needs a remote ack round-trip and the notification is an extra two-sided message",
+	sw := &exp.Sweep{
+		Fig: Figure{
+			ID: "rma", Title: "Notified one-sided transfer latency: MPI put+flush+send vs GASPI write_notify",
+			XLabel: "bytes", X: toF(sizes),
+			YLabel: "us per notified transfer (modelled)",
+			Notes: []string{
+				"paper (§III, after Belli et al.): the flush needs a remote ack round-trip and the notification is an extra two-sided message",
+			},
 		},
+		Series: []string{"MPI put+flush+send", "GASPI write_notify"},
 	}
-	var mpiLat, gaspiLat []float64
 	for _, sz := range sizes {
-		m, g := rmaNotifyLatency(sz, iters)
-		mpiLat = append(mpiLat, m.Seconds()*1e6)
-		gaspiLat = append(gaspiLat, g.Seconds()*1e6)
+		sw.Points = append(sw.Points, rmaNotifyPoint(sz, iters))
 	}
-	fig.Series = append(fig.Series,
-		Series{Name: "MPI put+flush+send", Y: mpiLat},
-		Series{Name: "GASPI write_notify", Y: gaspiLat})
-	return fig
+	return runSweep(o, sw)
 }
 
-// rmaNotifyLatency measures both §III notification idioms on a 2-rank job.
-func rmaNotifyLatency(size, iters int) (mpiAvg, gaspiAvg time.Duration) {
+// rmaNotifyPoint measures both §III notification idioms on a 2-rank job.
+func rmaNotifyPoint(size, iters int) exp.Point {
 	var mu sync.Mutex
-	cfg := cluster.Config{
-		Nodes: 2, RanksPerNode: 1, CoresPerRank: 1,
-		Profile: fabric.ProfileInfiniBand(), Seed: 4,
-	}
-	cluster.Run(cfg, func(env *cluster.Env) {
-		seg, err := env.GASPI.SegmentCreate(0, size)
-		must(err)
-		winSeg, err := env.GASPI.SegmentCreate(1, size)
-		if err != nil {
-			panic(err)
-		}
-		win := env.MPI.WinCreate(winSeg)
-		env.MPI.Barrier()
-		clk := env.Clk
-		switch env.Rank {
-		case 0:
-			buf := make([]byte, size)
-			// MPI idiom: Put + Win_flush + empty Send (§III listing).
-			t0 := clk.Now()
-			for i := 0; i < iters; i++ {
-				env.MPI.Put(win, buf, 1, 0)
-				env.MPI.Flush(win, 1)
-				env.MPI.Send(nil, 1, 0)
-				env.MPI.Recv(nil, 1, 1) // receiver-consumed ack to serialize
+	var mpiAvg, gaspiAvg time.Duration
+	return exp.Point{
+		ID: fmt.Sprintf("rma/%dB", size),
+		X:  float64(size),
+		Cfg: cluster.Config{
+			Nodes: 2, RanksPerNode: 1, CoresPerRank: 1,
+			Profile: fabric.ProfileInfiniBand(),
+		},
+		Main: func(env *cluster.Env) {
+			seg, err := env.GASPI.SegmentCreate(0, size)
+			must(err)
+			winSeg, err := env.GASPI.SegmentCreate(1, size)
+			if err != nil {
+				panic(err)
 			}
-			m := (clk.Now() - t0) / time.Duration(iters)
-			// GASPI idiom: write_notify; completion observed via the
-			// receiver's notification-based ack.
-			t1 := clk.Now()
-			for i := 0; i < iters; i++ {
-				must(env.GASPI.WriteNotify(0, 0, 1, 0, 0, size, 0, 1, 0, nil))
-				env.GASPI.Wait(0)
-				env.GASPI.Drain(0)
-				env.GASPI.NotifyWaitSome(0, 1, 1, gaspisim.Block)
-				env.GASPI.NotifyReset(0, 1)
+			win := env.MPI.WinCreate(winSeg)
+			env.MPI.Barrier()
+			clk := env.Clk
+			switch env.Rank {
+			case 0:
+				buf := make([]byte, size)
+				// MPI idiom: Put + Win_flush + empty Send (§III listing).
+				t0 := clk.Now()
+				for i := 0; i < iters; i++ {
+					env.MPI.Put(win, buf, 1, 0)
+					env.MPI.Flush(win, 1)
+					env.MPI.Send(nil, 1, 0)
+					env.MPI.Recv(nil, 1, 1) // receiver-consumed ack to serialize
+				}
+				m := (clk.Now() - t0) / time.Duration(iters)
+				// GASPI idiom: write_notify; completion observed via the
+				// receiver's notification-based ack.
+				t1 := clk.Now()
+				for i := 0; i < iters; i++ {
+					must(env.GASPI.WriteNotify(0, 0, 1, 0, 0, size, 0, 1, 0, nil))
+					env.GASPI.Wait(0)
+					env.GASPI.Drain(0)
+					env.GASPI.NotifyWaitSome(0, 1, 1, gaspisim.Block)
+					env.GASPI.NotifyReset(0, 1)
+				}
+				g := (clk.Now() - t1) / time.Duration(iters)
+				mu.Lock()
+				mpiAvg, gaspiAvg = m, g
+				mu.Unlock()
+			case 1:
+				for i := 0; i < iters; i++ {
+					env.MPI.Recv(nil, 0, 0) // data-arrived notification
+					env.MPI.Send(nil, 0, 1)
+				}
+				for i := 0; i < iters; i++ {
+					env.GASPI.NotifyWaitSome(0, 0, 1, gaspisim.Block)
+					env.GASPI.NotifyReset(0, 0)
+					must(env.GASPI.Notify(0, 0, 1, 1, 0, nil)) // ack back
+					env.GASPI.Wait(0)
+					env.GASPI.Drain(0)
+				}
+				_ = seg
 			}
-			g := (clk.Now() - t1) / time.Duration(iters)
+		},
+		Values: func(cluster.Result) map[string]float64 {
 			mu.Lock()
-			mpiAvg, gaspiAvg = m, g
-			mu.Unlock()
-		case 1:
-			for i := 0; i < iters; i++ {
-				env.MPI.Recv(nil, 0, 0) // data-arrived notification
-				env.MPI.Send(nil, 0, 1)
+			defer mu.Unlock()
+			return map[string]float64{
+				"MPI put+flush+send": mpiAvg.Seconds() * 1e6,
+				"GASPI write_notify": gaspiAvg.Seconds() * 1e6,
 			}
-			for i := 0; i < iters; i++ {
-				env.GASPI.NotifyWaitSome(0, 0, 1, gaspisim.Block)
-				env.GASPI.NotifyReset(0, 0)
-				must(env.GASPI.Notify(0, 0, 1, 1, 0, nil)) // ack back
-				env.GASPI.Wait(0)
-				env.GASPI.Drain(0)
-			}
-			_ = seg
-		}
-	})
-	return
+		},
+	}
 }
 
 // AblationOnready reproduces the §V-A comparison: waiting the consumer ack
 // with an extra predecessor task (Figure 5) versus the onready clause on
 // the writer task (Figure 8), in an iterative producer-consumer loop.
-func AblationOnready(pr Preset) Figure {
+func AblationOnready(o Opts) Figure {
 	iterations := []int{64, 256, 1024}
-	if pr == Quick {
+	if o.Preset == Quick {
 		iterations = []int{32, 64}
 	}
-	fig := Figure{
-		ID: "onready", Title: "Producer-consumer: extra ack-wait task vs onready clause",
-		XLabel: "iterations", X: toF(iterations),
-		YLabel: "us total (modelled)",
-		Notes: []string{
-			"paper (§V-A): the onready clause removes one task per write, improving performance and programmability",
+	sw := &exp.Sweep{
+		Fig: Figure{
+			ID: "onready", Title: "Producer-consumer: extra ack-wait task vs onready clause",
+			XLabel: "iterations", X: toF(iterations),
+			YLabel: "us total (modelled)",
+			Notes: []string{
+				"paper (§V-A): the onready clause removes one task per write, improving performance and programmability",
+			},
 		},
+		Series: []string{"extra wait-ack task", "onready"},
 	}
-	var extra, onready []float64
 	for _, iters := range iterations {
-		extra = append(extra, producerConsumer(iters, false).Seconds()*1e6)
-		onready = append(onready, producerConsumer(iters, true).Seconds()*1e6)
+		sw.Points = append(sw.Points,
+			producerConsumerPoint(iters, false),
+			producerConsumerPoint(iters, true))
 	}
-	fig.Series = append(fig.Series,
-		Series{Name: "extra wait-ack task", Y: extra},
-		Series{Name: "onready", Y: onready})
-	return fig
+	return runSweep(o, sw)
 }
 
-// producerConsumer runs the Figure 5 / Figure 8 loops over several
+// producerConsumerPoint runs the Figure 5 / Figure 8 loops over several
 // concurrent chunk slots ("real applications will work with multiple
-// chunks in parallel", §IV-B) and returns the modelled completion time.
-func producerConsumer(iters int, useOnready bool) time.Duration {
+// chunks in parallel", §IV-B), yielding the modelled completion time in
+// microseconds under the matching series.
+func producerConsumerPoint(iters int, useOnready bool) exp.Point {
 	const (
 		N     = 2048 // bytes per chunk slot
 		slots = 16
 	)
-	cfg := cluster.Config{
-		Nodes: 2, RanksPerNode: 1, CoresPerRank: 2,
-		Profile:     fabric.ProfileInfiniBand(),
-		WithTasking: true, WithTAGASPI: true,
-		TAGASPIPoll: 5 * time.Microsecond,
-		Seed:        5,
+	name := "extra wait-ack task"
+	if useOnready {
+		name = "onready"
 	}
-	res := cluster.Run(cfg, func(env *cluster.Env) {
-		seg, err := env.GASPI.SegmentCreate(0, slots*N)
-		must(err)
-		tg, rt := env.TAGASPI, env.RT
-		dataID := func(j int) gaspisim.NotificationID { return gaspisim.NotificationID(j) }
-		ackID := func(j int) gaspisim.NotificationID { return gaspisim.NotificationID(slots + j) }
-		switch env.Rank {
-		case 0:
-			acks := make([]int64, slots)
-			for i := 0; i < iters; i++ {
-				for j := 0; j < slots; j++ {
-					i, j := i, j
-					lo, hi := j*N, (j+1)*N
-					if useOnready {
-						rt.Submit(func(tk *tasking.Task) {
-							must(tg.WriteNotify(tk, 0, lo, 1, 0, lo, N, dataID(j), int64(i+1), j%4))
-						}, tasking.WithDeps(tasking.In(seg, lo, hi)),
-							tasking.WithOnReady(func(tk *tasking.Task) {
-								tg.NotifyIwait(tk, 0, ackID(j), nil)
-							}))
-					} else {
-						rt.Submit(func(tk *tasking.Task) {
-							tg.NotifyIwait(tk, 0, ackID(j), &acks[j])
-						}, tasking.WithDeps(tasking.OutVal(&acks[j])))
-						rt.Submit(func(tk *tasking.Task) {
-							must(tg.WriteNotify(tk, 0, lo, 1, 0, lo, N, dataID(j), int64(i+1), j%4))
-						}, tasking.WithDeps(tasking.In(seg, lo, hi), tasking.InVal(&acks[j])))
-					}
-					rt.Submit(func(tk *tasking.Task) {
-						tk.Compute(env.CostOf(6 * N))
-					}, tasking.WithDeps(tasking.InOut(seg, lo, hi)))
-				}
-				rt.Throttle(2048)
-			}
-		case 1:
-			rt.Submit(func(tk *tasking.Task) {
-				for j := 0; j < slots; j++ {
-					must(tg.Notify(tk, 0, 0, ackID(j), 1, j%4))
-				}
-			})
-			got := make([]int64, slots)
-			for i := 0; i < iters; i++ {
-				last := i == iters-1
-				for j := 0; j < slots; j++ {
-					j := j
-					lo, hi := j*N, (j+1)*N
-					rt.Submit(func(tk *tasking.Task) {
-						tg.NotifyIwait(tk, 0, dataID(j), &got[j])
-					}, tasking.WithDeps(tasking.Out(seg, lo, hi), tasking.OutVal(&got[j])))
-					rt.Submit(func(tk *tasking.Task) {
-						tk.Compute(env.CostOf(6 * N))
-						if !last {
-							must(tg.Notify(tk, 0, 0, ackID(j), 1, j%4))
+	return exp.Point{
+		ID: fmt.Sprintf("%s/i%d", map[bool]string{false: "ackwait", true: "onready"}[useOnready], iters),
+		X:  float64(iters),
+		Cfg: cluster.Config{
+			Nodes: 2, RanksPerNode: 1, CoresPerRank: 2,
+			Profile:     fabric.ProfileInfiniBand(),
+			WithTasking: true, WithTAGASPI: true,
+			TAGASPIPoll: 5 * time.Microsecond,
+		},
+		Main: func(env *cluster.Env) {
+			seg, err := env.GASPI.SegmentCreate(0, slots*N)
+			must(err)
+			tg, rt := env.TAGASPI, env.RT
+			dataID := func(j int) gaspisim.NotificationID { return gaspisim.NotificationID(j) }
+			ackID := func(j int) gaspisim.NotificationID { return gaspisim.NotificationID(slots + j) }
+			switch env.Rank {
+			case 0:
+				acks := make([]int64, slots)
+				for i := 0; i < iters; i++ {
+					for j := 0; j < slots; j++ {
+						i, j := i, j
+						lo, hi := j*N, (j+1)*N
+						if useOnready {
+							rt.Submit(func(tk *tasking.Task) {
+								must(tg.WriteNotify(tk, 0, lo, 1, 0, lo, N, dataID(j), int64(i+1), j%4))
+							}, tasking.WithDeps(tasking.In(seg, lo, hi)),
+								tasking.WithOnReady(func(tk *tasking.Task) {
+									tg.NotifyIwait(tk, 0, ackID(j), nil)
+								}))
+						} else {
+							rt.Submit(func(tk *tasking.Task) {
+								tg.NotifyIwait(tk, 0, ackID(j), &acks[j])
+							}, tasking.WithDeps(tasking.OutVal(&acks[j])))
+							rt.Submit(func(tk *tasking.Task) {
+								must(tg.WriteNotify(tk, 0, lo, 1, 0, lo, N, dataID(j), int64(i+1), j%4))
+							}, tasking.WithDeps(tasking.In(seg, lo, hi), tasking.InVal(&acks[j])))
 						}
-					}, tasking.WithDeps(tasking.InOut(seg, lo, hi), tasking.InVal(&got[j])))
+						rt.Submit(func(tk *tasking.Task) {
+							tk.Compute(env.CostOf(6 * N))
+						}, tasking.WithDeps(tasking.InOut(seg, lo, hi)))
+					}
+					rt.Throttle(2048)
 				}
-				rt.Throttle(2048)
+			case 1:
+				rt.Submit(func(tk *tasking.Task) {
+					for j := 0; j < slots; j++ {
+						must(tg.Notify(tk, 0, 0, ackID(j), 1, j%4))
+					}
+				})
+				got := make([]int64, slots)
+				for i := 0; i < iters; i++ {
+					last := i == iters-1
+					for j := 0; j < slots; j++ {
+						j := j
+						lo, hi := j*N, (j+1)*N
+						rt.Submit(func(tk *tasking.Task) {
+							tg.NotifyIwait(tk, 0, dataID(j), &got[j])
+						}, tasking.WithDeps(tasking.Out(seg, lo, hi), tasking.OutVal(&got[j])))
+						rt.Submit(func(tk *tasking.Task) {
+							tk.Compute(env.CostOf(6 * N))
+							if !last {
+								must(tg.Notify(tk, 0, 0, ackID(j), 1, j%4))
+							}
+						}, tasking.WithDeps(tasking.InOut(seg, lo, hi), tasking.InVal(&got[j])))
+					}
+					rt.Throttle(2048)
+				}
 			}
-		}
-	})
-	return res.Elapsed
+		},
+		Values: func(job cluster.Result) map[string]float64 {
+			return map[string]float64{name: job.Elapsed.Seconds() * 1e6}
+		},
+	}
 }

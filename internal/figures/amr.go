@@ -1,11 +1,13 @@
 package figures
 
 import (
+	"fmt"
 	"sync"
 	"time"
 
 	"repro/internal/apps/miniamr"
 	"repro/internal/cluster"
+	"repro/internal/exp"
 	"repro/internal/fabric"
 )
 
@@ -20,13 +22,19 @@ const (
 
 var amrNames = []string{"MPI-Only", "TAMPI", "TAGASPI"}
 
-// amrRun executes one miniAMR configuration, returning total and
-// no-refinement (NR) throughput in GUpdates/s of modelled time.
-func amrRun(v amrVariant, nodes int, p miniamr.Params) (total, nr float64) {
+// amrSeries is the series declaration shared by both miniAMR figures:
+// total and no-refinement (NR) throughput per variant.
+var amrSeries = []string{
+	"MPI-Only", "MPI-Only (NR)",
+	"TAMPI", "TAMPI (NR)",
+	"TAGASPI", "TAGASPI (NR)",
+}
+
+// amrConfig builds the cluster geometry of one miniAMR variant.
+func amrConfig(v amrVariant, nodes int) cluster.Config {
 	cfg := cluster.Config{
 		Nodes:   nodes,
 		Profile: fabric.ProfileOmniPath(),
-		Seed:    2,
 	}
 	switch v {
 	case amrMPIOnly:
@@ -42,34 +50,54 @@ func amrRun(v amrVariant, nodes int, p miniamr.Params) (total, nr float64) {
 			cfg.WithTAGASPI = true
 		}
 	}
+	return cfg
+}
+
+// amrPoint is one miniAMR run, yielding the variant's total and
+// no-refinement (NR) throughput in GUpdates/s of modelled time. The NR
+// number subtracts the slowest rank's refinement time, captured by the
+// rank mains into point-local state.
+func amrPoint(v amrVariant, nodes int, p miniamr.Params, x float64) exp.Point {
+	cfg := amrConfig(v, nodes)
 	ranks := cfg.Nodes * cfg.RanksPerNode
 	epochs := p.Epochs(ranks)
 	var mu sync.Mutex
 	var maxRefine time.Duration
-	res := cluster.Run(cfg, func(env *cluster.Env) {
-		var out miniamr.Output
-		switch v {
-		case amrMPIOnly:
-			out = miniamr.RunMPIOnly(env, p, epochs)
-		case amrTAMPI:
-			out = miniamr.RunTAMPI(env, p, epochs)
-		case amrTAGASPI:
-			out = miniamr.RunTAGASPI(env, p, epochs)
-		}
-		mu.Lock()
-		if out.RefineTime > maxRefine {
-			maxRefine = out.RefineTime
-		}
-		mu.Unlock()
-	})
-	work := miniamr.Work(p, epochs)
-	total = work / res.Elapsed.Seconds() / 1e9
-	nrTime := res.Elapsed - maxRefine
-	if nrTime <= 0 {
-		nrTime = res.Elapsed
+	return exp.Point{
+		ID:  fmt.Sprintf("%s/n%d/v%d", amrNames[v], nodes, p.Vars),
+		X:   x,
+		Cfg: cfg,
+		Main: func(env *cluster.Env) {
+			var out miniamr.Output
+			switch v {
+			case amrMPIOnly:
+				out = miniamr.RunMPIOnly(env, p, epochs)
+			case amrTAMPI:
+				out = miniamr.RunTAMPI(env, p, epochs)
+			case amrTAGASPI:
+				out = miniamr.RunTAGASPI(env, p, epochs)
+			}
+			mu.Lock()
+			if out.RefineTime > maxRefine {
+				maxRefine = out.RefineTime
+			}
+			mu.Unlock()
+		},
+		Values: func(job cluster.Result) map[string]float64 {
+			mu.Lock()
+			refine := maxRefine
+			mu.Unlock()
+			work := miniamr.Work(p, epochs)
+			nrTime := job.Elapsed - refine
+			if nrTime <= 0 {
+				nrTime = job.Elapsed
+			}
+			return map[string]float64{
+				amrNames[v]:           work / job.Elapsed.Seconds() / 1e9,
+				amrNames[v] + " (NR)": work / nrTime.Seconds() / 1e9,
+			}
+		},
 	}
-	nr = work / nrTime.Seconds() / 1e9
-	return
 }
 
 // amrParams is the scaled miniAMR input (paper: the §VI-B input with 20
@@ -89,74 +117,69 @@ func amrParams(vars, steps int) miniamr.Params {
 // Fig11MiniAMRScaling reproduces Figure 11: miniAMR strong scaling with 20
 // variables; speedup and efficiency for total time and assuming negligible
 // refinement (NR).
-func Fig11MiniAMRScaling(pr Preset) Figure {
+func Fig11MiniAMRScaling(o Opts) Figure {
 	maxNodes := 16
 	steps := 20
-	if pr == Quick {
+	if o.Preset == Quick {
 		maxNodes, steps = 2, 10
 	}
 	nodes := doubling(maxNodes)
 	p := amrParams(20, steps)
-	fig := Figure{
-		ID: "11", Title: "miniAMR strong scaling (speedup, total and NR)",
-		XLabel: "nodes", X: toF(nodes),
-		YLabel: "speedup vs MPI-only@1",
-		Notes: []string{
-			"paper: 1-256 nodes, 20 variables, one face per message, Marenostrum4",
-			"paper result: TAGASPI 1.41x over both at the largest scale; NR efficiencies 0.84/0.73/0.58",
+	sw := &exp.Sweep{
+		Fig: Figure{
+			ID: "11", Title: "miniAMR strong scaling (speedup, total and NR)",
+			XLabel: "nodes", X: toF(nodes),
+			YLabel: "speedup vs MPI-only@1",
+			Notes: []string{
+				"paper: 1-256 nodes, 20 variables, one face per message, Marenostrum4",
+				"paper result: TAGASPI 1.41x over both at the largest scale; NR efficiencies 0.84/0.73/0.58",
+			},
 		},
+		Series: amrSeries,
 	}
-	var baseTotal float64
 	for v := amrMPIOnly; v <= amrTAGASPI; v++ {
-		var tot, nr []float64
 		for _, n := range nodes {
-			t, r := amrRun(v, n, p)
-			tot = append(tot, t)
-			nr = append(nr, r)
+			sw.Points = append(sw.Points, amrPoint(v, n, p, float64(n)))
 		}
-		if v == amrMPIOnly {
-			baseTotal = tot[0]
-		}
-		sp := make([]float64, len(tot))
-		spNR := make([]float64, len(nr))
-		for i := range tot {
-			sp[i] = tot[i] / baseTotal
-			spNR[i] = nr[i] / baseTotal
-		}
-		fig.Series = append(fig.Series, Series{Name: amrNames[v], Y: sp})
-		fig.Series = append(fig.Series, Series{Name: amrNames[v] + " (NR)", Y: spNR})
 	}
-	return fig
+	sw.Post = func(f *Figure, raw map[string][]float64, _ []exp.Result) {
+		base := raw[amrNames[amrMPIOnly]][0]
+		f.Series = nil
+		for v := amrMPIOnly; v <= amrTAGASPI; v++ {
+			f.Series = append(f.Series,
+				Series{Name: amrNames[v], Y: exp.Speedup(raw[amrNames[v]], base)},
+				Series{Name: amrNames[v] + " (NR)", Y: exp.Speedup(raw[amrNames[v]+" (NR)"], base)})
+		}
+	}
+	return runSweep(o, sw)
 }
 
 // Fig12MiniAMRVariables reproduces Figure 12: throughput at a fixed large
 // scale while varying the computed variables.
-func Fig12MiniAMRVariables(pr Preset) Figure {
+func Fig12MiniAMRVariables(o Opts) Figure {
 	nodes := 8
 	steps := 20
 	vars := []int{10, 20, 30, 40}
-	if pr == Quick {
+	if o.Preset == Quick {
 		nodes, steps = 2, 10
 		vars = []int{10, 20}
 	}
-	fig := Figure{
-		ID: "12", Title: "miniAMR throughput vs computed variables",
-		XLabel: "variables", X: toF(vars),
-		YLabel: "GUpdates/s (total and NR)",
-		Notes: []string{
-			"paper: 128 nodes, 10-40 variables",
-			"paper result: TAGASPI best everywhere; at 20 variables 1.46x over MPI-only and 1.40x over TAMPI (NR)",
+	sw := &exp.Sweep{
+		Fig: Figure{
+			ID: "12", Title: "miniAMR throughput vs computed variables",
+			XLabel: "variables", X: toF(vars),
+			YLabel: "GUpdates/s (total and NR)",
+			Notes: []string{
+				"paper: 128 nodes, 10-40 variables",
+				"paper result: TAGASPI best everywhere; at 20 variables 1.46x over MPI-only and 1.40x over TAMPI (NR)",
+			},
 		},
+		Series: amrSeries,
 	}
 	for v := amrMPIOnly; v <= amrTAGASPI; v++ {
-		var tot, nr []float64
 		for _, nv := range vars {
-			t, r := amrRun(v, nodes, amrParams(nv, steps))
-			tot = append(tot, t)
-			nr = append(nr, r)
+			sw.Points = append(sw.Points, amrPoint(v, nodes, amrParams(nv, steps), float64(nv)))
 		}
-		fig.Series = append(fig.Series, Series{Name: amrNames[v], Y: tot})
-		fig.Series = append(fig.Series, Series{Name: amrNames[v] + " (NR)", Y: nr})
 	}
-	return fig
+	return runSweep(o, sw)
 }

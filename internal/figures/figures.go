@@ -6,6 +6,14 @@
 // tuning of §VI, the RMA-notification round-trip of §III, and the onready
 // ablation of §V-A).
 //
+// Every figure is expressed as an exp.Sweep — a declarative set of
+// independent simulation points — and executed by the exp engine, which
+// runs points host-parallel on a bounded worker pool and reduces them to
+// series with the shared speedup/efficiency math. Modelled results are
+// identical at any worker count (seeds derive from point ids, each point
+// is one isolated discrete-event simulation); only host wall-clock
+// changes.
+//
 // Figures run in virtual time on scaled-down inputs (documented per figure
 // and in EXPERIMENTS.md): node counts and matrices are reduced by a
 // constant factor relative to the paper, preserving the per-rank work,
@@ -14,10 +22,9 @@
 package figures
 
 import (
-	"fmt"
-	"io"
 	"sort"
-	"strings"
+
+	"repro/internal/exp"
 )
 
 // Preset selects the experiment scale.
@@ -31,85 +38,38 @@ const (
 	Full
 )
 
-// Series is one line of a figure.
-type Series struct {
-	Name string
-	Y    []float64 // aligned with the figure's X values
+// Figure and Series are the exp engine's assembled-figure types; aliased
+// so figure consumers need not import the engine.
+type (
+	Figure = exp.Figure
+	Series = exp.Series
+)
+
+// Opts configures one generator run: the experiment scale, the host-side
+// execution bound, and an optional sink collecting machine-readable rows.
+// The zero value is the Quick preset executed on GOMAXPROCS workers.
+type Opts struct {
+	Preset Preset
+	// Exec bounds the host-parallel experiment points (Workers: 1 is
+	// fully sequential; a shared Pool spans several generators).
+	Exec exp.Options
+	// Sink, when non-nil, receives every executed point as structured
+	// rows for BENCH_*.json output.
+	Sink *exp.Sink
 }
 
-// Figure is one reproduced figure as a table.
-type Figure struct {
-	ID     string
-	Title  string
-	XLabel string
-	X      []float64
-	YLabel string
-	Series []Series
-	Notes  []string
+// runSweep executes a sweep under the generator options: results feed the
+// sink (if any), then assemble into the figure.
+func runSweep(o Opts, sw *exp.Sweep) Figure {
+	rs := sw.Execute(o.Exec)
+	if o.Sink != nil {
+		o.Sink.Add(sw, rs)
+	}
+	return sw.Build(rs)
 }
 
-// Render prints the figure as an aligned text table.
-func (f Figure) Render(w io.Writer) {
-	fmt.Fprintf(w, "== %s: %s ==\n", f.ID, f.Title)
-	for _, n := range f.Notes {
-		fmt.Fprintf(w, "   note: %s\n", n)
-	}
-	cols := []string{f.XLabel}
-	for _, s := range f.Series {
-		cols = append(cols, s.Name)
-	}
-	rows := [][]string{cols}
-	for i, x := range f.X {
-		row := []string{trimFloat(x)}
-		for _, s := range f.Series {
-			if i < len(s.Y) {
-				row = append(row, fmt.Sprintf("%.4g", s.Y[i]))
-			} else {
-				row = append(row, "-")
-			}
-		}
-		rows = append(rows, row)
-	}
-	widths := make([]int, len(cols))
-	for _, row := range rows {
-		for c, cell := range row {
-			if len(cell) > widths[c] {
-				widths[c] = len(cell)
-			}
-		}
-	}
-	for ri, row := range rows {
-		var b strings.Builder
-		for c, cell := range row {
-			if c > 0 {
-				b.WriteString("  ")
-			}
-			b.WriteString(pad(cell, widths[c]))
-		}
-		fmt.Fprintln(w, "  "+b.String())
-		if ri == 0 {
-			fmt.Fprintln(w, "  "+strings.Repeat("-", len(b.String())))
-		}
-	}
-	fmt.Fprintln(w)
-}
-
-func pad(s string, w int) string {
-	for len(s) < w {
-		s = " " + s
-	}
-	return s
-}
-
-func trimFloat(x float64) string {
-	if x == float64(int64(x)) {
-		return fmt.Sprintf("%d", int64(x))
-	}
-	return fmt.Sprintf("%g", x)
-}
-
-// Generator produces one figure at a preset.
-type Generator func(Preset) Figure
+// Generator produces one figure under the given options.
+type Generator func(Opts) Figure
 
 // All maps figure ids to their generators.
 func All() map[string]Generator {

@@ -1,7 +1,6 @@
 package figures
 
 import (
-	"strings"
 	"testing"
 )
 
@@ -23,30 +22,13 @@ func TestAllGeneratorsRegistered(t *testing.T) {
 	}
 }
 
-func TestRenderFormatsTable(t *testing.T) {
-	f := Figure{
-		ID: "x", Title: "test figure", XLabel: "n", YLabel: "y",
-		X:      []float64{1, 2},
-		Series: []Series{{Name: "a", Y: []float64{0.5, 1.5}}, {Name: "b", Y: []float64{2}}},
-		Notes:  []string{"a note"},
-	}
-	var sb strings.Builder
-	f.Render(&sb)
-	out := sb.String()
-	for _, want := range []string{"test figure", "a note", "n", "a", "b", "0.5", "1.5", "-"} {
-		if !strings.Contains(out, want) {
-			t.Fatalf("render missing %q in:\n%s", want, out)
-		}
-	}
-}
-
 // Every generator must produce a well-formed figure at the Quick preset:
 // non-empty X, every series aligned, finite values.
 func TestQuickPresetFiguresWellFormed(t *testing.T) {
 	// Restrict to the fast generators; the app-level ones are covered by
 	// the root integration tests and benchmarks.
 	for _, id := range []string{"rma", "onready"} {
-		f := All()[id](Quick)
+		f := All()[id](Opts{Preset: Quick})
 		if len(f.X) == 0 || len(f.Series) == 0 {
 			t.Fatalf("figure %s empty", id)
 		}
@@ -78,14 +60,5 @@ func TestDoublingAndToF(t *testing.T) {
 	fs := toF(ns)
 	if fs[3] != 8 {
 		t.Fatalf("toF broken: %v", fs)
-	}
-}
-
-func TestTrimFloat(t *testing.T) {
-	if trimFloat(8) != "8" {
-		t.Fatal("integers must render without decimals")
-	}
-	if trimFloat(0.5) != "0.5" {
-		t.Fatal("fractions must keep their digits")
 	}
 }

@@ -1,10 +1,12 @@
 package figures
 
 import (
+	"fmt"
 	"time"
 
 	"repro/internal/apps/heat"
 	"repro/internal/cluster"
+	"repro/internal/exp"
 	"repro/internal/fabric"
 )
 
@@ -19,13 +21,11 @@ const (
 
 var gsNames = []string{"MPI-Only", "TAMPI", "TAGASPI"}
 
-// gsRun executes one Gauss–Seidel configuration and returns its throughput
-// in GUpdates/s of modelled time.
-func gsRun(v gsVariant, nodes int, p heat.Params, prof fabric.Profile) float64 {
+// gsConfig builds the cluster geometry of one Gauss–Seidel variant.
+func gsConfig(v gsVariant, nodes int, prof fabric.Profile) cluster.Config {
 	cfg := cluster.Config{
 		Nodes:   nodes,
 		Profile: prof,
-		Seed:    1,
 	}
 	switch v {
 	case gsMPIOnly:
@@ -44,17 +44,30 @@ func gsRun(v gsVariant, nodes int, p heat.Params, prof fabric.Profile) float64 {
 			cfg.WithTAGASPI = true
 		}
 	}
-	res := cluster.Run(cfg, func(env *cluster.Env) {
-		switch v {
-		case gsMPIOnly:
-			heat.RunMPIOnly(env, p)
-		case gsTAMPI:
-			heat.RunTAMPI(env, p)
-		case gsTAGASPI:
-			heat.RunTAGASPI(env, p)
-		}
-	})
-	return p.Updates() / res.Elapsed.Seconds() / 1e9
+	return cfg
+}
+
+// gsPoint is one Gauss–Seidel run, yielding the variant's throughput in
+// GUpdates/s of modelled time.
+func gsPoint(v gsVariant, nodes int, p heat.Params, prof fabric.Profile, x float64) exp.Point {
+	return exp.Point{
+		ID:  fmt.Sprintf("%s/n%d/b%dx%d", gsNames[v], nodes, p.BlockRows, p.BlockCols),
+		X:   x,
+		Cfg: gsConfig(v, nodes, prof),
+		Main: func(env *cluster.Env) {
+			switch v {
+			case gsMPIOnly:
+				heat.RunMPIOnly(env, p)
+			case gsTAMPI:
+				heat.RunTAMPI(env, p)
+			case gsTAGASPI:
+				heat.RunTAGASPI(env, p)
+			}
+		},
+		Values: func(job cluster.Result) map[string]float64 {
+			return map[string]float64{gsNames[v]: p.Updates() / job.Elapsed.Seconds() / 1e9}
+		},
+	}
 }
 
 // gsParams builds the scaled input. The matrix is sized so every node
@@ -73,10 +86,10 @@ func gsParams(maxNodes, blockRows, blockCols, steps int) heat.Params {
 // Fig09GaussSeidelScaling reproduces Figure 9: strong scaling of the three
 // variants with their optimal block sizes; speedup (vs MPI-only on one
 // node) and parallel efficiency (vs each variant on one node).
-func Fig09GaussSeidelScaling(pr Preset) Figure {
+func Fig09GaussSeidelScaling(o Opts) Figure {
 	maxNodes := 16
 	steps := 10
-	if pr == Quick {
+	if o.Preset == Quick {
 		maxNodes, steps = 4, 6
 	}
 	nodes := doubling(maxNodes)
@@ -86,64 +99,67 @@ func Fig09GaussSeidelScaling(pr Preset) Figure {
 	pm := p
 	pm.BlockCols = 256
 
-	thr := make([][]float64, 3)
+	sw := &exp.Sweep{
+		Fig: Figure{
+			ID: "9", Title: "Gauss-Seidel strong scaling (speedup and efficiency)",
+			XLabel: "nodes", X: toF(nodes),
+			YLabel: "speedup vs MPI-only@1 / efficiency",
+			Notes: []string{
+				"paper: 256Kx128K, 1000 steps, 1-256 nodes on Marenostrum4; here 16x-reduced geometry in virtual time",
+				"paper result: TAGASPI 1.15x over MPI-only and 1.06x over TAMPI at the largest scale",
+			},
+		},
+		Series: gsNames,
+	}
 	for _, n := range nodes {
 		for v := gsMPIOnly; v <= gsTAGASPI; v++ {
 			pp := pm
 			if v != gsMPIOnly {
 				pp = p
 			}
-			thr[v] = append(thr[v], gsRun(v, n, pp, prof))
+			sw.Points = append(sw.Points, gsPoint(v, n, pp, prof, float64(n)))
 		}
 	}
-	fig := Figure{
-		ID: "9", Title: "Gauss-Seidel strong scaling (speedup and efficiency)",
-		XLabel: "nodes", X: toF(nodes),
-		YLabel: "speedup vs MPI-only@1 / efficiency",
-		Notes: []string{
-			"paper: 256Kx128K, 1000 steps, 1-256 nodes on Marenostrum4; here 16x-reduced geometry in virtual time",
-			"paper result: TAGASPI 1.15x over MPI-only and 1.06x over TAMPI at the largest scale",
-		},
-	}
-	base := thr[gsMPIOnly][0]
-	for v := gsMPIOnly; v <= gsTAGASPI; v++ {
-		sp := make([]float64, len(nodes))
-		eff := make([]float64, len(nodes))
-		for i := range nodes {
-			sp[i] = thr[v][i] / base
-			eff[i] = thr[v][i] / (thr[v][0] * float64(nodes[i]))
+	sw.Post = func(f *Figure, raw map[string][]float64, _ []exp.Result) {
+		base := raw[gsNames[gsMPIOnly]][0]
+		f.Series = nil
+		for v := gsMPIOnly; v <= gsTAGASPI; v++ {
+			thr := raw[gsNames[v]]
+			f.Series = append(f.Series,
+				Series{Name: gsNames[v] + " speedup", Y: exp.Speedup(thr, base)},
+				Series{Name: gsNames[v] + " eff", Y: exp.Efficiency(thr, f.X)})
 		}
-		fig.Series = append(fig.Series, Series{Name: gsNames[v] + " speedup", Y: sp})
-		fig.Series = append(fig.Series, Series{Name: gsNames[v] + " eff", Y: eff})
 	}
-	return fig
+	return runSweep(o, sw)
 }
 
 // Fig10GaussSeidelBlocksize reproduces Figure 10: throughput while varying
 // the block size at a fixed large scale, stressing communication.
-func Fig10GaussSeidelBlocksize(pr Preset) Figure {
+func Fig10GaussSeidelBlocksize(o Opts) Figure {
 	nodes := 8
 	steps := 6
 	// The paper sweeps 64..2048 on the full-size input; the equivalent
 	// range at this scale (matching the compute-per-block to overhead
 	// ratios) is 16..128.
 	blocks := []int{16, 32, 64, 128}
-	if pr == Quick {
+	if o.Preset == Quick {
 		nodes, steps = 4, 6
 		blocks = []int{16, 32}
 	}
 	prof := fabric.ProfileOmniPath()
-	fig := Figure{
-		ID: "10", Title: "Gauss-Seidel throughput vs block size",
-		XLabel: "blocksize", X: toF(blocks),
-		YLabel: "GUpdates/s",
-		Notes: []string{
-			"paper: 128Kx128K, 500 steps, 128 nodes, blocks 64-2048; here reduced geometry",
-			"paper result: TAGASPI wins everywhere; at the smallest block it keeps ~60% of peak vs 41% (MPI-only) and 30% (TAMPI)",
+	sw := &exp.Sweep{
+		Fig: Figure{
+			ID: "10", Title: "Gauss-Seidel throughput vs block size",
+			XLabel: "blocksize", X: toF(blocks),
+			YLabel: "GUpdates/s",
+			Notes: []string{
+				"paper: 128Kx128K, 500 steps, 128 nodes, blocks 64-2048; here reduced geometry",
+				"paper result: TAGASPI wins everywhere; at the smallest block it keeps ~60% of peak vs 41% (MPI-only) and 30% (TAMPI)",
+			},
 		},
+		Series: gsNames,
 	}
 	for v := gsMPIOnly; v <= gsTAGASPI; v++ {
-		var ys []float64
 		for _, bs := range blocks {
 			p := gsParams(2*nodes, bs, bs, steps) // rp=128: room for 128-blocks
 			if v == gsMPIOnly {
@@ -151,9 +167,8 @@ func Fig10GaussSeidelBlocksize(pr Preset) Figure {
 				p.BlockRows = 0
 				p.BlockCols = bs
 			}
-			ys = append(ys, gsRun(v, nodes, p, prof))
+			sw.Points = append(sw.Points, gsPoint(v, nodes, p, prof, float64(bs)))
 		}
-		fig.Series = append(fig.Series, Series{Name: gsNames[v], Y: ys})
 	}
-	return fig
+	return runSweep(o, sw)
 }

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/apps/streaming"
 	"repro/internal/cluster"
+	"repro/internal/exp"
 	"repro/internal/fabric"
 )
 
@@ -26,14 +27,11 @@ var stNames = []string{"MPI-Only", "TAMPI", "TAGASPI"}
 // with them.
 const streamPoll = 1 * time.Microsecond
 
-// stRun executes one Streaming configuration and returns its throughput in
-// GElements/s of modelled time, along with the full job result (the NIC
-// utilisation notes of Fig. 13 read the per-node port statistics from it).
-func stRun(v stVariant, nodes, hybridRPN int, p streaming.Params, prof fabric.Profile, poll time.Duration) (float64, cluster.Result) {
+// stConfig builds the cluster geometry of one Streaming variant.
+func stConfig(v stVariant, nodes, hybridRPN int, prof fabric.Profile, poll time.Duration) cluster.Config {
 	cfg := cluster.Config{
 		Nodes:   nodes,
 		Profile: prof,
-		Seed:    3,
 	}
 	switch v {
 	case stMPIOnly:
@@ -49,17 +47,32 @@ func stRun(v stVariant, nodes, hybridRPN int, p streaming.Params, prof fabric.Pr
 			cfg.WithTAGASPI = true
 		}
 	}
-	res := cluster.Run(cfg, func(env *cluster.Env) {
-		switch v {
-		case stMPIOnly:
-			streaming.RunMPIOnly(env, p)
-		case stTAMPI:
-			streaming.RunTAMPI(env, p)
-		case stTAGASPI:
-			streaming.RunTAGASPI(env, p)
-		}
-	})
-	return p.Elements() / res.Elapsed.Seconds() / 1e9, res
+	return cfg
+}
+
+// stPoint is one Streaming run, yielding the variant's throughput in
+// GElements/s of modelled time. The NIC utilisation notes of Fig. 13 read
+// the per-node port statistics from the result's retained job stats.
+func stPoint(id string, v stVariant, nodes, hybridRPN int, p streaming.Params,
+	prof fabric.Profile, poll time.Duration, x float64) exp.Point {
+	return exp.Point{
+		ID:  id,
+		X:   x,
+		Cfg: stConfig(v, nodes, hybridRPN, prof, poll),
+		Main: func(env *cluster.Env) {
+			switch v {
+			case stMPIOnly:
+				streaming.RunMPIOnly(env, p)
+			case stTAMPI:
+				streaming.RunTAMPI(env, p)
+			case stTAGASPI:
+				streaming.RunTAGASPI(env, p)
+			}
+		},
+		Values: func(job cluster.Result) map[string]float64 {
+			return map[string]float64{stNames[v]: p.Elements() / job.Elapsed.Seconds() / 1e9}
+		},
+	}
 }
 
 // nicPeakTx reduces a result's per-node NIC statistics to the highest
@@ -78,46 +91,60 @@ func nicPeakTx(res cluster.Result) (frac float64, wait time.Duration) {
 	return frac, wait
 }
 
+// stPointID names a Fig. 13 / ablation streaming point.
+func stPointID(v stVariant, bs int) string {
+	return fmt.Sprintf("%s/bs%d", stNames[v], bs)
+}
+
 // streamingFigure builds one Fig. 13 panel.
-func streamingFigure(id, title string, prof fabric.Profile, nodes, hybridRPN int,
+func streamingFigure(o Opts, id, title string, prof fabric.Profile, nodes, hybridRPN int,
 	blocks []int, chunkElems, chunks int, notes []string) Figure {
-	fig := Figure{
-		ID: id, Title: title,
-		XLabel: "blocksize", X: toF(blocks),
-		YLabel: "GElements/s",
-		Notes:  notes,
+	sw := &exp.Sweep{
+		Fig: Figure{
+			ID: id, Title: title,
+			XLabel: "blocksize", X: toF(blocks),
+			YLabel: "GElements/s",
+			Notes:  notes,
+		},
+		Series: stNames,
 	}
 	for v := stMPIOnly; v <= stTAGASPI; v++ {
-		var ys []float64
-		var last cluster.Result
 		for _, bs := range blocks {
 			p := streaming.Params{Chunks: chunks, ChunkElems: chunkElems, BlockSize: bs}
-			gps, res := stRun(v, nodes, hybridRPN, p, prof, streamPoll)
-			ys = append(ys, gps)
-			last = res
+			sw.Points = append(sw.Points,
+				stPoint(stPointID(v, bs), v, nodes, hybridRPN, p, prof, streamPoll, float64(bs)))
 		}
-		fig.Series = append(fig.Series, Series{Name: stNames[v], Y: ys})
-		frac, wait := nicPeakTx(last)
-		fig.Notes = append(fig.Notes, fmt.Sprintf(
-			"nic (block %d, %s): peak tx port busy %.1f%%, total tx queueing %v",
-			blocks[len(blocks)-1], stNames[v], 100*frac, wait))
 	}
-	return fig
+	lastBS := blocks[len(blocks)-1]
+	sw.Post = func(f *Figure, _ map[string][]float64, rs []exp.Result) {
+		for v := stMPIOnly; v <= stTAGASPI; v++ {
+			for _, r := range rs {
+				if r.ID != stPointID(v, lastBS) {
+					continue
+				}
+				frac, wait := nicPeakTx(r.Job)
+				f.Notes = append(f.Notes, fmt.Sprintf(
+					"nic (block %d, %s): peak tx port busy %.1f%%, total tx queueing %v",
+					lastBS, stNames[v], 100*frac, wait))
+			}
+		}
+	}
+	return runSweep(o, sw)
 }
 
 // Fig13aStreamingOmniPath reproduces the upper panel of Figure 13:
 // Streaming on the Omni-Path machine, where the PSM2-optimised two-sided
 // path keeps MPI-only ahead and emulated ibverbs penalises RDMA.
-func Fig13aStreamingOmniPath(pr Preset) Figure {
+func Fig13aStreamingOmniPath(o Opts) Figure {
 	nodes, chunks := 8, 8
 	blocks := []int{256, 512, 1024, 2048, 4096, 8192}
 	chunkElems := 128 << 10
-	if pr == Quick {
+	if o.Preset == Quick {
 		nodes, chunks = 3, 8
 		blocks = []int{256, 2048}
 		chunkElems = 16 << 10
 	}
-	return streamingFigure("13a",
+	return streamingFigure(o, "13a",
 		"Streaming throughput vs block size (Marenostrum4 / Omni-Path)",
 		fabric.ProfileOmniPath(), nodes, 2, blocks, chunkElems, chunks,
 		[]string{
@@ -129,16 +156,16 @@ func Fig13aStreamingOmniPath(pr Preset) Figure {
 // Fig13bStreamingInfiniBand reproduces the lower panel of Figure 13:
 // Streaming on the InfiniBand machine, where native ibverbs lets TAGASPI
 // outperform both two-sided variants.
-func Fig13bStreamingInfiniBand(pr Preset) Figure {
+func Fig13bStreamingInfiniBand(o Opts) Figure {
 	nodes, chunks := 6, 8
 	blocks := []int{256, 512, 1024, 2048, 4096, 8192}
 	chunkElems := 128 << 10
-	if pr == Quick {
+	if o.Preset == Quick {
 		nodes, chunks = 3, 8
 		blocks = []int{256, 2048}
 		chunkElems = 16 << 10
 	}
-	return streamingFigure("13b",
+	return streamingFigure(o, "13b",
 		"Streaming throughput vs block size (CTE-AMD / InfiniBand)",
 		fabric.ProfileInfiniBand(), nodes, 1, blocks, chunkElems, chunks,
 		[]string{

@@ -31,14 +31,37 @@ else
     go test -race ./...
 fi
 
-# Observability smoke: an instrumented run must produce a trace that the
-# trace inspector accepts (README "Observability", DESIGN.md §7).
-echo "== trace smoke: instrumented cmd/heat run + cmd/trace -check"
+# Experiment-engine determinism gate: two host-parallel regenerations of
+# the full Quick figure set must serialize to byte-identical JSON (host
+# times excluded — they are the only nondeterministic field; see
+# DESIGN.md §8). Seeds derive from point ids, so no point's modelled
+# results may depend on worker count or execution order.
+echo "== figures determinism gate: two -parallel runs, byte-identical JSON"
+fig_a="$(mktemp -t figures-a.XXXXXX.json)"
+fig_b="$(mktemp -t figures-b.XXXXXX.json)"
+trap 'rm -f "$fig_a" "$fig_b"' EXIT
+go run ./cmd/figures -all -quick -parallel 4 -json "$fig_a" -json-host=false > /dev/null
+go run ./cmd/figures -all -quick -parallel 4 -json "$fig_b" -json-host=false > /dev/null
+cmp "$fig_a" "$fig_b"
+
+# Observability smoke: instrumented runs must produce traces the trace
+# inspector accepts (README "Observability", DESIGN.md §7) — including
+# when two instrumented simulations run concurrently, the execution shape
+# of the host-parallel experiment engine.
+echo "== trace smoke: concurrent instrumented cmd/heat runs + cmd/trace -check"
 trace_tmp="$(mktemp -t heat-trace.XXXXXX.json)"
-trap 'rm -f "$trace_tmp"' EXIT
-go run ./cmd/heat -variant tagaspi -nodes 2 -rpn 1 -cores 2 \
+trace_tmp2="$(mktemp -t heat-trace2.XXXXXX.json)"
+trap 'rm -f "$fig_a" "$fig_b" "$trace_tmp" "$trace_tmp2"' EXIT
+go build -o /tmp/ci-heat-bin ./cmd/heat
+/tmp/ci-heat-bin -variant tagaspi -nodes 2 -rpn 1 -cores 2 \
     -rows 128 -cols 256 -steps 2 -block 64 \
-    -trace "$trace_tmp" -metrics > /dev/null
+    -trace "$trace_tmp" -metrics > /dev/null &
+heat_pid=$!
+/tmp/ci-heat-bin -variant tampi -nodes 2 -rpn 1 -cores 2 \
+    -rows 128 -cols 256 -steps 2 -block 64 \
+    -trace "$trace_tmp2" -metrics > /dev/null
+wait "$heat_pid"
 go run ./cmd/trace -check "$trace_tmp"
+go run ./cmd/trace -check "$trace_tmp2"
 
 echo "ci: OK"
