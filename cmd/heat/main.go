@@ -5,6 +5,11 @@
 //
 //	heat -variant tagaspi -nodes 8 -rows 2048 -cols 2048 -steps 10 -block 64
 //	heat -variant mpi -nodes 4 -verify
+//	heat -variant tagaspi -faults 0.05    # 5% drop rate on inter-node links
+//
+// With -host=false the host wall-clock is omitted from the report, making
+// two seeded runs byte-identical — the CI fault-determinism gate diffs
+// exactly that.
 package main
 
 import (
@@ -32,6 +37,8 @@ func main() {
 	profile := flag.String("profile", "omnipath", "omnipath | infiniband | ideal")
 	poll := flag.Duration("poll", 10*time.Microsecond, "task-aware polling period")
 	verify := flag.Bool("verify", false, "run real arithmetic and check against the serial reference")
+	faults := flag.Float64("faults", 0, "inter-node drop probability for both message classes [0,1)")
+	host := flag.Bool("host", true, "include host wall-clock in the report (false: byte-stable output)")
 	ofl := obscli.Register()
 	flag.Parse()
 
@@ -53,6 +60,16 @@ func main() {
 		BlockRows: *block, BlockCols: *block, Verify: *verify,
 	}
 	cfg := cluster.Config{Nodes: *nodes, Profile: prof, Seed: 1}
+	if *faults < 0 || *faults >= 1 {
+		fmt.Fprintf(os.Stderr, "-faults %v outside [0,1)\n", *faults)
+		os.Exit(2)
+	}
+	if *faults > 0 {
+		cfg.Faults = fabric.FaultPlan{
+			MPI:   fabric.FaultRates{Drop: *faults},
+			GASPI: fabric.FaultRates{Drop: *faults},
+		}
+	}
 	switch *variant {
 	case "mpi":
 		cfg.RanksPerNode, cfg.CoresPerRank = *mpiRPN, 1
@@ -88,10 +105,31 @@ func main() {
 	})
 	fmt.Printf("variant=%s nodes=%d ranks=%d matrix=%dx%d steps=%d block=%d profile=%s\n",
 		*variant, *nodes, *nodes*cfg.RanksPerNode, *rows, *cols, *steps, *block, prof.Name)
-	fmt.Printf("modelled time: %v   throughput: %.3f GUpdates/s   (host %v)\n",
-		res.Elapsed, p.Updates()/res.Elapsed.Seconds()/1e9, time.Since(start).Round(time.Millisecond))
+	hostNote := ""
+	if *host {
+		hostNote = fmt.Sprintf("   (host %v)", time.Since(start).Round(time.Millisecond))
+	}
+	fmt.Printf("modelled time: %v   throughput: %.3f GUpdates/s%s\n",
+		res.Elapsed, p.Updates()/res.Elapsed.Seconds()/1e9, hostNote)
 	fmt.Printf("fabric: %d messages, %.1f MiB;  MPI time (all ranks): %v\n",
 		res.Fabric.Messages, float64(res.Fabric.Bytes)/(1<<20), res.TotalMPITime())
+	if *faults > 0 {
+		var retries, gaveup, qerrs float64
+		for _, s := range res.Snapshots {
+			for _, smp := range s.Samples {
+				switch smp.Name {
+				case "tagaspi_retries":
+					retries += smp.Value
+				case "tagaspi_gaveup":
+					gaveup += smp.Value
+				case "gaspi_queue_errors":
+					qerrs += smp.Value
+				}
+			}
+		}
+		fmt.Printf("faults: %d injected;  gaspi queue errors: %.0f;  tagaspi retries: %.0f, gave up: %.0f\n",
+			res.Fabric.Faults, qerrs, retries, gaveup)
+	}
 	if *verify {
 		fmt.Println("verify: arithmetic ran inside the simulation; use the test suite for the bit-exact check")
 	}

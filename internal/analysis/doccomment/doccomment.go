@@ -1,0 +1,136 @@
+// Package doccomment defines the tagalint analyzer that enforces the
+// documentation contract of the communication packages: every exported
+// identifier in internal/fabric, internal/gaspisim and internal/tagaspi
+// must carry a doc comment, because those packages are the simulator's
+// rendering of real specifications (GASPI / GPI-2 and the paper's §IV
+// extensions) and each exported name is expected to state its spec
+// counterpart (the gaspi_* routine or concept it models) where one exists.
+//
+// Other packages are exempt: the analyzer targets the spec surface, not
+// general style.
+package doccomment
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer flags exported package-level declarations without doc comments
+// in the spec-modelling packages.
+var Analyzer = &analysis.Analyzer{
+	Name: "doccomment",
+	Doc: "require doc comments on every exported identifier of the " +
+		"spec-modelling packages (fabric, gaspisim, tagaspi)",
+	Run: run,
+}
+
+// covered lists the packages under the documentation contract, by package
+// name (testdata fixtures reuse these names under other import paths).
+var covered = map[string]bool{
+	"fabric":   true,
+	"gaspisim": true,
+	"tagaspi":  true,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg == nil || !covered[pass.Pkg.Name()] {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if isTestFile(pass.Fset, file) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				checkFunc(pass, d)
+			case *ast.GenDecl:
+				checkGen(pass, d)
+			}
+		}
+	}
+	return nil
+}
+
+// checkFunc requires a doc comment on exported functions and on exported
+// methods of exported receiver types (methods on unexported types are not
+// part of the package API).
+func checkFunc(pass *analysis.Pass, d *ast.FuncDecl) {
+	if !d.Name.IsExported() || d.Doc != nil {
+		return
+	}
+	kind := "function"
+	if d.Recv != nil {
+		recv := receiverTypeName(d.Recv)
+		if recv == "" || !token.IsExported(recv) {
+			return
+		}
+		kind = "method " + recv + "."
+	} else {
+		kind += " "
+	}
+	report(pass, d.Name.Pos(), kind+d.Name.Name)
+}
+
+// checkGen requires a doc comment on every exported name of a package-level
+// const/var/type declaration; a doc comment on the grouped declaration or
+// on the individual spec covers all names it declares (trailing same-line
+// comments do not count — doc comments precede declarations).
+func checkGen(pass *analysis.Pass, d *ast.GenDecl) {
+	if d.Tok == token.IMPORT || d.Doc != nil {
+		return
+	}
+	kind := map[token.Token]string{token.CONST: "const", token.VAR: "var", token.TYPE: "type"}[d.Tok]
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if s.Name.IsExported() && s.Doc == nil {
+				report(pass, s.Name.Pos(), kind+" "+s.Name.Name)
+			}
+		case *ast.ValueSpec:
+			if s.Doc != nil {
+				continue
+			}
+			for _, name := range s.Names {
+				if name.IsExported() {
+					report(pass, name.Pos(), kind+" "+name.Name)
+				}
+			}
+		}
+	}
+}
+
+func report(pass *analysis.Pass, pos token.Pos, what string) {
+	pass.Reportf(pos,
+		"exported %s has no doc comment; document it, stating its gaspi_*/spec counterpart where one exists",
+		what)
+}
+
+// receiverTypeName extracts the receiver's base type name ("" if anonymous
+// or not an identifier-based type).
+func receiverTypeName(recv *ast.FieldList) string {
+	if len(recv.List) == 0 {
+		return ""
+	}
+	t := recv.List[0].Type
+	for {
+		switch tt := ast.Unparen(t).(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr: // generic receiver T[P]
+			t = tt.X
+		case *ast.Ident:
+			return tt.Name
+		default:
+			return ""
+		}
+	}
+}
+
+// isTestFile reports whether file sits in a _test.go source file.
+func isTestFile(fset *token.FileSet, file *ast.File) bool {
+	return strings.HasSuffix(fset.Position(file.Pos()).Filename, "_test.go")
+}

@@ -1,0 +1,18 @@
+package doccomment_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/doccomment"
+)
+
+func TestDoccomment(t *testing.T) {
+	analysistest.Run(t, "testdata/src/doccommenttest", doccomment.Analyzer)
+}
+
+// Packages outside the documentation contract are exempt even with bare
+// exported declarations.
+func TestDoccommentExemptPackage(t *testing.T) {
+	analysistest.Run(t, "testdata/src/exempt", doccomment.Analyzer)
+}

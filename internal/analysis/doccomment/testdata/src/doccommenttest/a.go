@@ -1,0 +1,38 @@
+// Fixture for the doccomment analyzer: package name gaspisim puts it under
+// the spec-surface documentation contract.
+package gaspisim
+
+// Documented is fine.
+type Documented struct{}
+
+type Bare struct{} // want "exported type Bare has no doc comment"
+
+type unexported struct{}
+
+// Grouped declarations: a group doc covers every name.
+const (
+	GroupedA = 1
+	GroupedB = 2
+)
+
+const BareConst = 3 // want "exported const BareConst has no doc comment"
+
+var BareVar int // want "exported var BareVar has no doc comment"
+
+// DocumentedVar is fine.
+var DocumentedVar int
+
+// DocumentedFunc is fine (models gaspi_nothing).
+func DocumentedFunc() {}
+
+func BareFunc() {} // want "exported function BareFunc has no doc comment"
+
+func unexportedFunc() {}
+
+// DocumentedMethod is fine.
+func (Documented) DocumentedMethod() {}
+
+func (d *Documented) BareMethod() {} // want "exported method Documented.BareMethod has no doc comment"
+
+// Methods on unexported receivers are not package API.
+func (unexported) ExportedOnUnexported() {}

@@ -1,0 +1,9 @@
+// Fixture: a package outside the doccomment contract — no diagnostics
+// expected despite bare exported declarations.
+package exempt
+
+type Bare struct{}
+
+func BareFunc() {}
+
+const BareConst = 1

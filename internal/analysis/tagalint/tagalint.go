@@ -8,6 +8,7 @@ package tagalint
 import (
 	"repro/internal/analysis"
 	"repro/internal/analysis/condloop"
+	"repro/internal/analysis/doccomment"
 	"repro/internal/analysis/lockcross"
 	"repro/internal/analysis/simerr"
 	"repro/internal/analysis/taskctx"
@@ -17,6 +18,7 @@ import (
 func Suite() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		condloop.Analyzer,
+		doccomment.Analyzer,
 		lockcross.Analyzer,
 		simerr.Analyzer,
 		taskctx.Analyzer,

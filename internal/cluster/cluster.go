@@ -52,6 +52,14 @@ type Config struct {
 	// RealTime runs on the wall clock instead of the virtual clock.
 	RealTime bool
 
+	// Faults, when enabled, installs a fault-injection plan on the fabric
+	// (fabric.FaultPlan): latency jitter, transient delivery failures and
+	// link outages, all derived deterministically from Seed. GASPI-class
+	// failures surface through the queue error state and are absorbed by
+	// TAGASPI's retry policy; MPI-class failures retransmit transparently.
+	// The zero value injects nothing and leaves every path untouched.
+	Faults fabric.FaultPlan
+
 	// Recorder, when non-nil, instruments every layer of the job (fabric,
 	// MPI, GASPI, tasking runtimes) with the observability subsystem of
 	// package obs. A typical caller passes obs.NewCollector(ranks) and
@@ -108,8 +116,8 @@ type Result struct {
 	// serialization), in node order.
 	NIC []fabric.NICSnapshot
 	// Snapshots is every component's statistics in the common obs shape:
-	// the fabric first, then per-rank MPI, GASPI and (hybrid only) tasking
-	// snapshots.
+	// the fabric first, then per-rank MPI, GASPI, (hybrid only) tasking
+	// and (TAGASPI only) retry-policy snapshots.
 	Snapshots []obs.Snapshot
 }
 
@@ -162,6 +170,9 @@ func Run(cfg Config, main func(*Env)) Result {
 	}
 	topo := fabric.NewTopology(cfg.Nodes, cfg.RanksPerNode)
 	fab := fabric.New(clk, topo, cfg.Profile)
+	if cfg.Faults.Enabled() {
+		fab.SetFaultPlan(cfg.Faults, cfg.Seed^fabric.SeedOf("fault-plane"))
+	}
 	mw := mpisim.NewWorld(fab, cfg.Seed)
 	gw := gaspisim.NewWorld(fab, cfg.Queues, cfg.Seed+0x9e3779b9)
 	if cfg.Recorder != nil {
@@ -196,6 +207,9 @@ func Run(cfg Config, main func(*Env)) Result {
 				}
 				if cfg.WithTAGASPI {
 					env.TAGASPI = tagaspi.New(env.GASPI, env.RT, cfg.TAGASPIPoll)
+					if cfg.Recorder != nil {
+						env.TAGASPI.SetRecorder(cfg.Recorder)
+					}
 				}
 			}
 			envs[r] = env
@@ -235,6 +249,13 @@ func Run(cfg Config, main func(*Env)) Result {
 		for r := 0; r < n; r++ {
 			if envs[r] != nil && envs[r].RT != nil {
 				res.Snapshots = append(res.Snapshots, envs[r].RT.Snapshot())
+			}
+		}
+	}
+	if cfg.WithTAGASPI {
+		for r := 0; r < n; r++ {
+			if envs[r] != nil && envs[r].TAGASPI != nil {
+				res.Snapshots = append(res.Snapshots, envs[r].TAGASPI.Snapshot())
 			}
 		}
 	}

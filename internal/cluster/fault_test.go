@@ -1,0 +1,90 @@
+package cluster_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/fabric"
+	"repro/internal/tasking"
+)
+
+// TestLinkOutageRecovery drives a two-node hybrid job through a hard link
+// outage: the sender's first write+notify fails (queue error state), the
+// TAGASPI retry policy backs off, repairs the queue and resubmits until the
+// link recovers, and the receiver ends up with intact data. Both fault
+// counters must surface in the job snapshots. Run under -race by the CI
+// fault gate.
+func TestLinkOutageRecovery(t *testing.T) {
+	const n = 256
+	outEnd := 300 * time.Microsecond
+	cfg := cluster.Config{
+		Nodes: 2, RanksPerNode: 1, CoresPerRank: 4,
+		Profile:     fabric.ProfileIdeal(),
+		WithTasking: true, WithTAGASPI: true,
+		TAGASPIPoll: 5 * time.Microsecond,
+		Seed:        7,
+		Faults: fabric.FaultPlan{
+			Outages: []fabric.Outage{{Link: fabric.Link{SrcNode: -1, DstNode: -1}, Start: 0, End: outEnd}},
+		},
+	}
+	bad := make(chan string, 4)
+	res := cluster.Run(cfg, func(env *cluster.Env) {
+		seg, err := env.GASPI.SegmentCreate(0, n)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		switch env.Rank {
+		case 0:
+			for i := range seg.Bytes() {
+				seg.Bytes()[i] = byte(i)
+			}
+			env.RT.Submit(func(tk *tasking.Task) {
+				if err := env.TAGASPI.WriteNotify(tk, 0, 0, 1, 0, 0, n, 3, 42, 0); err != nil {
+					t.Error(err)
+				}
+			}, tasking.WithDeps(tasking.In(seg, 0, n)))
+		case 1:
+			var got int64
+			env.RT.Submit(func(tk *tasking.Task) {
+				env.TAGASPI.NotifyIwait(tk, 0, 3, &got)
+			}, tasking.WithDeps(tasking.Out(seg, 0, n), tasking.OutVal(&got)))
+			env.RT.Submit(func(tk *tasking.Task) {
+				if got != 42 {
+					bad <- "notification value lost across the outage"
+				}
+				for i, b := range seg.Bytes() {
+					if b != byte(i) {
+						bad <- "payload corrupted across the outage"
+						return
+					}
+				}
+			}, tasking.WithDeps(tasking.In(seg, 0, n), tasking.InVal(&got)))
+		}
+	})
+	close(bad)
+	for msg := range bad {
+		t.Error(msg)
+	}
+	if res.Elapsed < outEnd {
+		t.Errorf("job finished at %v, inside the outage window ending %v", res.Elapsed, outEnd)
+	}
+	var retries, qerrs, faults float64
+	for _, s := range res.Snapshots {
+		for _, smp := range s.Samples {
+			switch smp.Name {
+			case "tagaspi_retries":
+				retries += smp.Value
+			case "gaspi_queue_errors":
+				qerrs += smp.Value
+			case "fabric_faults_injected":
+				faults += smp.Value
+			}
+		}
+	}
+	if retries == 0 || qerrs == 0 || faults == 0 {
+		t.Errorf("snapshots: tagaspi_retries=%v gaspi_queue_errors=%v fabric_faults_injected=%v, want all nonzero",
+			retries, qerrs, faults)
+	}
+}

@@ -178,6 +178,16 @@ type Message struct {
 	// payload bytes here.
 	OnInjected func()
 
+	// OnFailed, if non-nil, runs on the courier when the fault plane
+	// (SetFaultPlan) fails the message's injection: the protocol layer
+	// surfaces the error, as GASPI does through queue error states.
+	// OnInjected does not run for a failed message and nothing is
+	// delivered. Messages without the hook are instead retransmitted
+	// transparently after the plan's RetransmitDelay, modelling a
+	// reliable transport that hides faults by paying time (the MPI
+	// contract).
+	OnFailed func()
+
 	// enqueued is the Send timestamp, stamped only when a recorder is
 	// installed; the injection courier turns it into the queue-residency
 	// latency sample.
@@ -196,8 +206,9 @@ type pathKey struct {
 }
 
 type path struct {
-	in  *vsync.Queue[*Message] // awaiting injection
-	out *vsync.Queue[flight]   // in flight towards the destination
+	in    *vsync.Queue[*Message] // awaiting injection
+	out   *vsync.Queue[flight]   // in flight towards the destination
+	fault *pathFaults            // nil: the fault plane cannot touch this path
 }
 
 // flight is a message past local completion with its computed arrival time
@@ -213,6 +224,9 @@ type Stats struct {
 	Messages int64
 	Bytes    int64
 	ByClass  [2]int64
+	// Faults counts fault-plane injection failures (each transparent
+	// retransmission attempt and each surfaced failure is one fault).
+	Faults int64
 }
 
 // Fabric connects the ranks of one simulated cluster.
@@ -231,9 +245,15 @@ type Fabric struct {
 	closed bool
 	wg     sync.WaitGroup
 
+	// Fault plane (SetFaultPlan); plan and seed are set before traffic.
+	plan      FaultPlan
+	planOn    bool
+	faultSeed int64
+
 	msgs    atomic.Int64
 	bytes   atomic.Int64
 	byClass [2]atomic.Int64
+	faults  atomic.Int64
 }
 
 // New builds a fabric for the given topology and cost profile.
@@ -309,8 +329,9 @@ func (f *Fabric) Send(m *Message) {
 	p, ok := f.paths[key]
 	if !ok {
 		p = &path{
-			in:  vsync.NewQueue[*Message](f.clk),
-			out: vsync.NewQueue[flight](f.clk),
+			in:    vsync.NewQueue[*Message](f.clk),
+			out:   vsync.NewQueue[flight](f.clk),
+			fault: f.faultsFor(key),
 		}
 		f.paths[key] = p
 		f.wg.Add(2)
@@ -368,11 +389,14 @@ func (f *Fabric) inject(p *path) {
 			// the port for a fraction of a full-message injection.
 			inject = f.prof.InjectOverhead / 4
 		}
-		if intra {
-			f.shm[m.Src].Use(inject)
-		} else {
-			f.nicTx[f.topo.NodeOf(m.Src)].Use(inject)
+		if p.fault != nil {
+			var surfaced bool
+			lat, surfaced = f.faultInject(p.fault, m, inject, lat)
+			if surfaced {
+				continue // failure handed to the protocol layer; nothing flies
+			}
 		}
+		f.chargeInject(m, intra, inject)
 		if m.OnInjected != nil {
 			m.OnInjected() // local completion: source buffer reusable
 		}
@@ -385,6 +409,54 @@ func (f *Fabric) inject(p *path) {
 			rx = 0 // intra-node copies are charged once, at injection
 		}
 		p.out.Push(flight{m: m, arrival: f.clk.Now() + lat, rx: rx})
+	}
+}
+
+// chargeInject occupies the message's source-side port (NIC injection port
+// inter-node, copy engine intra-node) for d of modelled time.
+func (f *Fabric) chargeInject(m *Message, intra bool, d time.Duration) {
+	if intra {
+		f.shm[m.Src].Use(d)
+	} else {
+		f.nicTx[f.topo.NodeOf(m.Src)].Use(d)
+	}
+}
+
+// faultInject runs the fault-plane decisions for one message on a faulted
+// path (always inter-node). Each failed attempt charges the full injection
+// cost — the port did the work before the loss was detected. A failure of
+// a message with an OnFailed hook is surfaced (hook runs, message
+// consumed, surfaced=true); without the hook the courier backs off
+// RetransmitDelay and retries until an attempt succeeds. On success the
+// returned latency includes the spike of a jitter hit and the caller
+// proceeds with the normal injection.
+func (f *Fabric) faultInject(pf *pathFaults, m *Message, inject, lat time.Duration) (newLat time.Duration, surfaced bool) {
+	for attempt := 0; ; attempt++ {
+		dropped := pf.outageAt(f.clk.Now())
+		if !dropped && pf.drop > 0 {
+			dropped = pf.roll(saltDrop) < pf.drop
+		}
+		if !dropped {
+			if pf.jitter > 0 && pf.roll(saltJitter) < pf.jitter {
+				lat += pf.spike
+			}
+			return lat, false
+		}
+		f.faults.Add(1)
+		f.nicTx[f.topo.NodeOf(m.Src)].Use(inject)
+		if f.rec != nil {
+			f.rec.Count("fabric_faults_injected", 1)
+			f.rec.Instant(int(m.Src), obs.TrackFabricTx, obs.CatFabric,
+				"fabric:fault", f.clk.Now(), int64(m.Size))
+		}
+		if m.OnFailed != nil {
+			m.OnFailed()
+			return lat, true
+		}
+		if attempt >= maxTransparentRetries {
+			panic("fabric: transparent retransmission did not converge (Drop rate 1 on a class with no OnFailed hook?)")
+		}
+		f.clk.Sleep(pf.retrans)
 	}
 }
 
@@ -451,6 +523,7 @@ func (f *Fabric) Stats() Stats {
 		Messages: f.msgs.Load(),
 		Bytes:    f.bytes.Load(),
 		ByClass:  [2]int64{f.byClass[0].Load(), f.byClass[1].Load()},
+		Faults:   f.faults.Load(),
 	}
 }
 
@@ -486,6 +559,7 @@ func (f *Fabric) Snapshot() obs.Snapshot {
 		{Name: "bytes", Value: float64(s.Bytes), Unit: "B"},
 		{Name: "mpi.messages", Value: float64(s.ByClass[ClassMPI])},
 		{Name: "gaspi.messages", Value: float64(s.ByClass[ClassGASPI])},
+		{Name: "fabric_faults_injected", Value: float64(s.Faults)},
 	}
 	for _, nic := range f.NICSnapshots() {
 		p := fmt.Sprintf("node%d.", nic.Node)
@@ -509,6 +583,7 @@ func (f *Fabric) Reset() {
 	f.bytes.Store(0)
 	f.byClass[0].Store(0)
 	f.byClass[1].Store(0)
+	f.faults.Store(0)
 	for i := range f.nicTx {
 		f.nicTx[i].ResetStats()
 		f.nicRx[i].ResetStats()

@@ -84,6 +84,7 @@ func All() map[string]Generator {
 		"poll":    AblationPollingPeriod,
 		"rma":     AblationRMANotification,
 		"onready": AblationOnready,
+		"faults":  AblationFaultInjection,
 	}
 }
 
@@ -95,7 +96,7 @@ func IDs() []string {
 	}
 	sort.Strings(ids)
 	// Keep the paper's order first.
-	order := []string{"9", "10", "11", "12", "13a", "13b", "lock", "poll", "rma", "onready"}
+	order := []string{"9", "10", "11", "12", "13a", "13b", "lock", "poll", "rma", "onready", "faults"}
 	return order[:len(ids)]
 }
 

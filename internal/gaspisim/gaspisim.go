@@ -30,13 +30,14 @@ import (
 	"repro/internal/vsync"
 )
 
-// Rank aliases the fabric rank type.
+// Rank aliases the fabric rank type (gaspi_rank_t).
 type Rank = fabric.Rank
 
-// SegmentID aliases the memory segment identifier.
+// SegmentID aliases the memory segment identifier (gaspi_segment_id_t).
 type SegmentID = memory.SegmentID
 
-// NotificationID identifies one notification slot within a segment.
+// NotificationID identifies one notification slot within a segment
+// (gaspi_notification_id_t).
 type NotificationID int
 
 // Timeout sentinels for RequestWait and NotifyWaitSome.
@@ -75,7 +76,9 @@ type Operation struct {
 	Queue     int
 }
 
-// CompletedRequest reports one locally-completed low-level request.
+// CompletedRequest reports one locally-completed low-level request, as
+// returned by the gaspi_request_wait extension. OK is false when the
+// request failed and its queue entered the error state (errstate.go).
 type CompletedRequest struct {
 	Tag any
 	OK  bool
@@ -87,7 +90,8 @@ type World struct {
 	procs []*Proc
 }
 
-// NewWorld creates one Proc per fabric rank with the given queue count.
+// NewWorld creates one Proc per fabric rank with the given queue count —
+// the collective effect of gaspi_proc_init across the job.
 func NewWorld(fab *fabric.Fabric, queues int, seed int64) *World {
 	if queues <= 0 {
 		panic(fmt.Sprintf("gaspisim: invalid queue count %d", queues))
@@ -161,7 +165,8 @@ type notifWaiter struct {
 }
 
 // queue is one communication queue: a post resource plus the completed
-// low-level request list of the §IV-C extension.
+// low-level request list of the §IV-C extension and the error state of
+// the spec's timeout-based fault handling (errstate.go).
 type queue struct {
 	p           *Proc
 	idx         int
@@ -170,21 +175,29 @@ type queue struct {
 	completed   []CompletedRequest
 	outstanding int
 	waiters     []vclock.Parker // RequestWait / Wait blockers
+	errored     bool            // QueueError: posts fast-fail until QueueRepair
+	errors      int64           // failed operations observed, for Snapshot
 }
 
-// Rank returns the process rank.
+// Rank returns the process rank (gaspi_proc_rank).
 func (p *Proc) Rank() Rank { return p.rank }
 
-// Size returns the world size.
+// Clock returns the process's time source (shared by every rank of the
+// job). Task-aware layers use it to schedule retry back-off in modelled
+// time.
+func (p *Proc) Clock() vclock.Clock { return p.clk }
+
+// Size returns the world size (gaspi_proc_num).
 func (p *Proc) Size() int { return len(p.world.procs) }
 
-// Queues returns the number of communication queues.
+// Queues returns the number of communication queues (gaspi_queue_num).
 func (p *Proc) Queues() int { return len(p.queues) }
 
 // QueueStats returns the post-resource statistics of queue q.
 func (p *Proc) QueueStats(q int) vsync.ResourceStats { return p.queues[q].res.Stats() }
 
-// SegmentCreate allocates and registers a zeroed segment.
+// SegmentCreate allocates and registers a zeroed segment
+// (gaspi_segment_create).
 func (p *Proc) SegmentCreate(id SegmentID, size int) (*memory.Segment, error) {
 	seg, err := p.reg.Create(id, size)
 	if err != nil {
@@ -196,7 +209,7 @@ func (p *Proc) SegmentCreate(id SegmentID, size int) (*memory.Segment, error) {
 	return seg, nil
 }
 
-// Segment returns a registered segment.
+// Segment returns a registered segment (gaspi_segment_ptr).
 func (p *Proc) Segment(id SegmentID) (*memory.Segment, error) {
 	return p.reg.Lookup(id)
 }
@@ -233,6 +246,23 @@ func (p *Proc) Submit(op Operation) error {
 		return fmt.Errorf("gaspisim: invalid remote rank %d", op.Remote)
 	}
 
+	// A queue in the error state refuses posts until repaired
+	// (gaspi_queue_purge): fail the operation locally, without touching
+	// the fabric, so the caller's completion accounting observes the same
+	// nreq failed low-level requests through RequestWait as it would for
+	// a fabric-level failure.
+	q.mu.Lock()
+	errored := q.errored
+	q.mu.Unlock()
+	if errored {
+		nreq := 1
+		if op.Type == OpWriteNotify {
+			nreq = 2
+		}
+		q.completeLocalErr(op.Tag, nreq, false)
+		return nil
+	}
+
 	switch op.Type {
 	case OpWrite, OpWriteNotify:
 		src, err := p.reg.Lookup(op.LocalSeg)
@@ -262,6 +292,7 @@ func (p *Proc) Submit(op Operation) error {
 					q.completeLocal(op.Tag, nreq)
 					p.recComplete(op.Queue, op.Size, m.postTs)
 				},
+				OnFailed: func() { q.completeLocalErr(op.Tag, nreq, true) },
 			})
 		}, nreq)
 		return nil
@@ -280,6 +311,7 @@ func (p *Proc) Submit(op Operation) error {
 					q.completeLocal(op.Tag, 1)
 					p.recComplete(op.Queue, 0, m.postTs)
 				},
+				OnFailed: func() { q.completeLocalErr(op.Tag, 1, true) },
 			})
 		}, 1)
 		return nil
@@ -298,6 +330,9 @@ func (p *Proc) Submit(op Operation) error {
 			p.fab.Send(&fabric.Message{
 				Src: p.rank, Dst: op.Remote, Class: fabric.ClassGASPI, Lane: op.Queue,
 				Control: true, Payload: m,
+				// The response direction carries no hook: like hardware
+				// read completion, it is retransmitted transparently.
+				OnFailed: func() { q.completeLocalErr(op.Tag, 1, true) },
 			})
 		}, 1)
 		return nil
@@ -370,9 +405,9 @@ func (q *queue) completeLocal(tag any, nreq int) {
 	}
 }
 
-// WriteNotify posts a write+notify (§II-B): size bytes from the local
-// segment to the remote one, followed by a notification that arrives just
-// after the data.
+// WriteNotify posts a write+notify (gaspi_write_notify, §II-B): size bytes
+// from the local segment to the remote one, followed by a notification
+// that arrives just after the data.
 func (p *Proc) WriteNotify(localSeg SegmentID, localOff int, remote Rank,
 	remoteSeg SegmentID, remoteOff, size int,
 	id NotificationID, value int64, queueID int, tag any) error {
@@ -384,7 +419,7 @@ func (p *Proc) WriteNotify(localSeg SegmentID, localOff int, remote Rank,
 	})
 }
 
-// Write posts a plain one-sided write.
+// Write posts a plain one-sided write (gaspi_write).
 func (p *Proc) Write(localSeg SegmentID, localOff int, remote Rank,
 	remoteSeg SegmentID, remoteOff, size, queueID int, tag any) error {
 	return p.Submit(Operation{
@@ -395,7 +430,8 @@ func (p *Proc) Write(localSeg SegmentID, localOff int, remote Rank,
 	})
 }
 
-// Notify posts a pure notification to the remote segment's space.
+// Notify posts a pure notification to the remote segment's space
+// (gaspi_notify).
 func (p *Proc) Notify(remote Rank, remoteSeg SegmentID,
 	id NotificationID, value int64, queueID int, tag any) error {
 	return p.Submit(Operation{
@@ -405,9 +441,9 @@ func (p *Proc) Notify(remote Rank, remoteSeg SegmentID,
 	})
 }
 
-// Read posts a one-sided read: size bytes from the remote segment into the
-// local one. Local completion (the tag surfacing in RequestWait) means the
-// data has arrived.
+// Read posts a one-sided read (gaspi_read): size bytes from the remote
+// segment into the local one. Local completion (the tag surfacing in
+// RequestWait) means the data has arrived.
 func (p *Proc) Read(localSeg SegmentID, localOff int, remote Rank,
 	remoteSeg SegmentID, remoteOff, size, queueID int, tag any) error {
 	return p.Submit(Operation{
@@ -531,7 +567,8 @@ func (p *Proc) NotifyReset(seg SegmentID, id NotificationID) (int64, bool) {
 	return v, set
 }
 
-// NotifyTest reports whether a notification slot is set, without resetting.
+// NotifyTest reports whether a notification slot is set, without
+// resetting — gaspi_notify_waitsome with GASPI_TEST, minus the reset.
 func (p *Proc) NotifyTest(seg SegmentID, id NotificationID) (int64, bool) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -546,16 +583,27 @@ func (p *Proc) NotifyTest(seg SegmentID, id NotificationID) (int64, bool) {
 // NotifyWaitSome blocks until some notification in [begin, begin+num) is
 // set, returning its id (gaspi_notify_waitsome). With timeout Test it polls
 // once; with Block it waits indefinitely; otherwise it waits at most the
-// timeout. ok reports whether a notification was found.
+// timeout and returns ok=false on expiry — the GASPI_TIMEOUT result the
+// spec's error-handling idiom is built on. Every blocking or timed wait —
+// including one that times out — records its span and a
+// "gaspi.notify_wait" latency sample through a single nil-checked recorder
+// path, so metrics-only collectors observe the wait too.
 func (p *Proc) NotifyWaitSome(seg SegmentID, begin NotificationID, num int,
 	timeout time.Duration) (NotificationID, bool) {
-	if p.rec == nil || timeout == Test {
+	if timeout == Test {
 		return p.notifyWaitSome(seg, begin, num, timeout)
 	}
-	start := p.clk.Now()
+	var start time.Duration
+	if p.rec != nil {
+		start = p.clk.Now()
+	}
 	id, ok := p.notifyWaitSome(seg, begin, num, timeout)
-	p.rec.Span(int(p.rank), obs.TrackNotify, obs.CatNotify, "notify:wait",
-		start, p.clk.Now(), int64(id))
+	if p.rec != nil {
+		now := p.clk.Now()
+		p.rec.Span(int(p.rank), obs.TrackNotify, obs.CatNotify, "notify:wait",
+			start, now, int64(id))
+		p.rec.Latency("gaspi.notify_wait", now-start)
+	}
 	return id, ok
 }
 
@@ -680,9 +728,9 @@ func (p *Proc) Wait(queueID int) {
 	}
 }
 
-// Drain discards completed low-level requests accumulated on a queue
-// (callers that use Wait instead of RequestWait must drain or the list
-// grows unboundedly).
+// Drain discards completed low-level requests accumulated on a queue; no
+// gaspi_* counterpart (callers that use Wait instead of RequestWait must
+// drain or the list grows unboundedly).
 func (p *Proc) Drain(queueID int) {
 	q := p.queues[queueID]
 	q.mu.Lock()
@@ -690,12 +738,17 @@ func (p *Proc) Drain(queueID int) {
 	q.mu.Unlock()
 }
 
-// Snapshot returns the per-queue post-resource statistics in the common
-// observability shape (obs.Snapshotter).
+// Snapshot returns the per-queue post-resource statistics plus the failed
+// operation total ("gaspi_queue_errors") in the common observability shape
+// (obs.Snapshotter).
 func (p *Proc) Snapshot() obs.Snapshot {
 	s := obs.Snapshot{Component: "gaspi", Rank: int(p.rank)}
+	var errs int64
 	for i, q := range p.queues {
 		st := q.res.Stats()
+		q.mu.Lock()
+		errs += q.errors
+		q.mu.Unlock()
 		pre := fmt.Sprintf("queue%d.", i)
 		s.Samples = append(s.Samples,
 			obs.Sample{Name: pre + "posts", Value: float64(st.Uses)},
@@ -703,12 +756,18 @@ func (p *Proc) Snapshot() obs.Snapshot {
 			obs.Sample{Name: pre + "waited", Value: st.Waited.Seconds(), Unit: "s"},
 		)
 	}
+	s.Samples = append(s.Samples, obs.Sample{Name: "gaspi_queue_errors", Value: float64(errs)})
 	return s
 }
 
-// Reset clears the queue statistics (obs.Snapshotter).
+// Reset clears the queue statistics, including the failed-operation
+// counts; queue health is operational state and is left untouched
+// (obs.Snapshotter).
 func (p *Proc) Reset() {
 	for _, q := range p.queues {
 		q.res.ResetStats()
+		q.mu.Lock()
+		q.errors = 0
+		q.mu.Unlock()
 	}
 }

@@ -30,6 +30,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/gaspisim"
+	"repro/internal/obs"
 	"repro/internal/tasking"
 )
 
@@ -48,11 +49,22 @@ type Library struct {
 	p   *gaspisim.Proc
 	rt  *tasking.Runtime
 	svc *core.Service
+	rec obs.Recorder // nil unless instrumented
 
 	pending core.Pending[*notifWait] // staged notification waits (§IV-D)
 	waiting []*notifWait             // the polling task's private list
 
+	// Retry policy (DESIGN.md §9): operations that fail — the queue enters
+	// the GASPI error state and their completions come back failed — are
+	// repaired and resubmitted with bounded exponential backoff. Only the
+	// polling task touches retryQ and the pendingOp records.
+	retryQ      []*pendingOp
+	maxAttempts int
+	backoff     time.Duration
+
 	outstanding atomic.Int64 // pending notification waits, for observers
+	retries     atomic.Int64 // resubmissions performed
+	gaveup      atomic.Int64 // operations abandoned after maxAttempts
 }
 
 // notifWait is one pending tagaspi_notify_iwait registration.
@@ -63,19 +75,59 @@ type notifWait struct {
 	counter *tasking.EventCounter
 }
 
+// pendingOp is the operation tag TAGASPI posts with every submission: the
+// bound task's event counter plus everything needed to resubmit the
+// operation if it fails. All mutable fields are owned by the polling task;
+// the queue's completion list is the only handoff point.
+type pendingOp struct {
+	op       gaspisim.Operation    // as submitted, Tag pointing back at this record
+	counter  *tasking.EventCounter // the task's event counter
+	nreq     int                   // low-level requests per submission (2 for write+notify)
+	fails    int                   // failed completions seen this attempt
+	attempts int                   // failed attempts so far
+	dueAt    time.Duration         // modelled time of the next resubmission
+}
+
 // DefaultPollInterval is the polling period used when none is configured.
 const DefaultPollInterval = 150 * time.Microsecond
+
+// DefaultMaxAttempts is how many times an operation is submitted before
+// TAGASPI gives up and fails the task's events (graceful degradation).
+const DefaultMaxAttempts = 16
+
+// DefaultRetryBackoff is the base resubmission delay; attempt n waits
+// base << (n-1), capped at 10 doublings.
+const DefaultRetryBackoff = 20 * time.Microsecond
 
 // maxRequestsPerPass bounds one gaspi_request_wait drain (MAX_REQS in the
 // paper's Figure 7).
 const maxRequestsPerPass = 64
 
+// maxBackoffShift caps the exponential backoff at base << 10.
+const maxBackoffShift = 10
+
 // New initialises TAGASPI for one rank (tagaspi_proc_init) and spawns its
 // polling task. A non-positive interval dedicates the polling task.
 func New(p *gaspisim.Proc, rt *tasking.Runtime, interval time.Duration) *Library {
-	l := &Library{p: p, rt: rt}
+	l := &Library{p: p, rt: rt, maxAttempts: DefaultMaxAttempts, backoff: DefaultRetryBackoff}
 	l.svc = core.StartService(rt, "tagaspi-poll", interval, l.poll)
 	return l
+}
+
+// SetRecorder installs an observability recorder; nil disables recording.
+// Call before issuing operations.
+func (l *Library) SetRecorder(rec obs.Recorder) { l.rec = rec }
+
+// SetRetryPolicy overrides the retry policy: an operation is submitted at
+// most maxAttempts times, with base << (attempt-1) backoff between
+// attempts. Non-positive arguments keep the current values.
+func (l *Library) SetRetryPolicy(maxAttempts int, base time.Duration) {
+	if maxAttempts > 0 {
+		l.maxAttempts = maxAttempts
+	}
+	if base > 0 {
+		l.backoff = base
+	}
 }
 
 // Service exposes the polling service (interval tuning, statistics).
@@ -94,35 +146,24 @@ func (l *Library) Proc() *gaspisim.Proc { return l.p }
 func (l *Library) WriteNotify(t *tasking.Task, localSeg SegmentID, localOff int,
 	remote Rank, remoteSeg SegmentID, remoteOff, size int,
 	id NotificationID, value int64, queue int) error {
-	c := t.Events()
-	c.Increase(2) // write + notify low-level requests (Figure 7)
-	if err := l.p.Submit(gaspisim.Operation{
-		Type: gaspisim.OpWriteNotify, Tag: c,
+	// write + notify low-level requests (Figure 7)
+	return l.submit(t, gaspisim.Operation{
+		Type:     gaspisim.OpWriteNotify,
 		LocalSeg: localSeg, LocalOff: localOff,
 		Remote: remote, RemoteSeg: remoteSeg, RemoteOff: remoteOff, Size: size,
 		NotifyID: id, NotifyVal: value, Queue: queue,
-	}); err != nil {
-		c.Decrease(2)
-		return err
-	}
-	return nil
+	}, 2)
 }
 
 // Write issues a task-aware plain write (tagaspi_write).
 func (l *Library) Write(t *tasking.Task, localSeg SegmentID, localOff int,
 	remote Rank, remoteSeg SegmentID, remoteOff, size, queue int) error {
-	c := t.Events()
-	c.Increase(1)
-	if err := l.p.Submit(gaspisim.Operation{
-		Type: gaspisim.OpWrite, Tag: c,
+	return l.submit(t, gaspisim.Operation{
+		Type:     gaspisim.OpWrite,
 		LocalSeg: localSeg, LocalOff: localOff,
 		Remote: remote, RemoteSeg: remoteSeg, RemoteOff: remoteOff, Size: size,
 		Queue: queue,
-	}); err != nil {
-		c.Decrease(1)
-		return err
-	}
-	return nil
+	}, 1)
 }
 
 // Read issues a task-aware one-sided read (tagaspi_read): the local range
@@ -130,32 +171,35 @@ func (l *Library) Write(t *tasking.Task, localSeg SegmentID, localOff int,
 // data once this task completes.
 func (l *Library) Read(t *tasking.Task, localSeg SegmentID, localOff int,
 	remote Rank, remoteSeg SegmentID, remoteOff, size, queue int) error {
-	c := t.Events()
-	c.Increase(1)
-	if err := l.p.Submit(gaspisim.Operation{
-		Type: gaspisim.OpRead, Tag: c,
+	return l.submit(t, gaspisim.Operation{
+		Type:     gaspisim.OpRead,
 		LocalSeg: localSeg, LocalOff: localOff,
 		Remote: remote, RemoteSeg: remoteSeg, RemoteOff: remoteOff, Size: size,
 		Queue: queue,
-	}); err != nil {
-		c.Decrease(1)
-		return err
-	}
-	return nil
+	}, 1)
 }
 
 // Notify issues a task-aware pure notification (tagaspi_notify), e.g. the
 // ack a consumer sends right after unpacking a chunk (§IV-B).
 func (l *Library) Notify(t *tasking.Task, remote Rank, remoteSeg SegmentID,
 	id NotificationID, value int64, queue int) error {
-	c := t.Events()
-	c.Increase(1)
-	if err := l.p.Submit(gaspisim.Operation{
-		Type: gaspisim.OpNotify, Tag: c,
+	return l.submit(t, gaspisim.Operation{
+		Type:   gaspisim.OpNotify,
 		Remote: remote, RemoteSeg: remoteSeg,
 		NotifyID: id, NotifyVal: value, Queue: queue,
-	}); err != nil {
-		c.Decrease(1)
+	}, 1)
+}
+
+// submit binds op to the calling task's event counter and posts it with a
+// pendingOp tag so the polling task can retire it on success or retry it on
+// failure. nreq is the number of low-level requests the submission spawns.
+func (l *Library) submit(t *tasking.Task, op gaspisim.Operation, nreq int) error {
+	c := t.Events()
+	c.Increase(nreq)
+	po := &pendingOp{op: op, counter: c, nreq: nreq}
+	po.op.Tag = po
+	if err := l.p.Submit(po.op); err != nil {
+		c.Decrease(nreq)
 		return err
 	}
 	return nil
@@ -194,17 +238,25 @@ func (l *Library) NotifyIwaitAll(t *tasking.Task, seg SegmentID,
 	}
 }
 
-// poll is one pass of the transparent polling task (Figure 7): drain every
-// queue's completed low-level requests, then check the pending notification
-// list.
+// poll is one pass of the transparent polling task (Figure 7): resubmit
+// failed operations whose backoff expired, drain every queue's completed
+// low-level requests, then check the pending notification list.
 func (l *Library) poll() int {
-	retired := 0
+	retired := l.resubmitDue()
 	for q := 0; q < l.p.Queues(); q++ {
 		for {
 			comp := l.p.RequestWait(q, maxRequestsPerPass, gaspisim.Test)
 			for _, r := range comp {
-				r.Tag.(*tasking.EventCounter).Decrease(1)
-				retired++
+				po := r.Tag.(*pendingOp)
+				if r.OK {
+					po.counter.Decrease(1)
+					retired++
+					continue
+				}
+				po.fails++
+				if po.fails == po.nreq { // all requests of this attempt failed
+					retired += l.opFailed(po)
+				}
 			}
 			if len(comp) < maxRequestsPerPass {
 				break
@@ -233,8 +285,94 @@ func (l *Library) poll() int {
 	return retired
 }
 
+// opFailed handles one fully failed attempt: either schedule a backed-off
+// resubmission or, past maxAttempts, abandon the operation and release the
+// task's events so the application degrades instead of deadlocking. Returns
+// the number of task events retired (nonzero only on abandonment).
+func (l *Library) opFailed(po *pendingOp) int {
+	po.fails = 0
+	po.attempts++
+	if po.attempts >= l.maxAttempts {
+		po.counter.Decrease(po.nreq)
+		l.gaveup.Add(1)
+		if l.rec != nil {
+			l.rec.Count("tagaspi_gaveup", 1)
+		}
+		return po.nreq
+	}
+	shift := po.attempts - 1
+	if shift > maxBackoffShift {
+		shift = maxBackoffShift
+	}
+	po.dueAt = l.p.Clock().Now() + l.backoff<<shift
+	l.retryQ = append(l.retryQ, po)
+	return 0
+}
+
+// resubmitDue re-posts every queued retry whose backoff expired, repairing
+// the target queue first if it is still in the error state.
+func (l *Library) resubmitDue() int {
+	if len(l.retryQ) == 0 {
+		return 0
+	}
+	now := l.p.Clock().Now()
+	keep := l.retryQ[:0]
+	resubmitted := 0
+	for _, po := range l.retryQ {
+		if po.dueAt > now {
+			keep = append(keep, po)
+			continue
+		}
+		if l.p.QueueState(po.op.Queue) == gaspisim.QueueError {
+			l.p.QueueRepair(po.op.Queue)
+		}
+		l.retries.Add(1)
+		if l.rec != nil {
+			l.rec.Count("tagaspi_retries", 1)
+		}
+		if err := l.p.Submit(po.op); err != nil {
+			// Submission errors are programming errors caught on first
+			// post; a resubmission cannot produce a new one.
+			panic(err)
+		}
+		resubmitted++
+	}
+	for i := len(keep); i < len(l.retryQ); i++ {
+		l.retryQ[i] = nil
+	}
+	l.retryQ = keep
+	return resubmitted
+}
+
 // PendingNotifications reports how many notification waits are outstanding
 // (staged plus in the poller's private list).
 func (l *Library) PendingNotifications() int {
 	return int(l.outstanding.Load())
+}
+
+// Retries reports how many operation resubmissions this rank performed.
+func (l *Library) Retries() int64 { return l.retries.Load() }
+
+// GaveUp reports how many operations were abandoned after exhausting the
+// retry budget.
+func (l *Library) GaveUp() int64 { return l.gaveup.Load() }
+
+// Snapshot implements obs.Snapshotter with the retry-policy counters.
+func (l *Library) Snapshot() obs.Snapshot {
+	return obs.Snapshot{
+		Component: "tagaspi",
+		Rank:      int(l.p.Rank()),
+		Samples: []obs.Sample{
+			{Name: "tagaspi_retries", Value: float64(l.retries.Load())},
+			{Name: "tagaspi_gaveup", Value: float64(l.gaveup.Load())},
+			{Name: "tagaspi_pending_notifications", Value: float64(l.outstanding.Load())},
+		},
+	}
+}
+
+// Reset clears the retry-policy counters (outstanding notification waits
+// are operational state and survive).
+func (l *Library) Reset() {
+	l.retries.Store(0)
+	l.gaveup.Store(0)
 }

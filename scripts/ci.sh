@@ -44,6 +44,26 @@ go run ./cmd/figures -all -quick -parallel 4 -json "$fig_a" -json-host=false > /
 go run ./cmd/figures -all -quick -parallel 4 -json "$fig_b" -json-host=false > /dev/null
 cmp "$fig_a" "$fig_b"
 
+# Fault-determinism gate: the fault plane draws every decision from
+# seeded per-path streams in virtual time (DESIGN.md §9), so two seeded
+# -faults runs must produce byte-identical host-time-free output. A -race
+# pass additionally drives a two-rank cluster through a hard link outage
+# and TAGASPI's repair-and-retry recovery.
+echo "== fault determinism gate: two seeded -faults runs, byte-identical output"
+go build -o /tmp/ci-heat-bin ./cmd/heat
+fault_a="$(mktemp -t heat-faults-a.XXXXXX.txt)"
+fault_b="$(mktemp -t heat-faults-b.XXXXXX.txt)"
+trap 'rm -f "$fig_a" "$fig_b" "$fault_a" "$fault_b"' EXIT
+/tmp/ci-heat-bin -variant tagaspi -nodes 2 -rows 256 -cols 256 -steps 4 \
+    -faults 0.05 -host=false > "$fault_a"
+/tmp/ci-heat-bin -variant tagaspi -nodes 2 -rows 256 -cols 256 -steps 4 \
+    -faults 0.05 -host=false > "$fault_b"
+cmp "$fault_a" "$fault_b"
+grep -q "tagaspi retries" "$fault_a"
+
+echo "== fault recovery under -race: link outage and repair"
+go test -race -run TestLinkOutageRecovery ./internal/cluster
+
 # Observability smoke: instrumented runs must produce traces the trace
 # inspector accepts (README "Observability", DESIGN.md §7) — including
 # when two instrumented simulations run concurrently, the execution shape
@@ -51,8 +71,7 @@ cmp "$fig_a" "$fig_b"
 echo "== trace smoke: concurrent instrumented cmd/heat runs + cmd/trace -check"
 trace_tmp="$(mktemp -t heat-trace.XXXXXX.json)"
 trace_tmp2="$(mktemp -t heat-trace2.XXXXXX.json)"
-trap 'rm -f "$fig_a" "$fig_b" "$trace_tmp" "$trace_tmp2"' EXIT
-go build -o /tmp/ci-heat-bin ./cmd/heat
+trap 'rm -f "$fig_a" "$fig_b" "$fault_a" "$fault_b" "$trace_tmp" "$trace_tmp2"' EXIT
 /tmp/ci-heat-bin -variant tagaspi -nodes 2 -rpn 1 -cores 2 \
     -rows 128 -cols 256 -steps 2 -block 64 \
     -trace "$trace_tmp" -metrics > /dev/null &
