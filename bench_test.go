@@ -17,6 +17,7 @@ import (
 	"repro/internal/exp"
 	"repro/internal/fabric"
 	"repro/internal/figures"
+	"repro/internal/vclock"
 )
 
 // reportSeries registers each (series, x) value of a figure as a metric.
@@ -90,6 +91,43 @@ func BenchmarkAblationMPILockContention(b *testing.B) { benchFigure(b, "lock") }
 func BenchmarkAblationPollingPeriod(b *testing.B)     { benchFigure(b, "poll") }
 func BenchmarkAblationRMANotification(b *testing.B)   { benchFigure(b, "rma") }
 func BenchmarkAblationOnready(b *testing.B)           { benchFigure(b, "onready") }
+
+// BenchmarkCourierDelivery measures the fabric courier hot path on the
+// host — one uninstrumented Send through injection and delivery — in the
+// shape the protocol models drive it: a window of in-flight messages per
+// wakeup, so the couriers' batched draining is exercised. ns/op and
+// allocs/op here are the per-message host cost of the simulator's most
+// executed path; the committed allocation budget lives in
+// internal/fabric's TestCourierAllocBudget.
+func BenchmarkCourierDelivery(b *testing.B) {
+	const window = 64
+	clk := vclock.NewVirtual()
+	f := fabric.New(clk, fabric.NewTopology(2, 1), fabric.ProfileOmniPath())
+	delivered := make(chan struct{}, window)
+	f.Register(1, fabric.ClassMPI, func(m *fabric.Message) { delivered <- struct{}{} })
+	send := func(n int) {
+		for i := 0; i < n; i++ {
+			m := fabric.NewMessage()
+			m.Src, m.Dst, m.Class, m.Size = 0, 1, fabric.ClassMPI, 256
+			f.Send(m)
+		}
+		for i := 0; i < n; i++ {
+			<-delivered
+		}
+	}
+	send(window) // warm up: courier spawn, queue growth, pool fill
+	b.ReportAllocs()
+	b.ResetTimer()
+	for done := 0; done < b.N; done += window {
+		n := window
+		if b.N-done < n {
+			n = b.N - done
+		}
+		send(n)
+	}
+	b.StopTimer()
+	f.Close()
+}
 
 // BenchmarkGaussSeidelTAGASPI measures one mid-size hybrid Gauss-Seidel
 // run end to end (host time), reporting modelled throughput.

@@ -17,6 +17,8 @@
 //	                          # machine-readable rows {fig, series, x, y,
 //	                          # host_ms, modelled_ms, seed}
 //	figures -list             # print the known figure ids
+//	figures -all -quick -cpuprofile cpu.out -memprofile mem.out
+//	                          # profile the run (inspect with go tool pprof)
 //
 // With -json-host=false the JSON omits measured host times, making two
 // runs of the same sweep byte-identical — the CI determinism gate diffs
@@ -27,6 +29,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sync"
 	"time"
 
@@ -55,7 +59,36 @@ func main() {
 	jsonOut := flag.String("json", "", "write machine-readable results to this file")
 	jsonHost := flag.Bool("json-host", true,
 		"include measured host times in -json rows (false: byte-stable output)")
+	cpuProf := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProf := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the final live set
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+			}
+		}()
+	}
 
 	if *list {
 		for _, id := range figures.IDs() {

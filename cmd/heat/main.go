@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/apps/heat"
+	"repro/internal/cliflag"
 	"repro/internal/cluster"
 	"repro/internal/fabric"
 	"repro/internal/obscli"
@@ -41,6 +42,11 @@ func main() {
 	host := flag.Bool("host", true, "include host wall-clock in the report (false: byte-stable output)")
 	ofl := obscli.Register()
 	flag.Parse()
+
+	cliflag.RequirePositive(map[string]int{
+		"nodes": *nodes, "rpn": *rpn, "cores": *cores, "mpi-rpn": *mpiRPN,
+		"rows": *rows, "cols": *cols, "steps": *steps, "block": *block,
+	})
 
 	var prof fabric.Profile
 	switch *profile {

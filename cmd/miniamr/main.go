@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/apps/miniamr"
+	"repro/internal/cliflag"
 	"repro/internal/cluster"
 	"repro/internal/fabric"
 	"repro/internal/obscli"
@@ -35,6 +36,12 @@ func main() {
 	poll := flag.Duration("poll", 10*time.Microsecond, "task-aware polling period")
 	ofl := obscli.Register()
 	flag.Parse()
+
+	cliflag.RequirePositive(map[string]int{
+		"nodes": *nodes, "rpn": *rpn, "cores": *cores, "mpi-rpn": *mpiRPN,
+		"vars": *vars, "steps": *steps, "refine": *refineEvery, "cells": *cells,
+	})
+	cliflag.RequireNonNegative(map[string]int{"maxlevel": *maxLevel})
 
 	var prof fabric.Profile
 	switch *profile {

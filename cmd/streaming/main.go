@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/apps/streaming"
+	"repro/internal/cliflag"
 	"repro/internal/cluster"
 	"repro/internal/fabric"
 	"repro/internal/obscli"
@@ -32,6 +33,11 @@ func main() {
 	poll := flag.Duration("poll", time.Microsecond, "task-aware polling period")
 	ofl := obscli.Register()
 	flag.Parse()
+
+	cliflag.RequirePositive(map[string]int{
+		"nodes": *nodes, "rpn": *rpn, "cores": *cores, "mpi-rpn": *mpiRPN,
+		"chunks": *chunks, "chunk": *chunkElems, "block": *block,
+	})
 
 	var prof fabric.Profile
 	switch *profile {

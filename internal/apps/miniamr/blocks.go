@@ -60,10 +60,16 @@ func (p Params) fillBoundary(b *block, f int) {
 	if side == 1 {
 		halo, inner = n+1, n
 	}
+	ws, as, cs := p.faceStrides(axis)
+	_, _, svar := p.stride()
 	for v := 0; v < p.Vars; v++ {
+		hb, ib := v*svar+halo*ws, v*svar+inner*ws
 		for a := 1; a <= n; a++ {
+			hi, ii := hb+a*as+cs, ib+a*as+cs
 			for c := 1; c <= n; c++ {
-				b.cur[p.faceCell(v, axis, halo, a, c)] = b.cur[p.faceCell(v, axis, inner, a, c)]
+				b.cur[hi] = b.cur[ii]
+				hi += cs
+				ii += cs
 			}
 		}
 	}
@@ -79,6 +85,22 @@ func (p Params) faceCell(v, axis, w, a, c int) int {
 		return p.cellIdx(v, a, w, c)
 	default:
 		return p.cellIdx(v, a, c, w)
+	}
+}
+
+// faceStrides returns the flat-index strides of the w (normal) and (a, c)
+// (tangential) coordinates of a face plane normal to axis, so hot loops can
+// index by increment instead of a faceCell call per cell:
+// faceCell(v, axis, w, a, c) == v*svar + w*ws + a*as + c*cs.
+func (p Params) faceStrides(axis int) (ws, as, cs int) {
+	s1, s2, _ := p.stride()
+	switch axis {
+	case 0:
+		return s1, s2, 1
+	case 1:
+		return s2, s1, 1
+	default:
+		return 1, s1, s2
 	}
 }
 
@@ -130,14 +152,19 @@ func (p Params) packMsg(src *block, m Msg, out []float64) {
 	if m.Face%2 == 1 {
 		layer = 1
 	}
+	ws, as, cs := p.faceStrides(axis)
+	_, _, svar := p.stride()
 	k := 0
 	switch {
 	case m.Src.L == m.Dst.L:
 		for v := 0; v < p.Vars; v++ {
+			base := v*svar + layer*ws
 			for a := 1; a <= n; a++ {
+				i := base + a*as + cs
 				for c := 1; c <= n; c++ {
-					out[k] = src.cur[p.faceCell(v, axis, layer, a, c)]
+					out[k] = src.cur[i]
 					k++
+					i += cs
 				}
 			}
 		}
@@ -145,12 +172,13 @@ func (p Params) packMsg(src *block, m Msg, out []float64) {
 		// Finer source covering a quadrant of dst's face: average 2x2.
 		h := n / 2
 		for v := 0; v < p.Vars; v++ {
+			base := v*svar + layer*ws
 			for a := 1; a <= h; a++ {
+				r0, r1 := base+(2*a-1)*as, base+2*a*as
 				for c := 1; c <= h; c++ {
-					sum := src.cur[p.faceCell(v, axis, layer, 2*a-1, 2*c-1)] +
-						src.cur[p.faceCell(v, axis, layer, 2*a-1, 2*c)] +
-						src.cur[p.faceCell(v, axis, layer, 2*a, 2*c-1)] +
-						src.cur[p.faceCell(v, axis, layer, 2*a, 2*c)]
+					c0, c1 := (2*c-1)*cs, 2*c*cs
+					sum := src.cur[r0+c0] + src.cur[r0+c1] +
+						src.cur[r1+c0] + src.cur[r1+c1]
 					out[k] = sum / 4
 					k++
 				}
@@ -164,11 +192,11 @@ func (p Params) packMsg(src *block, m Msg, out []float64) {
 		q2 := dc[t2] - 2*sc[t2]
 		h := n / 2
 		for v := 0; v < p.Vars; v++ {
+			base := v*svar + layer*ws
 			for a := 1; a <= n; a++ {
-				sa := q1*h + (a+1)/2
+				row := base + (q1*h+(a+1)/2)*as
 				for c := 1; c <= n; c++ {
-					scl := q2*h + (c+1)/2
-					out[k] = src.cur[p.faceCell(v, axis, layer, sa, scl)]
+					out[k] = src.cur[row+(q2*h+(c+1)/2)*cs]
 					k++
 				}
 			}
@@ -189,6 +217,8 @@ func (p Params) unpackMsg(dst *block, m Msg, in []float64) {
 	if m.Face%2 == 1 {
 		halo = n + 1
 	}
+	ws, as, cs := p.faceStrides(axis)
+	_, _, svar := p.stride()
 	k := 0
 	if m.Src.L > m.Dst.L {
 		// Quadrant fill: offsets from the fine source's position.
@@ -197,20 +227,26 @@ func (p Params) unpackMsg(dst *block, m Msg, in []float64) {
 		q2 := sc[t2] - 2*dc[t2]
 		h := n / 2
 		for v := 0; v < p.Vars; v++ {
+			base := v*svar + halo*ws
 			for a := 1; a <= h; a++ {
+				i := base + (q1*h+a)*as + (q2*h+1)*cs
 				for c := 1; c <= h; c++ {
-					dst.cur[p.faceCell(v, axis, halo, q1*h+a, q2*h+c)] = in[k]
+					dst.cur[i] = in[k]
 					k++
+					i += cs
 				}
 			}
 		}
 		return
 	}
 	for v := 0; v < p.Vars; v++ {
+		base := v*svar + halo*ws
 		for a := 1; a <= n; a++ {
+			i := base + a*as + cs
 			for c := 1; c <= n; c++ {
-				dst.cur[p.faceCell(v, axis, halo, a, c)] = in[k]
+				dst.cur[i] = in[k]
 				k++
+				i += cs
 			}
 		}
 	}

@@ -1,0 +1,64 @@
+// Package cliflag holds the shared flag-validation helpers of the
+// command-line front-ends (cmd/heat, cmd/miniamr, cmd/streaming). The
+// simulators decompose their problem sizes by these values — a zero block
+// size or step count reaches the decomposition as a divide or an empty
+// sweep and fails far from the flag that caused it — so every front-end
+// rejects bad values right after flag.Parse with a usage error instead.
+package cliflag
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// CheckPositive returns an error naming every flag in vals whose value is
+// not strictly positive, or nil if all are. Flags are reported in sorted
+// name order so the message is deterministic.
+func CheckPositive(vals map[string]int) error {
+	return check(vals, 1, "> 0")
+}
+
+// CheckNonNegative is CheckPositive with a >= 0 requirement, for flags
+// where zero is meaningful (e.g. -maxlevel 0 disables refinement).
+func CheckNonNegative(vals map[string]int) error {
+	return check(vals, 0, ">= 0")
+}
+
+func check(vals map[string]int, min int, want string) error {
+	var bad []string
+	for name, v := range vals {
+		if v < min {
+			bad = append(bad, fmt.Sprintf("-%s must be %s (got %d)", name, want, v))
+		}
+	}
+	if len(bad) == 0 {
+		return nil
+	}
+	sort.Strings(bad)
+	return fmt.Errorf("%s", strings.Join(bad, "; "))
+}
+
+// RequirePositive terminates the program with a usage error (exit status 2)
+// unless every value in vals is strictly positive. Call after flag.Parse;
+// keys are flag names without the leading dash.
+func RequirePositive(vals map[string]int) {
+	exitOnErr(CheckPositive(vals))
+}
+
+// RequireNonNegative terminates the program with a usage error (exit
+// status 2) unless every value in vals is zero or positive.
+func RequireNonNegative(vals map[string]int) {
+	exitOnErr(CheckNonNegative(vals))
+}
+
+func exitOnErr(err error) {
+	if err == nil {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "%s: %v\n", os.Args[0], err)
+	flag.Usage()
+	os.Exit(2)
+}

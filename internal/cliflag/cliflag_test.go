@@ -1,0 +1,38 @@
+package cliflag
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCheckPositive(t *testing.T) {
+	if err := CheckPositive(map[string]int{"rows": 1024, "steps": 1}); err != nil {
+		t.Fatalf("valid flags rejected: %v", err)
+	}
+	err := CheckPositive(map[string]int{"block": 0, "rows": 256, "steps": -4})
+	if err == nil {
+		t.Fatal("non-positive flags accepted")
+	}
+	msg := err.Error()
+	for _, want := range []string{"-block must be > 0 (got 0)", "-steps must be > 0 (got -4)"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error %q missing %q", msg, want)
+		}
+	}
+	if strings.Contains(msg, "-rows") {
+		t.Errorf("error %q names the valid flag -rows", msg)
+	}
+	// Deterministic order: sorted by flag name.
+	if strings.Index(msg, "-block") > strings.Index(msg, "-steps") {
+		t.Errorf("error %q not sorted by flag name", msg)
+	}
+}
+
+func TestCheckNonNegative(t *testing.T) {
+	if err := CheckNonNegative(map[string]int{"maxlevel": 0}); err != nil {
+		t.Fatalf("zero rejected by CheckNonNegative: %v", err)
+	}
+	if err := CheckNonNegative(map[string]int{"maxlevel": -1}); err == nil {
+		t.Fatal("negative accepted by CheckNonNegative")
+	}
+}

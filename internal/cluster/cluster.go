@@ -171,10 +171,10 @@ func Run(cfg Config, main func(*Env)) Result {
 	topo := fabric.NewTopology(cfg.Nodes, cfg.RanksPerNode)
 	fab := fabric.New(clk, topo, cfg.Profile)
 	if cfg.Faults.Enabled() {
-		fab.SetFaultPlan(cfg.Faults, cfg.Seed^fabric.SeedOf("fault-plane"))
+		fab.SetFaultPlan(cfg.Faults, fabric.FaultPlaneSeed(cfg.Seed))
 	}
 	mw := mpisim.NewWorld(fab, cfg.Seed)
-	gw := gaspisim.NewWorld(fab, cfg.Queues, cfg.Seed+0x9e3779b9)
+	gw := gaspisim.NewWorld(fab, cfg.Queues, fabric.GASPIWorldSeed(cfg.Seed))
 	if cfg.Recorder != nil {
 		fab.SetRecorder(cfg.Recorder)
 		mw.SetRecorder(cfg.Recorder)

@@ -1,0 +1,65 @@
+package fabric
+
+import (
+	"testing"
+
+	"repro/internal/vclock"
+)
+
+// raceEnabled is set by race_on_test.go when the race detector is
+// compiled in; its instrumentation allocates, so allocation-count gates
+// skip under -race.
+var raceEnabled bool
+
+// allocsPerMessage measures host heap allocations per message for a full
+// Send -> inject -> deliver round trip on an uninstrumented fabric,
+// including every courier-side allocation (AllocsPerRun counts global
+// mallocs, so courier goroutines are included).
+func allocsPerMessage(t *testing.T, batch int) float64 {
+	t.Helper()
+	clk := vclock.NewVirtual()
+	f := New(clk, NewTopology(2, 1), ProfileOmniPath())
+	delivered := make(chan struct{}, 4*batch)
+	f.Register(1, ClassMPI, func(m *Message) { delivered <- struct{}{} })
+
+	send := func() {
+		for i := 0; i < batch; i++ {
+			m := NewMessage()
+			m.Src, m.Dst, m.Class, m.Size = 0, 1, ClassMPI, 256
+			f.Send(m)
+		}
+		for i := 0; i < batch; i++ {
+			<-delivered
+		}
+	}
+	send() // warm up the path (courier spawn, queue growth)
+
+	per := testing.AllocsPerRun(16, send) / float64(batch)
+	f.Close()
+	return per
+}
+
+// CourierAllocBudget is the committed per-message allocation budget of the
+// uninstrumented courier send path (Send through delivery). Before the
+// allocation diet this path measured ~10.5 allocs/message (a fresh Message
+// per Send, a fresh parker and timer per modelled sleep, per-Pop lock
+// round trips); with pooled messages, pooled sleep timers and batched
+// queue draining it measures 0.00. The budget is 1.0 rather than 0: a GC
+// cycle during the measurement may empty the pools and charge a handful
+// of refills to the run. Raising this number is a performance regression
+// and needs justification.
+const CourierAllocBudget = 1.0
+
+// TestCourierAllocBudget is the allocation-regression gate of scripts/ci.sh:
+// the per-message allocation count of the courier hot path must not exceed
+// the committed budget.
+func TestCourierAllocBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are inflated by race-detector instrumentation")
+	}
+	per := allocsPerMessage(t, 64)
+	t.Logf("courier path: %.2f allocs/message (budget %.1f)", per, CourierAllocBudget)
+	if per > CourierAllocBudget {
+		t.Fatalf("courier send path allocates %.2f/message, budget is %.1f", per, CourierAllocBudget)
+	}
+}

@@ -163,7 +163,12 @@ func (p Profile) Zero() bool {
 }
 
 // Message is one fabric transfer. Protocol layers fill the routing fields
-// and hooks; the fabric owns the timing.
+// and hooks; the fabric owns the timing — and, once the message is passed
+// to Send, the struct itself: after the destination handler returns (or
+// OnFailed runs for a surfaced fault) the fabric zeroes the Message and
+// recycles it through an internal pool. Neither handlers nor hooks may
+// retain the *Message past their return; anything with a longer life
+// belongs in Payload. Allocate with NewMessage to draw from the pool.
 type Message struct {
 	Src, Dst Rank
 	Class    Class
@@ -194,9 +199,31 @@ type Message struct {
 	enqueued time.Duration
 }
 
+// msgPool recycles Message structs across every fabric in the process.
+// A message is released exactly once, by the courier that consumed it
+// (deliver after the handler returns, inject after a surfaced fault), so
+// no live reference can outlast the Put.
+var msgPool = sync.Pool{New: func() any { return new(Message) }}
+
+// NewMessage returns a zeroed Message drawn from the fabric's message
+// pool. Messages built with a plain composite literal still work — Send
+// does not care where the struct came from — but they feed the pool on
+// release, so steady-state traffic allocates no Message structs at all
+// only when senders use NewMessage.
+func NewMessage() *Message { return msgPool.Get().(*Message) }
+
+// releaseMessage zeroes m (dropping payload and hook references) and
+// returns it to the pool.
+func releaseMessage(m *Message) {
+	*m = Message{}
+	msgPool.Put(m)
+}
+
 // Handler consumes delivered messages on the destination rank.
 // It runs on a courier goroutine and must not block on modelled time other
 // than briefly (it may wake parkers, post replies, take short mutexes).
+// The *Message argument is recycled when the handler returns and must not
+// be retained.
 type Handler func(*Message)
 
 type pathKey struct {
@@ -352,64 +379,84 @@ func (f *Fabric) Send(m *Message) {
 // source-side injection cost, fires local completion, and hands the message
 // to the delivery stage. Pipelining the two stages lets a path overlap the
 // flight of message i with the injection of message i+1, as NICs do.
+//
+// The courier drains its queue in batches — one lock round trip and at
+// most one park per wakeup instead of one per message — but processes the
+// batch strictly in arrival order, so the non-overtaking guarantee and the
+// fault plane's per-domain decision stream are exactly those of one-at-a-
+// time delivery.
 func (f *Fabric) inject(p *path) {
 	defer p.out.Close()
+	var batch []*Message
 	for {
-		m, ok := p.in.Pop()
+		var ok bool
+		batch, ok = p.in.PopAll(batch)
 		if !ok {
 			return
 		}
-		var popTs time.Duration
-		if f.rec != nil {
-			popTs = f.clk.Now()
-			f.rec.Latency("fabric.queue_residency", popTs-m.enqueued)
+		for _, m := range batch {
+			f.injectOne(p, m)
 		}
-		intra := f.topo.SameNode(m.Src, m.Dst)
-		var lat time.Duration
-		var bw float64
-		if intra {
-			lat, bw = f.prof.IntraNodeLatency, f.prof.IntraNodeBandwidth
-		} else {
-			lat, bw = f.prof.InterNodeLatency, f.prof.InterNodeBandwidth
-		}
-		if m.Class == ClassGASPI && f.prof.RDMAEmulated {
-			lat = time.Duration(float64(lat) * f.prof.RDMAEmulFactor)
-			bw /= f.prof.RDMAEmulFactor
-		}
-		var wire time.Duration
-		if !m.Control && m.Size > 0 {
-			wire = time.Duration(float64(m.Size) / bw * float64(time.Second))
-		}
-
-		// Injection: occupy the source-side port (NIC or intra-node
-		// copy engine) for the overhead plus the serialization time.
-		inject := f.prof.InjectOverhead + wire
-		if m.Control {
-			// Header-only packets (acks, notifications, RTS/CTS) occupy
-			// the port for a fraction of a full-message injection.
-			inject = f.prof.InjectOverhead / 4
-		}
-		if p.fault != nil {
-			var surfaced bool
-			lat, surfaced = f.faultInject(p.fault, m, inject, lat)
-			if surfaced {
-				continue // failure handed to the protocol layer; nothing flies
-			}
-		}
-		f.chargeInject(m, intra, inject)
-		if m.OnInjected != nil {
-			m.OnInjected() // local completion: source buffer reusable
-		}
-		if f.rec != nil {
-			f.rec.Span(int(m.Src), obs.TrackFabricTx, obs.CatFabric, "fabric:inject",
-				popTs, f.clk.Now(), int64(m.Size))
-		}
-		rx := wire
-		if intra {
-			rx = 0 // intra-node copies are charged once, at injection
-		}
-		p.out.Push(flight{m: m, arrival: f.clk.Now() + lat, rx: rx})
+		clear(batch) // drop message refs before the array becomes the push buffer
 	}
+}
+
+// injectOne charges injection for one message and hands it to the delivery
+// stage (or surfaces its fault-plane failure).
+func (f *Fabric) injectOne(p *path, m *Message) {
+	var popTs time.Duration
+	if f.rec != nil {
+		popTs = f.clk.Now()
+		f.rec.Latency("fabric.queue_residency", popTs-m.enqueued)
+	}
+	intra := f.topo.SameNode(m.Src, m.Dst)
+	var lat time.Duration
+	var bw float64
+	if intra {
+		lat, bw = f.prof.IntraNodeLatency, f.prof.IntraNodeBandwidth
+	} else {
+		lat, bw = f.prof.InterNodeLatency, f.prof.InterNodeBandwidth
+	}
+	if m.Class == ClassGASPI && f.prof.RDMAEmulated {
+		lat = time.Duration(float64(lat) * f.prof.RDMAEmulFactor)
+		bw /= f.prof.RDMAEmulFactor
+	}
+	var wire time.Duration
+	if !m.Control && m.Size > 0 {
+		wire = time.Duration(float64(m.Size) / bw * float64(time.Second))
+	}
+
+	// Injection: occupy the source-side port (NIC or intra-node
+	// copy engine) for the overhead plus the serialization time.
+	inject := f.prof.InjectOverhead + wire
+	if m.Control {
+		// Header-only packets (acks, notifications, RTS/CTS) occupy
+		// the port for a fraction of a full-message injection.
+		inject = f.prof.InjectOverhead / 4
+	}
+	if p.fault != nil {
+		var surfaced bool
+		lat, surfaced = f.faultInject(p.fault, m, inject, lat)
+		if surfaced {
+			// Failure handed to the protocol layer; nothing flies and
+			// the consumed message goes back to the pool.
+			releaseMessage(m)
+			return
+		}
+	}
+	f.chargeInject(m, intra, inject)
+	if m.OnInjected != nil {
+		m.OnInjected() // local completion: source buffer reusable
+	}
+	if f.rec != nil {
+		f.rec.Span(int(m.Src), obs.TrackFabricTx, obs.CatFabric, "fabric:inject",
+			popTs, f.clk.Now(), int64(m.Size))
+	}
+	rx := wire
+	if intra {
+		rx = 0 // intra-node copies are charged once, at injection
+	}
+	p.out.Push(flight{m: m, arrival: f.clk.Now() + lat, rx: rx})
 }
 
 // chargeInject occupies the message's source-side port (NIC injection port
@@ -462,38 +509,50 @@ func (f *Fabric) faultInject(pf *pathFaults, m *Message, inject, lat time.Durati
 
 // deliver is the second courier stage: it waits out the flight delay,
 // charges the destination port, and invokes the rank's handler in order.
+// Like inject it drains its queue in batches, preserving arrival order.
+// The path's (destination, class) never changes and Register precedes
+// traffic, so the handler is looked up once and cached for the courier's
+// lifetime instead of taking the fabric lock per message.
 func (f *Fabric) deliver(p *path) {
+	var batch []flight
+	var h Handler
 	for {
-		fl, ok := p.out.Pop()
+		var ok bool
+		batch, ok = p.out.PopAll(batch)
 		if !ok {
 			return
 		}
-		m := fl.m
-		if d := fl.arrival - f.clk.Now(); d > 0 {
-			f.clk.Sleep(d)
-		}
-		if fl.rx > 0 {
-			_, done := f.nicRx[f.topo.NodeOf(m.Dst)].Reserve(fl.rx)
-			if d := done - f.clk.Now(); d > 0 {
+		for _, fl := range batch {
+			m := fl.m
+			if d := fl.arrival - f.clk.Now(); d > 0 {
 				f.clk.Sleep(d)
 			}
-		}
+			if fl.rx > 0 {
+				_, done := f.nicRx[f.topo.NodeOf(m.Dst)].Reserve(fl.rx)
+				if d := done - f.clk.Now(); d > 0 {
+					f.clk.Sleep(d)
+				}
+			}
 
-		f.mu.Lock()
-		hs := f.hands[m.Class]
-		f.mu.Unlock()
-		var h Handler
-		if hs != nil {
-			h = hs[m.Dst]
+			if h == nil {
+				f.mu.Lock()
+				hs := f.hands[m.Class]
+				f.mu.Unlock()
+				if hs != nil {
+					h = hs[m.Dst]
+				}
+				if h == nil {
+					panic(fmt.Sprintf("fabric: no handler for class %d on rank %d", m.Class, m.Dst))
+				}
+			}
+			if f.rec != nil {
+				f.rec.Instant(int(m.Dst), obs.TrackFabricRx, obs.CatFabric, "fabric:deliver",
+					f.clk.Now(), int64(m.Size))
+			}
+			h(m)
+			releaseMessage(m)
 		}
-		if h == nil {
-			panic(fmt.Sprintf("fabric: no handler for class %d on rank %d", m.Class, m.Dst))
-		}
-		if f.rec != nil {
-			f.rec.Instant(int(m.Dst), obs.TrackFabricRx, obs.CatFabric, "fabric:deliver",
-				f.clk.Now(), int64(m.Size))
-		}
-		h(m)
+		clear(batch) // drop message refs before the array becomes the push buffer
 	}
 }
 

@@ -1,0 +1,45 @@
+package fabric
+
+import "testing"
+
+// TestSeedDerivationsDistinct is the seed-collision audit as a regression
+// test: under one cluster seed, the MPI jitter seeds, GASPI jitter seeds
+// and the fault-plane seed must be pairwise distinct for every rank count
+// the harness can realistically build. A collision would hand two streams
+// the same math/rand state and silently correlate their jitter.
+func TestSeedDerivationsDistinct(t *testing.T) {
+	const ranks = 16384
+	for _, base := range []int64{0, 1, 2, 3, 42, SeedOf("exp", "fig9", "tagaspi/n4")} {
+		seen := make(map[int64]string, 2*ranks+1)
+		record := func(seed int64, who string) {
+			if prev, dup := seen[seed]; dup {
+				t.Fatalf("base %d: seed %d shared by %s and %s", base, seed, prev, who)
+			}
+			seen[seed] = who
+		}
+		record(FaultPlaneSeed(base), "fault-plane")
+		gw := GASPIWorldSeed(base)
+		for r := 0; r < ranks; r++ {
+			record(MPIJitterSeed(base, r), "mpi jitter")
+			record(GASPIJitterSeed(gw, r), "gaspi jitter")
+		}
+	}
+}
+
+// TestSeedDerivationFormulas pins the exact constants: these values are
+// baked into every committed BENCH_*.json baseline, so a change here is a
+// reproducibility break, not a refactor.
+func TestSeedDerivationFormulas(t *testing.T) {
+	if got := MPIJitterSeed(10, 3); got != 10+3*7919 {
+		t.Errorf("MPIJitterSeed(10, 3) = %d", got)
+	}
+	if got := GASPIWorldSeed(10); got != 10+0x9e3779b9 {
+		t.Errorf("GASPIWorldSeed(10) = %d", got)
+	}
+	if got := GASPIJitterSeed(GASPIWorldSeed(10), 3); got != 10+0x9e3779b9+3*104729 {
+		t.Errorf("GASPIJitterSeed(GASPIWorldSeed(10), 3) = %d", got)
+	}
+	if got := FaultPlaneSeed(10); got != 10^SeedOf("fault-plane") {
+		t.Errorf("FaultPlaneSeed(10) = %d", got)
+	}
+}

@@ -24,8 +24,9 @@ const (
 )
 
 // QueueState returns the health of one queue (the gaspi_state_vec check).
+// An out-of-range queue id panics with GASPI_ERR_INV_QUEUE semantics.
 func (p *Proc) QueueState(queueID int) QueueHealth {
-	q := p.queues[queueID]
+	q := p.queueAt(queueID)
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.errored {
@@ -38,9 +39,10 @@ func (p *Proc) QueueState(queueID int) QueueHealth {
 // gaspi_queue_purge plus connection re-establishment: it charges a fixed
 // repair cost (10x the per-operation post overhead) and clears the error
 // state. Completed-request records — including the failed ones — are
-// preserved for RequestWait, so no completion accounting is lost.
+// preserved for RequestWait, so no completion accounting is lost. An
+// out-of-range queue id panics with GASPI_ERR_INV_QUEUE semantics.
 func (p *Proc) QueueRepair(queueID int) {
-	q := p.queues[queueID]
+	q := p.queueAt(queueID)
 	p.clk.Sleep(10 * p.prof.RDMAOpOverhead)
 	q.mu.Lock()
 	q.errored = false

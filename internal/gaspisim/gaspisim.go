@@ -101,14 +101,17 @@ func NewWorld(fab *fabric.Fabric, queues int, seed int64) *World {
 	w.procs = make([]*Proc, n)
 	for r := 0; r < n; r++ {
 		p := &Proc{
-			world: w,
-			rank:  Rank(r),
-			fab:   fab,
-			clk:   fab.Clock(),
-			prof:  fab.Profile(),
-			reg:   memory.NewRegistry(),
-			jit:   fabric.NewJitterer(seed+int64(r)*104729, fab.Profile().MPIJitter/4),
-			segs:  make(map[SegmentID]*segState),
+			world:       w,
+			rank:        Rank(r),
+			fab:         fab,
+			clk:         fab.Clock(),
+			prof:        fab.Profile(),
+			reg:         memory.NewRegistry(),
+			jit:         fabric.NewJitterer(fabric.GASPIJitterSeed(seed, r), fab.Profile().MPIJitter/4),
+			segs:        make(map[SegmentID]*segState),
+			notifyName:  fmt.Sprintf("gaspi-notify@%d", r),
+			reqwaitName: fmt.Sprintf("gaspi-reqwait@%d", r),
+			waitName:    fmt.Sprintf("gaspi-wait@%d", r),
 		}
 		p.queues = make([]*queue, queues)
 		for q := range p.queues {
@@ -147,6 +150,10 @@ type Proc struct {
 	rec   obs.Recorder // nil: uninstrumented
 
 	queues []*queue
+
+	// Diagnostic parker labels, built once per process instead of one
+	// Sprintf per blocking wait.
+	notifyName, reqwaitName, waitName string
 
 	mu   sync.Mutex
 	segs map[SegmentID]*segState
@@ -193,8 +200,9 @@ func (p *Proc) Size() int { return len(p.world.procs) }
 // Queues returns the number of communication queues (gaspi_queue_num).
 func (p *Proc) Queues() int { return len(p.queues) }
 
-// QueueStats returns the post-resource statistics of queue q.
-func (p *Proc) QueueStats(q int) vsync.ResourceStats { return p.queues[q].res.Stats() }
+// QueueStats returns the post-resource statistics of queue q. An
+// out-of-range queue id panics with GASPI_ERR_INV_QUEUE semantics.
+func (p *Proc) QueueStats(q int) vsync.ResourceStats { return p.queueAt(q).res.Stats() }
 
 // SegmentCreate allocates and registers a zeroed segment
 // (gaspi_segment_create).
@@ -232,6 +240,39 @@ type gMsg struct {
 	replyOff int
 	replyQ   *queue
 	replyTag any
+}
+
+// gMsgPool recycles protocol message payloads. A message is released
+// exactly once, by the rank that retired it in deliver (its OnInjected
+// hook, if any, ran strictly earlier, on the injection courier), and
+// keeps its data array, so steady-state traffic allocates neither payload
+// structs nor fresh snapshot buffers.
+var gMsgPool = sync.Pool{New: func() any { return new(gMsg) }}
+
+// newGMsg returns a pooled message with every field zero and an empty
+// (capacity-retaining) data buffer.
+func newGMsg() *gMsg { return gMsgPool.Get().(*gMsg) }
+
+// putGMsg zeroes m, keeps its data array for the next snapshot, and
+// returns it to the pool.
+func putGMsg(m *gMsg) {
+	data := m.data
+	*m = gMsg{}
+	if data != nil {
+		m.data = data[:0]
+	}
+	gMsgPool.Put(m)
+}
+
+// queueAt returns the queue with the given id, failing a bad index the
+// way the spec fails a bad queue argument (GASPI_ERR_INV_QUEUE) — with an
+// explicit diagnostic instead of a bare slice-bounds panic.
+func (p *Proc) queueAt(queueID int) *queue {
+	if queueID < 0 || queueID >= len(p.queues) {
+		panic(fmt.Sprintf("gaspisim: GASPI_ERR_INV_QUEUE: queue %d out of range on rank %d (process has %d queues)",
+			queueID, p.rank, len(p.queues)))
+	}
+	return p.queues[queueID]
 }
 
 // Submit posts one operation to its queue — gaspi_operation_submit of
@@ -277,42 +318,44 @@ func (p *Proc) Submit(op Operation) error {
 		if op.Type == OpWriteNotify {
 			nreq = 2 // write + notify, as GPI-2 chains two ibverbs requests
 		}
-		m := &gMsg{kind: op.Type, src: p.rank, seg: op.RemoteSeg, off: op.RemoteOff,
-			size: op.Size, notify: op.Type == OpWriteNotify,
-			notifyID: op.NotifyID, notifyVal: op.NotifyVal}
+		m := newGMsg()
+		m.kind, m.src, m.seg, m.off = op.Type, p.rank, op.RemoteSeg, op.RemoteOff
+		m.size, m.notify = op.Size, op.Type == OpWriteNotify
+		m.notifyID, m.notifyVal = op.NotifyID, op.NotifyVal
 		q.post(op, func() {
 			if p.rec != nil {
 				m.postTs = p.clk.Now()
 			}
-			p.fab.Send(&fabric.Message{
-				Src: p.rank, Dst: op.Remote, Class: fabric.ClassGASPI, Lane: op.Queue,
-				Size: op.Size, Payload: m,
-				OnInjected: func() {
-					m.data = append([]byte(nil), buf...)
-					q.completeLocal(op.Tag, nreq)
-					p.recComplete(op.Queue, op.Size, m.postTs)
-				},
-				OnFailed: func() { q.completeLocalErr(op.Tag, nreq, true) },
-			})
+			fm := fabric.NewMessage()
+			fm.Src, fm.Dst, fm.Class, fm.Lane = p.rank, op.Remote, fabric.ClassGASPI, op.Queue
+			fm.Size, fm.Payload = op.Size, m
+			fm.OnInjected = func() {
+				m.data = append(m.data[:0], buf...)
+				q.completeLocal(op.Tag, nreq)
+				p.recComplete(op.Queue, op.Size, m.postTs)
+			}
+			fm.OnFailed = func() { q.completeLocalErr(op.Tag, nreq, true) }
+			p.fab.Send(fm)
 		}, nreq)
 		return nil
 
 	case OpNotify:
-		m := &gMsg{kind: OpNotify, src: p.rank, seg: op.RemoteSeg,
-			notify: true, notifyID: op.NotifyID, notifyVal: op.NotifyVal}
+		m := newGMsg()
+		m.kind, m.src, m.seg = OpNotify, p.rank, op.RemoteSeg
+		m.notify, m.notifyID, m.notifyVal = true, op.NotifyID, op.NotifyVal
 		q.post(op, func() {
 			if p.rec != nil {
 				m.postTs = p.clk.Now()
 			}
-			p.fab.Send(&fabric.Message{
-				Src: p.rank, Dst: op.Remote, Class: fabric.ClassGASPI, Lane: op.Queue,
-				Control: true, Payload: m,
-				OnInjected: func() {
-					q.completeLocal(op.Tag, 1)
-					p.recComplete(op.Queue, 0, m.postTs)
-				},
-				OnFailed: func() { q.completeLocalErr(op.Tag, 1, true) },
-			})
+			fm := fabric.NewMessage()
+			fm.Src, fm.Dst, fm.Class, fm.Lane = p.rank, op.Remote, fabric.ClassGASPI, op.Queue
+			fm.Control, fm.Payload = true, m
+			fm.OnInjected = func() {
+				q.completeLocal(op.Tag, 1)
+				p.recComplete(op.Queue, 0, m.postTs)
+			}
+			fm.OnFailed = func() { q.completeLocalErr(op.Tag, 1, true) }
+			p.fab.Send(fm)
 		}, 1)
 		return nil
 
@@ -320,20 +363,21 @@ func (p *Proc) Submit(op Operation) error {
 		if _, err := p.reg.Lookup(op.LocalSeg); err != nil {
 			return err
 		}
-		m := &gMsg{kind: OpRead, src: p.rank, seg: op.RemoteSeg, off: op.RemoteOff,
-			size: op.Size, replySeg: op.LocalSeg, replyOff: op.LocalOff,
-			replyQ: q, replyTag: op.Tag}
+		m := newGMsg()
+		m.kind, m.src, m.seg, m.off = OpRead, p.rank, op.RemoteSeg, op.RemoteOff
+		m.size, m.replySeg, m.replyOff = op.Size, op.LocalSeg, op.LocalOff
+		m.replyQ, m.replyTag = q, op.Tag
 		q.post(op, func() {
 			if p.rec != nil {
 				m.postTs = p.clk.Now()
 			}
-			p.fab.Send(&fabric.Message{
-				Src: p.rank, Dst: op.Remote, Class: fabric.ClassGASPI, Lane: op.Queue,
-				Control: true, Payload: m,
-				// The response direction carries no hook: like hardware
-				// read completion, it is retransmitted transparently.
-				OnFailed: func() { q.completeLocalErr(op.Tag, 1, true) },
-			})
+			fm := fabric.NewMessage()
+			fm.Src, fm.Dst, fm.Class, fm.Lane = p.rank, op.Remote, fabric.ClassGASPI, op.Queue
+			fm.Control, fm.Payload = true, m
+			// The response direction carries no hook: like hardware
+			// read completion, it is retransmitted transparently.
+			fm.OnFailed = func() { q.completeLocalErr(op.Tag, 1, true) }
+			p.fab.Send(fm)
 		}, 1)
 		return nil
 	}
@@ -454,7 +498,9 @@ func (p *Proc) Read(localSeg SegmentID, localOff int, remote Rank,
 	})
 }
 
-// deliver is the fabric handler for GASPI traffic.
+// deliver is the fabric handler for GASPI traffic. Each payload is
+// retired to the pool after its last field read (its OnInjected hook ran
+// strictly earlier, on the injection courier).
 func (p *Proc) deliver(fm *fabric.Message) {
 	m := fm.Payload.(*gMsg)
 	switch m.kind {
@@ -472,10 +518,12 @@ func (p *Proc) deliver(fm *fabric.Message) {
 			p.setNotification(m.seg, m.notifyID, m.notifyVal)
 			p.recNotify(m.notifyID, m.postTs)
 		}
+		putGMsg(m)
 
 	case OpNotify:
 		p.setNotification(m.seg, m.notifyID, m.notifyVal)
 		p.recNotify(m.notifyID, m.postTs)
+		putGMsg(m)
 
 	case OpRead:
 		seg, err := p.reg.Lookup(m.seg)
@@ -486,13 +534,17 @@ func (p *Proc) deliver(fm *fabric.Message) {
 		if err != nil {
 			panic(fmt.Sprintf("gaspisim: read outside segment: %v", err))
 		}
-		resp := &gMsg{kind: opReadResp, src: p.rank,
-			seg: m.replySeg, off: m.replyOff, postTs: m.postTs,
-			data: append([]byte(nil), src...), replyQ: m.replyQ, replyTag: m.replyTag}
-		p.fab.Send(&fabric.Message{
-			Src: p.rank, Dst: m.src, Class: fabric.ClassGASPI, Lane: 0,
-			Size: m.size, Payload: resp,
-		})
+		resp := newGMsg()
+		resp.kind, resp.src = opReadResp, p.rank
+		resp.seg, resp.off, resp.postTs = m.replySeg, m.replyOff, m.postTs
+		resp.data = append(resp.data[:0], src...)
+		resp.replyQ, resp.replyTag = m.replyQ, m.replyTag
+		reqSrc, size := m.src, m.size
+		putGMsg(m)
+		out := fabric.NewMessage()
+		out.Src, out.Dst, out.Class, out.Lane = p.rank, reqSrc, fabric.ClassGASPI, 0
+		out.Size, out.Payload = size, resp
+		p.fab.Send(out)
 
 	case opReadResp:
 		seg, err := p.reg.Lookup(m.seg)
@@ -503,9 +555,11 @@ func (p *Proc) deliver(fm *fabric.Message) {
 		if err != nil {
 			panic(fmt.Sprintf("gaspisim: read response outside segment: %v", err))
 		}
-		copy(dst, m.data)
-		m.replyQ.completeLocal(m.replyTag, 1)
-		p.recComplete(m.replyQ.idx, len(m.data), m.postTs)
+		n := copy(dst, m.data)
+		replyQ, replyTag, postTs := m.replyQ, m.replyTag, m.postTs
+		putGMsg(m)
+		replyQ.completeLocal(replyTag, 1)
+		p.recComplete(replyQ.idx, n, postTs)
 	}
 }
 
@@ -632,7 +686,7 @@ func (p *Proc) notifyWaitSome(seg SegmentID, begin NotificationID, num int,
 			return 0, false
 		}
 		w := &notifWaiter{begin: begin, num: NotificationID(num), p: p.clk.Parker()}
-		w.p.SetName(fmt.Sprintf("gaspi-notify@%d", p.rank))
+		w.p.SetName(p.notifyName)
 		st.waiters = append(st.waiters, w)
 		p.mu.Unlock()
 		if deadline < 0 {
@@ -667,9 +721,10 @@ func (p *Proc) notifyWaitSome(seg SegmentID, begin NotificationID, num int,
 // queue — the gaspi_request_wait extension of §IV-C. With timeout Test it
 // returns immediately (possibly empty); with Block it waits for at least
 // one; a positive timeout bounds the wait. The caller is charged a fixed
-// polling cost.
+// polling cost. An out-of-range queue id panics with GASPI_ERR_INV_QUEUE
+// semantics.
 func (p *Proc) RequestWait(queueID, max int, timeout time.Duration) []CompletedRequest {
-	q := p.queues[queueID]
+	q := p.queueAt(queueID)
 	p.clk.Sleep(p.prof.RDMAOpOverhead / 2) // CPU cost of draining the CQ
 	for {
 		q.mu.Lock()
@@ -688,7 +743,7 @@ func (p *Proc) RequestWait(queueID, max int, timeout time.Duration) []CompletedR
 			return nil
 		}
 		pk := p.clk.Parker()
-		pk.SetName(fmt.Sprintf("gaspi-reqwait@%d", p.rank))
+		pk.SetName(p.reqwaitName)
 		q.waiters = append(q.waiters, pk)
 		q.mu.Unlock()
 		if timeout == Block {
@@ -711,9 +766,10 @@ func (p *Proc) RequestWait(queueID, max int, timeout time.Duration) []CompletedR
 
 // Wait blocks until all operations posted to the queue have locally
 // completed — the standard coarse-grained gaspi_wait, which TAGASPI
-// obsoletes but the non-task-aware baselines use.
+// obsoletes but the non-task-aware baselines use. An out-of-range queue
+// id panics with GASPI_ERR_INV_QUEUE semantics.
 func (p *Proc) Wait(queueID int) {
-	q := p.queues[queueID]
+	q := p.queueAt(queueID)
 	for {
 		q.mu.Lock()
 		if q.outstanding == 0 {
@@ -721,7 +777,7 @@ func (p *Proc) Wait(queueID int) {
 			return
 		}
 		pk := p.clk.Parker()
-		pk.SetName(fmt.Sprintf("gaspi-wait@%d", p.rank))
+		pk.SetName(p.waitName)
 		q.waiters = append(q.waiters, pk)
 		q.mu.Unlock()
 		pk.Park()
@@ -730,9 +786,10 @@ func (p *Proc) Wait(queueID int) {
 
 // Drain discards completed low-level requests accumulated on a queue; no
 // gaspi_* counterpart (callers that use Wait instead of RequestWait must
-// drain or the list grows unboundedly).
+// drain or the list grows unboundedly). An out-of-range queue id panics
+// with GASPI_ERR_INV_QUEUE semantics.
 func (p *Proc) Drain(queueID int) {
-	q := p.queues[queueID]
+	q := p.queueAt(queueID)
 	q.mu.Lock()
 	q.completed = nil
 	q.mu.Unlock()

@@ -59,14 +59,15 @@ func NewWorld(fab *fabric.Fabric, seed int64) *World {
 	w.procs = make([]*Proc, n)
 	for r := 0; r < n; r++ {
 		p := &Proc{
-			world:   w,
-			rank:    Rank(r),
-			fab:     fab,
-			clk:     fab.Clock(),
-			prof:    fab.Profile(),
-			libLock: vsync.NewResource(fab.Clock()),
-			jit:     fabric.NewJitterer(seed+int64(r)*7919, fab.Profile().MPIJitter),
-			wins:    make(map[int]*Win),
+			world:    w,
+			rank:     Rank(r),
+			fab:      fab,
+			clk:      fab.Clock(),
+			prof:     fab.Profile(),
+			libLock:  vsync.NewResource(fab.Clock()),
+			jit:      fabric.NewJitterer(fabric.MPIJitterSeed(seed, r), fab.Profile().MPIJitter),
+			wins:     make(map[int]*Win),
+			waitName: fmt.Sprintf("mpi-wait@%d", r),
 		}
 		w.procs[r] = p
 		fab.Register(Rank(r), fabric.ClassMPI, p.deliver)
@@ -102,6 +103,10 @@ type Proc struct {
 	// MPI" including lock waits.
 	libLock *vsync.Resource
 	rec     obs.Recorder // nil: uninstrumented
+
+	// waitName is the diagnostic parker label of Wait callers, built once
+	// (a per-park Sprintf shows up in the hot path of wait-heavy runs).
+	waitName string
 
 	mu         sync.Mutex // protects the matching state and jitter RNG
 	jit        *fabric.Jitterer
@@ -187,7 +192,7 @@ func (r *Request) park() {
 		return
 	}
 	p := r.p.clk.Parker()
-	p.SetName(fmt.Sprintf("mpi-wait@%d", r.p.rank))
+	p.SetName(r.p.waitName)
 	r.waiters = append(r.waiters, p)
 	r.mu.Unlock()
 	p.Park()
@@ -237,6 +242,29 @@ type inMsg struct {
 	rmaDone *Request
 }
 
+// inMsgPool recycles protocol message payloads (MPI Continuations makes
+// the same argument for completion objects: reuse beats per-op
+// allocation). A message is released exactly once, by the consumer that
+// retired it — consume/deliver/deliverRMA after its last field read — and
+// keeps its data array, so steady-state traffic allocates neither payload
+// structs nor fresh snapshot buffers.
+var inMsgPool = sync.Pool{New: func() any { return new(inMsg) }}
+
+// newInMsg returns a pooled message with every field zero and an empty
+// (capacity-retaining) data buffer.
+func newInMsg() *inMsg { return inMsgPool.Get().(*inMsg) }
+
+// putInMsg zeroes m, keeps its data array for the next snapshot, and
+// returns it to the pool.
+func putInMsg(m *inMsg) {
+	data := m.data
+	*m = inMsg{}
+	if data != nil {
+		m.data = data[:0]
+	}
+	inMsgPool.Put(m)
+}
+
 // charge serves one library call through the THREAD_MULTIPLE lock. The
 // queueing delay it returns from the lock resource is the per-call share of
 // the §VI-C "time inside MPI" blowup; instrumented runs feed it straight
@@ -278,23 +306,26 @@ func (p *Proc) isend(buf []byte, dst Rank, tag int) *Request {
 	}
 	req := &Request{p: p}
 	if len(buf) <= p.prof.EagerThreshold {
-		m := &inMsg{kind: kindEager, src: p.rank, tag: tag, size: len(buf)}
-		p.fab.Send(&fabric.Message{
-			Src: p.rank, Dst: dst, Class: fabric.ClassMPI, Size: len(buf),
-			Payload: m,
-			OnInjected: func() {
-				m.data = append([]byte(nil), buf...)
-				req.complete(Status{Source: p.rank, Tag: tag, Count: len(buf)})
-			},
-		})
+		m := newInMsg()
+		m.kind, m.src, m.tag, m.size = kindEager, p.rank, tag, len(buf)
+		fm := fabric.NewMessage()
+		fm.Src, fm.Dst, fm.Class, fm.Size = p.rank, dst, fabric.ClassMPI, len(buf)
+		fm.Payload = m
+		fm.OnInjected = func() {
+			m.data = append(m.data[:0], buf...)
+			req.complete(Status{Source: p.rank, Tag: tag, Count: len(buf)})
+		}
+		p.fab.Send(fm)
 		return req
 	}
 	// Rendezvous: request-to-send control message; data flows after CTS.
 	req.rdv = buf
-	m := &inMsg{kind: kindRTS, src: p.rank, tag: tag, size: len(buf), sendReq: req}
-	p.fab.Send(&fabric.Message{
-		Src: p.rank, Dst: dst, Class: fabric.ClassMPI, Control: true, Payload: m,
-	})
+	m := newInMsg()
+	m.kind, m.src, m.tag, m.size, m.sendReq = kindRTS, p.rank, tag, len(buf), req
+	fm := fabric.NewMessage()
+	fm.Src, fm.Dst, fm.Class, fm.Control = p.rank, dst, fabric.ClassMPI, true
+	fm.Payload = m
+	p.fab.Send(fm)
 	return req
 }
 
@@ -334,19 +365,26 @@ func (p *Proc) irecv(buf []byte, src Rank, tag int) *Request {
 	return req
 }
 
-// consume completes the match of message m with posted receive pr.
+// consume completes the match of message m with posted receive pr and
+// retires m to the payload pool.
 func (p *Proc) consume(m *inMsg, pr *postedRecv) {
 	switch m.kind {
 	case kindEager:
 		n := copy(pr.buf, m.data)
-		pr.req.complete(Status{Source: m.src, Tag: m.tag, Count: n})
+		src, tag := m.src, m.tag
+		putInMsg(m)
+		pr.req.complete(Status{Source: src, Tag: tag, Count: n})
 	case kindRTS:
 		// Grant the sender a clear-to-send, binding our buffer.
-		cts := &inMsg{kind: kindCTS, src: p.rank, tag: m.tag,
-			sendReq: m.sendReq, recvReq: pr.req, recvBuf: pr.buf}
-		p.fab.Send(&fabric.Message{
-			Src: p.rank, Dst: m.src, Class: fabric.ClassMPI, Control: true, Payload: cts,
-		})
+		cts := newInMsg()
+		cts.kind, cts.src, cts.tag = kindCTS, p.rank, m.tag
+		cts.sendReq, cts.recvReq, cts.recvBuf = m.sendReq, pr.req, pr.buf
+		dst := m.src
+		putInMsg(m)
+		fm := fabric.NewMessage()
+		fm.Src, fm.Dst, fm.Class, fm.Control = p.rank, dst, fabric.ClassMPI, true
+		fm.Payload = cts
+		p.fab.Send(fm)
 	default:
 		panic(fmt.Sprintf("mpisim: consume of kind %d", m.kind))
 	}
@@ -374,20 +412,25 @@ func (p *Proc) deliver(fm *fabric.Message) {
 		// We are the original sender: push the data.
 		src := m.src // the receiver granting the CTS
 		buf := m.sendReq.rdv
-		dm := &inMsg{kind: kindRData, src: p.rank, tag: m.tag,
-			sendReq: m.sendReq, recvReq: m.recvReq, recvBuf: m.recvBuf, size: len(buf)}
-		p.fab.Send(&fabric.Message{
-			Src: p.rank, Dst: src, Class: fabric.ClassMPI, Size: len(buf),
-			Payload: dm,
-			OnInjected: func() {
-				dm.data = append([]byte(nil), buf...)
-				m.sendReq.complete(Status{Source: p.rank, Tag: m.tag, Count: len(buf)})
-			},
-		})
+		tag, sreq := m.tag, m.sendReq
+		dm := newInMsg()
+		dm.kind, dm.src, dm.tag, dm.size = kindRData, p.rank, tag, len(buf)
+		dm.sendReq, dm.recvReq, dm.recvBuf = sreq, m.recvReq, m.recvBuf
+		putInMsg(m)
+		fm := fabric.NewMessage()
+		fm.Src, fm.Dst, fm.Class, fm.Size = p.rank, src, fabric.ClassMPI, len(buf)
+		fm.Payload = dm
+		fm.OnInjected = func() {
+			dm.data = append(dm.data[:0], buf...)
+			sreq.complete(Status{Source: p.rank, Tag: tag, Count: len(buf)})
+		}
+		p.fab.Send(fm)
 
 	case kindRData:
 		n := copy(m.recvBuf, m.data)
-		m.recvReq.complete(Status{Source: m.src, Tag: m.tag, Count: n})
+		src, tag, rreq := m.src, m.tag, m.recvReq
+		putInMsg(m)
+		rreq.complete(Status{Source: src, Tag: tag, Count: n})
 
 	case kindPut, kindGetReq, kindGetResp, kindFlushReq, kindFlushAck:
 		p.deliverRMA(m)

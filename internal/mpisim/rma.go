@@ -42,13 +42,14 @@ func (p *Proc) WinCreate(seg *memory.Segment) *Win {
 // it must not change before synchronization.
 func (p *Proc) Put(w *Win, data []byte, dst Rank, dstOff int) {
 	p.charge(p.prof.MPIOpOverhead)
-	m := &inMsg{kind: kindPut, src: p.rank, win: w.id, off: dstOff, size: len(data)}
+	m := newInMsg()
+	m.kind, m.src, m.win, m.off, m.size = kindPut, p.rank, w.id, dstOff, len(data)
 	src := data
-	p.fab.Send(&fabric.Message{
-		Src: p.rank, Dst: dst, Class: fabric.ClassMPI, Size: len(data),
-		Payload:    m,
-		OnInjected: func() { m.data = append([]byte(nil), src...) },
-	})
+	fm := fabric.NewMessage()
+	fm.Src, fm.Dst, fm.Class, fm.Size = p.rank, dst, fabric.ClassMPI, len(data)
+	fm.Payload = m
+	fm.OnInjected = func() { m.data = append(m.data[:0], src...) }
+	p.fab.Send(fm)
 }
 
 // Get reads len(buf) bytes from dst's window at dstOff into buf. The
@@ -56,11 +57,13 @@ func (p *Proc) Put(w *Win, data []byte, dst Rank, dstOff int) {
 func (p *Proc) Get(w *Win, buf []byte, dst Rank, dstOff int) *Request {
 	p.charge(p.prof.MPIOpOverhead)
 	req := &Request{p: p}
-	m := &inMsg{kind: kindGetReq, src: p.rank, win: w.id, off: dstOff,
-		size: len(buf), recvBuf: buf, rmaDone: req}
-	p.fab.Send(&fabric.Message{
-		Src: p.rank, Dst: dst, Class: fabric.ClassMPI, Control: true, Payload: m,
-	})
+	m := newInMsg()
+	m.kind, m.src, m.win, m.off = kindGetReq, p.rank, w.id, dstOff
+	m.size, m.recvBuf, m.rmaDone = len(buf), buf, req
+	fm := fabric.NewMessage()
+	fm.Src, fm.Dst, fm.Class, fm.Control = p.rank, dst, fabric.ClassMPI, true
+	fm.Payload = m
+	p.fab.Send(fm)
 	return req
 }
 
@@ -70,10 +73,12 @@ func (p *Proc) Get(w *Win, buf []byte, dst Rank, dstOff int) *Request {
 func (p *Proc) Flush(w *Win, dst Rank) {
 	p.charge(p.prof.MPIOpOverhead)
 	req := &Request{p: p}
-	m := &inMsg{kind: kindFlushReq, src: p.rank, win: w.id, rmaDone: req}
-	p.fab.Send(&fabric.Message{
-		Src: p.rank, Dst: dst, Class: fabric.ClassMPI, Control: true, Payload: m,
-	})
+	m := newInMsg()
+	m.kind, m.src, m.win, m.rmaDone = kindFlushReq, p.rank, w.id, req
+	fm := fabric.NewMessage()
+	fm.Src, fm.Dst, fm.Class, fm.Control = p.rank, dst, fabric.ClassMPI, true
+	fm.Payload = m
+	p.fab.Send(fm)
 	req.park()
 }
 
@@ -103,7 +108,8 @@ func (p *Proc) UnlockAll(w *Win) {
 	}
 }
 
-// deliverRMA handles RMA protocol messages on the target side.
+// deliverRMA handles RMA protocol messages on the target side, retiring
+// each to the payload pool after its last field read.
 func (p *Proc) deliverRMA(m *inMsg) {
 	switch m.kind {
 	case kindPut:
@@ -113,6 +119,7 @@ func (p *Proc) deliverRMA(m *inMsg) {
 			panic(fmt.Sprintf("mpisim: Put outside window: %v", err))
 		}
 		copy(dst, m.data)
+		putInMsg(m)
 
 	case kindGetReq:
 		w := p.winByID(m.win)
@@ -120,26 +127,39 @@ func (p *Proc) deliverRMA(m *inMsg) {
 		if err != nil {
 			panic(fmt.Sprintf("mpisim: Get outside window: %v", err))
 		}
-		resp := &inMsg{kind: kindGetResp, src: p.rank,
-			data: append([]byte(nil), src...), recvBuf: m.recvBuf, rmaDone: m.rmaDone}
-		p.fab.Send(&fabric.Message{
-			Src: p.rank, Dst: m.src, Class: fabric.ClassMPI, Size: m.size, Payload: resp,
-		})
+		resp := newInMsg()
+		resp.kind, resp.src = kindGetResp, p.rank
+		resp.data = append(resp.data[:0], src...)
+		resp.recvBuf, resp.rmaDone = m.recvBuf, m.rmaDone
+		reqSrc, size := m.src, m.size
+		putInMsg(m)
+		fm := fabric.NewMessage()
+		fm.Src, fm.Dst, fm.Class, fm.Size = p.rank, reqSrc, fabric.ClassMPI, size
+		fm.Payload = resp
+		p.fab.Send(fm)
 
 	case kindGetResp:
-		copy(m.recvBuf, m.data)
-		m.rmaDone.complete(Status{Source: m.src, Count: len(m.data)})
+		n := copy(m.recvBuf, m.data)
+		src, done := m.src, m.rmaDone
+		putInMsg(m)
+		done.complete(Status{Source: src, Count: n})
 
 	case kindFlushReq:
 		// All prior puts from m.src arrived before this request (per-pair
 		// FIFO), so the ack certifies their remote completion.
-		ack := &inMsg{kind: kindFlushAck, src: p.rank, rmaDone: m.rmaDone}
-		p.fab.Send(&fabric.Message{
-			Src: p.rank, Dst: m.src, Class: fabric.ClassMPI, Control: true, Payload: ack,
-		})
+		ack := newInMsg()
+		ack.kind, ack.src, ack.rmaDone = kindFlushAck, p.rank, m.rmaDone
+		reqSrc := m.src
+		putInMsg(m)
+		fm := fabric.NewMessage()
+		fm.Src, fm.Dst, fm.Class, fm.Control = p.rank, reqSrc, fabric.ClassMPI, true
+		fm.Payload = ack
+		p.fab.Send(fm)
 
 	case kindFlushAck:
-		m.rmaDone.complete(Status{Source: m.src})
+		src, done := m.src, m.rmaDone
+		putInMsg(m)
+		done.complete(Status{Source: src})
 	}
 }
 

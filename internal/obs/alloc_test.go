@@ -1,0 +1,61 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// raceEnabled is set by race_on_test.go when the race detector is
+// compiled in; its instrumentation allocates, so allocation-count gates
+// skip under -race.
+var raceEnabled bool
+
+// recordSite mirrors the shape of every instrumentation site in the
+// simulator: a component holds an optional Recorder and guards each record
+// call with one nil check. go:noinline keeps the call shape honest — the
+// compiler must evaluate the arguments exactly as a real site would.
+//
+//go:noinline
+func recordSite(rec Recorder, rank int, now time.Duration) {
+	if rec == nil {
+		return
+	}
+	rec.Span(rank, TrackFabricTx, CatFabric, "fabric:inject", now, now+time.Microsecond, 256)
+	rec.Instant(rank, TrackFabricRx, CatFabric, "fabric:deliver", now, 256)
+	rec.Latency("fabric_queue_residency", time.Microsecond)
+	rec.Count("fabric_messages", 1)
+}
+
+// TestNilRecorderZeroAlloc is the allocation-regression gate of
+// scripts/ci.sh for the uninstrumented configuration: with a nil Recorder,
+// an instrumentation site must cost one compare-and-jump and zero heap
+// allocations (the package doc's contract).
+func TestNilRecorderZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are inflated by race-detector instrumentation")
+	}
+	var rec Recorder // nil: observability disabled
+	allocs := testing.AllocsPerRun(1000, func() {
+		recordSite(rec, 3, 5*time.Microsecond)
+	})
+	if allocs != 0 {
+		t.Fatalf("nil-Recorder record site allocates %.2f/call, want 0", allocs)
+	}
+}
+
+// TestNilHalvesCollectorZeroAlloc extends the gate to the half-disabled
+// Collector shapes the CLI builds: a Collector with a nil Tracer must not
+// allocate on timeline calls, and one with a nil Registry must not allocate
+// on metric calls.
+func TestNilHalvesCollectorZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are inflated by race-detector instrumentation")
+	}
+	var rec Recorder = &Collector{} // both halves nil: records nothing
+	allocs := testing.AllocsPerRun(1000, func() {
+		recordSite(rec, 3, 5*time.Microsecond)
+	})
+	if allocs != 0 {
+		t.Fatalf("nil-halves Collector record site allocates %.2f/call, want 0", allocs)
+	}
+}

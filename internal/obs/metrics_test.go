@@ -80,6 +80,50 @@ func TestHistogramQuantile(t *testing.T) {
 	}
 }
 
+// TestDefaultBucketBoundaries pins upper-bound-inclusive bucketing on the
+// production bucket ladder: a sample equal to any DefaultLatencyBuckets
+// bound must land in that bound's bucket, never the next one up.
+func TestDefaultBucketBoundaries(t *testing.T) {
+	h := NewHistogram(nil)
+	for _, b := range DefaultLatencyBuckets {
+		h.Observe(b)
+	}
+	s := h.Snapshot()
+	for i := range DefaultLatencyBuckets {
+		if s.Counts[i] != 1 {
+			t.Errorf("bucket %d (bound %v) count = %d, want 1 (boundary sample leaked)",
+				i, DefaultLatencyBuckets[i], s.Counts[i])
+		}
+	}
+	if s.Counts[len(DefaultLatencyBuckets)] != 0 {
+		t.Errorf("overflow bucket count = %d, want 0", s.Counts[len(DefaultLatencyBuckets)])
+	}
+}
+
+// TestEmptyHistogramQuantiles pins the empty-histogram contract across the
+// ways a histogram can be empty: freshly created, and emptied by Reset.
+// Every quantile of an empty histogram is 0, including the extremes.
+func TestEmptyHistogramQuantiles(t *testing.T) {
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := NewHistogram(nil).Snapshot().Quantile(q); got != 0 {
+			t.Errorf("fresh histogram Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+	h := NewHistogram(nil)
+	h.Observe(time.Millisecond)
+	h.Reset()
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := h.Snapshot().Quantile(q); got != 0 {
+			t.Errorf("after Reset, Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+	// q=0 on a non-empty histogram clamps the rank to the first sample.
+	h.Observe(50)
+	if got := h.Snapshot().Quantile(0); got != 50 {
+		t.Errorf("Quantile(0) of single 50ns sample = %v, want 50ns", got)
+	}
+}
+
 func TestHistogramMean(t *testing.T) {
 	h := NewHistogram(nil) // default buckets
 	h.Observe(100)

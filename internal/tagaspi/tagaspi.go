@@ -25,6 +25,7 @@
 package tagaspi
 
 import (
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -79,14 +80,32 @@ type notifWait struct {
 // bound task's event counter plus everything needed to resubmit the
 // operation if it fails. All mutable fields are owned by the polling task;
 // the queue's completion list is the only handoff point.
+//
+// Records are pooled: a pendingOp is recycled once no completion can
+// reference it again — when all nreq requests completed successfully, or
+// when the operation is abandoned after its final all-failed attempt. An
+// attempt that fails only partially (the fault plane never produces this)
+// is leaked to the GC rather than double-released.
 type pendingOp struct {
 	op       gaspisim.Operation    // as submitted, Tag pointing back at this record
 	counter  *tasking.EventCounter // the task's event counter
 	nreq     int                   // low-level requests per submission (2 for write+notify)
+	oks      int                   // successful completions seen in total
 	fails    int                   // failed completions seen this attempt
 	attempts int                   // failed attempts so far
 	dueAt    time.Duration         // modelled time of the next resubmission
 }
+
+var pendingOpPool = sync.Pool{New: func() any { return new(pendingOp) }}
+
+func newPendingOp() *pendingOp { return pendingOpPool.Get().(*pendingOp) }
+
+func putPendingOp(po *pendingOp) {
+	*po = pendingOp{}
+	pendingOpPool.Put(po)
+}
+
+var notifWaitPool = sync.Pool{New: func() any { return new(notifWait) }}
 
 // DefaultPollInterval is the polling period used when none is configured.
 const DefaultPollInterval = 150 * time.Microsecond
@@ -196,10 +215,15 @@ func (l *Library) Notify(t *tasking.Task, remote Rank, remoteSeg SegmentID,
 func (l *Library) submit(t *tasking.Task, op gaspisim.Operation, nreq int) error {
 	c := t.Events()
 	c.Increase(nreq)
-	po := &pendingOp{op: op, counter: c, nreq: nreq}
+	po := newPendingOp()
+	po.op, po.counter, po.nreq = op, c, nreq
 	po.op.Tag = po
 	if err := l.p.Submit(po.op); err != nil {
+		// An error return means nothing was posted (fast-fails on an errored
+		// queue surface as failed completions instead), so no completion can
+		// still reference po.
 		c.Decrease(nreq)
+		putPendingOp(po)
 		return err
 	}
 	return nil
@@ -221,7 +245,9 @@ func (l *Library) NotifyIwait(t *tasking.Task, seg SegmentID, id NotificationID,
 	c := t.Events()
 	c.Increase(1)
 	l.outstanding.Add(1)
-	l.pending.Push(&notifWait{seg: seg, id: id, out: out, counter: c})
+	w := notifWaitPool.Get().(*notifWait)
+	w.seg, w.id, w.out, w.counter = seg, id, out, c
+	l.pending.Push(w)
 }
 
 // NotifyIwaitAll asynchronously waits for a consecutive range of
@@ -251,6 +277,10 @@ func (l *Library) poll() int {
 				if r.OK {
 					po.counter.Decrease(1)
 					retired++
+					po.oks++
+					if po.oks == po.nreq { // fully retired; no completion left
+						putPendingOp(po)
+					}
 					continue
 				}
 				po.fails++
@@ -274,6 +304,8 @@ func (l *Library) poll() int {
 			w.counter.Decrease(1)
 			l.outstanding.Add(-1)
 			retired++
+			*w = notifWait{}
+			notifWaitPool.Put(w)
 		} else {
 			keep = append(keep, w)
 		}
@@ -293,12 +325,14 @@ func (l *Library) opFailed(po *pendingOp) int {
 	po.fails = 0
 	po.attempts++
 	if po.attempts >= l.maxAttempts {
-		po.counter.Decrease(po.nreq)
+		nreq := po.nreq
+		po.counter.Decrease(nreq)
+		putPendingOp(po) // final attempt fully failed; no completion left
 		l.gaveup.Add(1)
 		if l.rec != nil {
 			l.rec.Count("tagaspi_gaveup", 1)
 		}
-		return po.nreq
+		return nreq
 	}
 	shift := po.attempts - 1
 	if shift > maxBackoffShift {

@@ -72,6 +72,13 @@ type objectDeps struct {
 // called with the runtime lock held.
 type depRegistry struct {
 	objs map[any]*objectDeps
+
+	// scratch is the spare interval buffer of the slow path in register:
+	// the rebuilt list is written into scratch and swapped with the
+	// object's old backing array, so repeated range splits recycle two
+	// arrays instead of growing a fresh one per call. Guarded by the
+	// runtime lock like everything else here.
+	scratch []interval
 }
 
 func newDepRegistry() *depRegistry {
@@ -121,7 +128,7 @@ func (r *depRegistry) register(t *Task, d Dep) int {
 		return edges
 	}
 
-	var out []interval
+	out := r.scratch[:0]
 	i := 0
 	// Keep intervals entirely before the new range.
 	for ; i < len(od.ivs) && od.ivs[i].hi <= lo; i++ {
@@ -170,6 +177,11 @@ func (r *depRegistry) register(t *Task, d Dep) int {
 	}
 	// Remaining intervals after the new range.
 	out = append(out, od.ivs[i:]...)
+	// Swap: the object's old array (task pointers zeroed) becomes the next
+	// slow path's scratch.
+	old := od.ivs
+	clear(old)
+	r.scratch = old[:0]
 	od.ivs = out
 	return edges
 }

@@ -460,6 +460,13 @@ type coreSched struct {
 	nextTkt   uint64
 	nextGrant uint64
 	waiters   map[uint64]vclock.Parker
+
+	// parkers is a free list of core-wait parking slots. Granting removes
+	// the waiter from the map before the Unpark, so each registration is
+	// woken exactly once and a parker leaves acquire with no pending wake —
+	// safe to hand to the next waiting task instead of allocating one per
+	// dispatched task.
+	parkers []vclock.Parker
 }
 
 func newCoreSched(clk vclock.Clock, n int) *coreSched {
@@ -479,13 +486,25 @@ func (cs *coreSched) ticket() uint64 {
 // granted.
 func (cs *coreSched) acquire(ticket uint64) {
 	cs.mu.Lock()
+	var p vclock.Parker
 	for !(cs.free > 0 && ticket == cs.nextGrant) {
-		p := cs.clk.Parker()
-		p.SetName("core-wait")
+		if p == nil {
+			if n := len(cs.parkers); n > 0 {
+				p = cs.parkers[n-1]
+				cs.parkers[n-1] = nil
+				cs.parkers = cs.parkers[:n-1]
+			} else {
+				p = cs.clk.Parker()
+				p.SetName("core-wait")
+			}
+		}
 		cs.waiters[ticket] = p
 		cs.mu.Unlock()
 		p.Park()
 		cs.mu.Lock()
+	}
+	if p != nil {
+		cs.parkers = append(cs.parkers, p)
 	}
 	delete(cs.waiters, ticket)
 	cs.free--
@@ -504,12 +523,16 @@ func (cs *coreSched) release() {
 
 // grantLocked wakes the holder of the next grantable ticket, if it is
 // already waiting. If it has not arrived yet it will see the free core on
-// arrival; granting never skips ahead of it.
+// arrival; granting never skips ahead of it. The waiter entry is removed
+// before the Unpark so a second grant attempt (two releases racing one
+// slow waker) cannot Unpark the same registration twice, which is what
+// keeps recycled parkers free of stale pending wakes.
 func (cs *coreSched) grantLocked() {
 	if cs.free <= 0 {
 		return
 	}
 	if p, ok := cs.waiters[cs.nextGrant]; ok {
+		delete(cs.waiters, cs.nextGrant)
 		p.Unpark()
 	}
 }

@@ -93,6 +93,15 @@ type VirtualClock struct {
 	seq    uint64
 	timers timerHeap
 	parked map[*vparker]struct{} // parked without a timer, for diagnostics
+
+	// sleepers recycles the parker (and its embedded timer) of Sleep
+	// calls. A sleeping parker is only ever woken by its own timer —
+	// no Unpark can reach it — so once park returns, the timer has been
+	// popped from the heap and both objects are free for reuse. Sleep is
+	// the hottest allocation site of the whole simulator (every modelled
+	// delay of every courier, resource and rank main passes through it),
+	// so this pool removes the dominant per-event garbage.
+	sleepers sync.Pool
 }
 
 // NewVirtual returns a virtual clock positioned at time zero with no
@@ -135,13 +144,29 @@ func (c *VirtualClock) Go(fn func()) {
 	}()
 }
 
-// Sleep implements Clock.
+// Sleep implements Clock. Sleeping parkers and their timers are recycled
+// through a pool: a Sleep can only be woken by its own timer expiry, so
+// after the park returns nothing in the clock references either object.
 func (c *VirtualClock) Sleep(d time.Duration) {
 	if d <= 0 {
 		return
 	}
-	p := c.newParker()
-	p.ParkTimeout(d)
+	var p *vparker
+	if v := c.sleepers.Get(); v != nil {
+		p = v.(*vparker)
+	} else {
+		p = c.newParker()
+		p.sleepT = &timer{p: p}
+	}
+	t := p.sleepT
+	c.mu.Lock()
+	t.deadline = c.now + d
+	t.seq = c.seq
+	t.stopped = false
+	c.seq++
+	c.mu.Unlock()
+	p.park(t)
+	c.sleepers.Put(p)
 }
 
 // Parker implements Clock.
@@ -228,9 +253,10 @@ func (h timerHeap) down(i int) {
 type vparker struct {
 	c        *VirtualClock
 	ch       chan struct{}
-	pending  bool // Unpark arrived while not parked
-	waiting  bool // a goroutine is parked here
-	woke     bool // last wake was an Unpark (vs timeout)
+	sleepT   *timer // reusable timer of pooled Sleep parkers (see Sleep)
+	pending  bool   // Unpark arrived while not parked
+	waiting  bool   // a goroutine is parked here
+	woke     bool   // last wake was an Unpark (vs timeout)
 	external bool
 	name     string
 }

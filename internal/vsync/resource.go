@@ -116,7 +116,7 @@ func (r *Resource) ResetStats() {
 	r.mu.Unlock()
 }
 
-// Queue is an unbounded FIFO with clock-aware blocking Pop, for
+// Queue is an unbounded FIFO with clock-aware blocking Pop/PopAll, for
 // single-consumer use (the fabric's per-path courier goroutines).
 // Push never blocks and may be called from any goroutine.
 type Queue[T any] struct {
@@ -124,7 +124,14 @@ type Queue[T any] struct {
 	mu     sync.Mutex
 	items  []T
 	closed bool
-	waiter vclock.Parker // consumer parked in Pop, if any
+	waiter vclock.Parker // consumer parked in Pop/PopAll, if any
+
+	// consumerP is the single consumer's reusable parking slot. A queue
+	// wait is woken by exactly one Unpark per registration (Push/Close
+	// claim the waiter field under the lock before unparking), so the
+	// same parker can serve every wait of the consumer's lifetime
+	// instead of allocating one per idle period.
+	consumerP vclock.Parker
 }
 
 // NewQueue returns an open, empty queue bound to clk.
@@ -164,21 +171,56 @@ func (q *Queue[T]) Pop() (v T, ok bool) {
 			q.mu.Unlock()
 			return v, false
 		}
-		if q.waiter != nil {
+		q.parkConsumerLocked()
+		q.mu.Lock()
+	}
+}
+
+// PopAll removes and returns every queued element in arrival order,
+// parking until at least one is available. ok is false if the queue was
+// closed and drained. The returned slice is handed to the caller and buf
+// (typically the slice returned by the previous PopAll, fully processed
+// and cleared of references) becomes the queue's new push buffer, so a
+// steady-state consumer drains the queue with one lock round trip per
+// wakeup and zero allocations.
+func (q *Queue[T]) PopAll(buf []T) (items []T, ok bool) {
+	q.mu.Lock()
+	for {
+		if len(q.items) > 0 {
+			items = q.items
+			q.items = buf[:0]
 			q.mu.Unlock()
-			panic("vsync: concurrent Pop on single-consumer Queue")
+			return items, true
 		}
-		p := q.clk.Parker()
+		if q.closed {
+			q.mu.Unlock()
+			return nil, false
+		}
+		q.parkConsumerLocked()
+		q.mu.Lock()
+	}
+}
+
+// parkConsumerLocked registers the consumer's reusable parker and parks.
+// It is entered with q.mu held and returns with it released.
+func (q *Queue[T]) parkConsumerLocked() {
+	if q.waiter != nil {
+		q.mu.Unlock()
+		panic("vsync: concurrent Pop on single-consumer Queue")
+	}
+	p := q.consumerP
+	if p == nil {
+		p = q.clk.Parker()
 		// A queue consumer is a service loop (e.g. a fabric courier): it
 		// legitimately idles when no work exists, so it must not trip
 		// virtual-time deadlock detection.
 		p.SetExternal(true)
 		p.SetName("queue-consumer")
-		q.waiter = p
-		q.mu.Unlock()
-		p.Park()
-		q.mu.Lock()
+		q.consumerP = p
 	}
+	q.waiter = p
+	q.mu.Unlock()
+	p.Park()
 }
 
 // Close marks the queue closed; a parked consumer is woken and Pop returns

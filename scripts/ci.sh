@@ -31,6 +31,27 @@ else
     go test -race ./...
 fi
 
+# Allocation-regression gates: the courier send path must stay within its
+# committed per-message budget (internal/fabric.CourierAllocBudget) and a
+# nil-Recorder instrumentation site must allocate nothing. Run without
+# -race on purpose — race instrumentation inflates allocation counts, so
+# the gates skip themselves under the race build.
+echo "== allocation-regression gates: courier budget + nil-Recorder zero-alloc"
+go test -run 'TestCourierAllocBudget' ./internal/fabric
+go test -run 'TestNilRecorderZeroAlloc|TestNilHalvesCollectorZeroAlloc' ./internal/obs
+
+# Bench smoke: the host-time benchmarks must run, and a quick figure run
+# with host times included must produce a valid BENCH_host.json-shaped
+# document (written to a temp path; the committed BENCH_host.json is the
+# curated full-quick baseline).
+echo "== bench smoke: courier benchmark + host-time JSON document"
+go test -run '^$' -bench 'BenchmarkCourierDelivery' -benchtime 100x .
+bench_json="$(mktemp -t bench-host.XXXXXX.json)"
+go run ./cmd/figures -fig 9 -quick -json "$bench_json" > /dev/null
+grep -q '"schema": "bench_figures/v1"' "$bench_json"
+grep -q '"host_ms":' "$bench_json"
+rm -f "$bench_json"
+
 # Experiment-engine determinism gate: two host-parallel regenerations of
 # the full Quick figure set must serialize to byte-identical JSON (host
 # times excluded — they are the only nondeterministic field; see
