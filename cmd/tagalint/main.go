@@ -1,5 +1,6 @@
-// Command tagalint runs the repository's invariant analyzers (lockcross,
-// simerr, condloop, taskctx) over Go packages. It works in two modes:
+// Command tagalint runs the repository's invariant analyzers (condloop,
+// detlint, doccomment, hotalloc, lockcross, poollife, simerr, taskctx)
+// over Go packages. It works in two modes:
 //
 // Standalone, over package patterns (the tier-1 gate):
 //
@@ -11,10 +12,21 @@
 //
 // Exit status: 0 clean, 1 findings (standalone) or 2 findings (vet
 // protocol, matching the unitchecker convention), 2 load/type errors.
+// A pattern that matches no packages is a load error, never a silent
+// clean run.
+//
+// Standalone flags: -list prints the analyzer set; -json and -sarif write
+// the findings to a file (or "-" for stdout) as plain JSON or SARIF 2.1.0
+// for CI ingestion.
 //
 // Findings can be silenced per line with a justified directive:
 //
 //	//lint:ignore lockcross reason the lock is module-private and uncontended
+//
+// Every directive must earn its keep: tagalint audits them each run and
+// reports the ones that no longer silence anything, stale directives being
+// misleading documentation. -stale-ignores selects the severity (warn,
+// the default; error, as ci.sh runs it; or off).
 package main
 
 import (
@@ -28,7 +40,7 @@ import (
 	"repro/internal/analysis/tagalint"
 )
 
-const version = "v1.0.0"
+const version = "v1.1.0"
 
 func main() {
 	// The go command probes vet tools with -V=full before use.
@@ -44,9 +56,13 @@ func main() {
 	}
 
 	list := flag.Bool("list", false, "list analyzers and exit")
+	jsonOut := flag.String("json", "", "write findings as JSON to `file` (\"-\" for stdout)")
+	sarifOut := flag.String("sarif", "", "write findings as SARIF 2.1.0 to `file` (\"-\" for stdout)")
+	staleMode := flag.String("stale-ignores", "warn",
+		"how to treat //lint:ignore directives that silence nothing: warn, error or off")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: tagalint [-list] [package pattern ...]\n       (default pattern ./...)\n\nAnalyzers:\n")
+			"usage: tagalint [-list] [-json file] [-sarif file] [-stale-ignores mode] [package pattern ...]\n       (default pattern ./...)\n\nAnalyzers:\n")
 		for _, a := range tagalint.Suite() {
 			fmt.Fprintf(flag.CommandLine.Output(), "  %-10s %s\n", a.Name, firstLine(a.Doc))
 		}
@@ -60,15 +76,21 @@ func main() {
 		}
 		return
 	}
+	switch *staleMode {
+	case "warn", "error", "off":
+	default:
+		fmt.Fprintf(os.Stderr, "tagalint: -stale-ignores must be warn, error or off, got %q\n", *staleMode)
+		os.Exit(2)
+	}
 
 	args := flag.Args()
 	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
 		os.Exit(vetUnit(args[0]))
 	}
-	os.Exit(standalone(args))
+	os.Exit(standalone(args, *jsonOut, *sarifOut, *staleMode))
 }
 
-func standalone(patterns []string) int {
+func standalone(patterns []string, jsonOut, sarifOut, staleMode string) int {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -93,7 +115,7 @@ func standalone(patterns []string) int {
 	if broken {
 		return 2
 	}
-	findings, err := analysis.Run(loader.Fset, pkgs, tagalint.Suite())
+	findings, sups, err := analysis.RunWithSuppressions(loader.Fset, pkgs, tagalint.Suite())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tagalint:", err)
 		return 2
@@ -101,11 +123,59 @@ func standalone(patterns []string) int {
 	for _, f := range findings {
 		fmt.Printf("%s\n", f)
 	}
-	if len(findings) > 0 {
+
+	if jsonOut != "" {
+		data, err := json.MarshalIndent(findings, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tagalint:", err)
+			return 2
+		}
+		if err := writeReport(jsonOut, append(data, '\n')); err != nil {
+			fmt.Fprintln(os.Stderr, "tagalint:", err)
+			return 2
+		}
+	}
+	if sarifOut != "" {
+		root, _, err := analysis.ModuleRoot(cwd)
+		if err != nil {
+			root = cwd
+		}
+		data, err := analysis.SARIF(findings, tagalint.Suite(), root, version)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tagalint:", err)
+			return 2
+		}
+		if err := writeReport(sarifOut, append(data, '\n')); err != nil {
+			fmt.Fprintln(os.Stderr, "tagalint:", err)
+			return 2
+		}
+	}
+
+	stale := analysis.Stale(sups)
+	if staleMode != "off" {
+		for _, s := range stale {
+			fmt.Fprintf(os.Stderr, "tagalint: stale suppression (silences nothing, remove it): %s\n", s)
+		}
+	}
+
+	switch {
+	case len(findings) > 0:
 		fmt.Fprintf(os.Stderr, "tagalint: %d finding(s)\n", len(findings))
+		return 1
+	case staleMode == "error" && len(stale) > 0:
+		fmt.Fprintf(os.Stderr, "tagalint: %d stale suppression(s)\n", len(stale))
 		return 1
 	}
 	return 0
+}
+
+// writeReport writes a machine-readable report to path, "-" meaning stdout.
+func writeReport(path string, data []byte) error {
+	if path == "-" {
+		_, err := os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o666)
 }
 
 // vetConfig is the subset of the go command's unit-checker configuration

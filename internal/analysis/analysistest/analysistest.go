@@ -19,12 +19,14 @@ import (
 	"repro/internal/analysis"
 )
 
-// wantRx matches one or more quoted regexps after a want marker:
+// wantRx matches one or more quoted regexps after a want marker. Patterns
+// may be double-quoted (backslash-escapes apply) or backquoted (raw, the
+// x/tools idiom — convenient when the pattern itself contains quotes):
 //
-//	code() // want "first" "second"
-var wantRx = regexp.MustCompile(`//\s*want((?:\s+"(?:[^"\\]|\\.)*")+)`)
+//	code() // want "first" `second "quoted"`
+var wantRx = regexp.MustCompile("//\\s*want((?:\\s+(?:\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`))+)")
 
-var quoteRx = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+var quoteRx = regexp.MustCompile("\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`")
 
 type expectation struct {
 	rx      *regexp.Regexp
@@ -97,9 +99,13 @@ func collectWants(t *testing.T, fset *token.FileSet, pkgs []*analysis.Package) m
 					}
 					pos := fset.Position(c.Pos())
 					for _, q := range quoteRx.FindAllStringSubmatch(m[1], -1) {
-						pat, err := unquote(q[1])
-						if err != nil {
-							t.Fatalf("%s: bad want pattern %q: %v", pos, q[1], err)
+						pat := q[2] // backquoted: raw
+						if q[2] == "" && strings.HasPrefix(q[0], `"`) {
+							var err error
+							pat, err = unquote(q[1])
+							if err != nil {
+								t.Fatalf("%s: bad want pattern %q: %v", pos, q[1], err)
+							}
 						}
 						rx, err := regexp.Compile(pat)
 						if err != nil {

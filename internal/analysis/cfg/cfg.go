@@ -1,0 +1,450 @@
+// Package cfg builds intraprocedural control-flow graphs from function
+// bodies, mirroring golang.org/x/tools/go/cfg on the standard library the
+// way the parent analysis package mirrors x/tools/go/analysis. The flow-
+// sensitive tagalint analyzers (poollife) consume these graphs through the
+// dataflow package.
+//
+// A Graph partitions one function body into basic blocks. Each block holds
+// a sequence of control-free nodes — plain statements plus the decomposed
+// pieces of control statements (an if's init and cond, a switch's tag, a
+// range statement standing for its per-iteration binding) — and edges to
+// its possible successors. Function literals are opaque: a FuncLit is just
+// an expression inside some node, and callers analyze its body as a
+// separate graph.
+//
+// Terminators follow x/tools conventions: a return ends its block with no
+// successors, as does a call to the panic builtin (the deferred-call path
+// to recovery is not modelled). Blocks after a terminator are created
+// unreachable; dataflow clients observe reachability as "entry state never
+// arrived". defer is not control flow here — a DeferStmt is an ordinary
+// node whose call-time semantics are the client's concern.
+package cfg
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"strings"
+)
+
+// Graph is the control-flow graph of one function body. Blocks[0] is the
+// entry block; block order is creation order, so it is deterministic for a
+// given AST.
+type Graph struct {
+	Blocks []*Block
+}
+
+// Block is one basic block: control-free nodes executed in order, then a
+// transfer to one of Succs (none for return/panic blocks and the
+// function's fallthrough exit).
+type Block struct {
+	Index int        // position in Graph.Blocks
+	Kind  string     // diagnostic label: "entry", "if.then", "for.head", ...
+	Nodes []ast.Node // statements and decomposed control expressions
+	Succs []*Block
+}
+
+// builder carries the construction state: the graph, the current block,
+// and the break/continue/goto resolution context.
+type builder struct {
+	g        *Graph
+	cur      *Block
+	breaks   []*Block          // innermost-last break targets
+	conts    []*Block          // innermost-last continue targets
+	labels   map[string]*label // named break/continue/goto targets
+	curLabel string            // label wrapping the statement being built
+}
+
+type label struct {
+	brk, cont *Block // for labeled loops and switches
+	target    *Block // goto destination (created on demand)
+	used      bool
+}
+
+// New builds the graph of one function body.
+func New(body *ast.BlockStmt) *Graph {
+	b := &builder{g: &Graph{}, labels: map[string]*label{}}
+	b.cur = b.block("entry")
+	b.stmtList(body.List)
+	return b.g
+}
+
+func (b *builder) block(kind string) *Block {
+	blk := &Block{Index: len(b.g.Blocks), Kind: kind}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+// jump adds an edge cur -> dst unless cur already terminated.
+func (b *builder) jump(dst *Block) {
+	if b.cur != nil {
+		b.cur.Succs = append(b.cur.Succs, dst)
+	}
+}
+
+// terminate ends the current block with no successor; following statements
+// open an unreachable block.
+func (b *builder) terminate() {
+	b.cur = nil
+}
+
+// add appends a control-free node to the current block, opening an
+// unreachable block if the previous statement terminated.
+func (b *builder) add(n ast.Node) {
+	if b.cur == nil {
+		b.cur = b.block("unreachable")
+	}
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+// startSucc opens a new block as successor of the current one and makes it
+// current.
+func (b *builder) startSucc(kind string) *Block {
+	blk := b.block(kind)
+	b.jump(blk)
+	b.cur = blk
+	return blk
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Cond)
+		head := b.cur
+		then := b.block("if.then")
+		b.jump(then)
+		b.cur = then
+		b.stmtList(s.Body.List)
+		afterThen := b.cur
+		var afterElse *Block
+		if s.Else != nil {
+			els := b.block("if.else")
+			head.Succs = append(head.Succs, els)
+			b.cur = els
+			b.stmt(s.Else)
+			afterElse = b.cur
+		}
+		join := b.block("if.join")
+		if afterThen != nil {
+			afterThen.Succs = append(afterThen.Succs, join)
+		}
+		if s.Else != nil {
+			if afterElse != nil {
+				afterElse.Succs = append(afterElse.Succs, join)
+			}
+		} else {
+			head.Succs = append(head.Succs, join)
+		}
+		b.cur = join
+
+	case *ast.ForStmt:
+		lbl := b.takeLabel()
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		head := b.startSucc("for.head")
+		if s.Cond != nil {
+			b.add(s.Cond)
+		}
+		done := b.block("for.done")
+		body := b.block("for.body")
+		head.Succs = append(head.Succs, body)
+		if s.Cond != nil {
+			head.Succs = append(head.Succs, done)
+		}
+		post := head
+		if s.Post != nil {
+			post = b.block("for.post")
+		}
+		b.pushLoop(done, post, lbl)
+		b.cur = body
+		b.stmtList(s.Body.List)
+		if s.Post != nil {
+			b.jump(post)
+			b.cur = post
+			b.add(s.Post)
+			b.jump(head)
+		} else {
+			b.jump(head)
+		}
+		b.popLoop()
+		b.cur = done
+
+	case *ast.RangeStmt:
+		// The RangeStmt node stands for one per-iteration evaluation:
+		// clients treat it as "evaluate X, then define Key and Value".
+		lbl := b.takeLabel()
+		head := b.startSucc("range.head")
+		b.add(s)
+		done := b.block("range.done")
+		body := b.block("range.body")
+		head.Succs = append(head.Succs, body, done)
+		b.pushLoop(done, head, lbl)
+		b.cur = body
+		b.stmtList(s.Body.List)
+		b.jump(head)
+		b.popLoop()
+		b.cur = done
+
+	case *ast.SwitchStmt:
+		lbl := b.takeLabel()
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.switchBody(s.Body.List, lbl)
+
+	case *ast.TypeSwitchStmt:
+		lbl := b.takeLabel()
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Assign)
+		b.switchBody(s.Body.List, lbl)
+
+	case *ast.SelectStmt:
+		lbl := b.takeLabel()
+		head := b.cur
+		done := b.block("select.done")
+		b.pushLoop(done, nil, lbl)
+		if len(s.Body.List) == 0 {
+			// select{} blocks forever.
+			b.terminate()
+		}
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			kind := "select.comm"
+			if cc.Comm == nil {
+				kind = "select.default"
+			}
+			blk := b.block(kind)
+			if head != nil {
+				head.Succs = append(head.Succs, blk)
+			}
+			b.cur = blk
+			if cc.Comm != nil {
+				b.add(cc.Comm)
+			}
+			b.stmtList(cc.Body)
+			b.jump(done)
+		}
+		b.popLoop()
+		b.cur = done
+
+	case *ast.LabeledStmt:
+		switch s.Stmt.(type) {
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			// The inner statement registers its targets under the label.
+			b.curLabel = s.Label.Name
+			b.stmt(s.Stmt)
+		default:
+			// Plain label: a goto target.
+			l := b.labelFor(s.Label.Name)
+			if l.target == nil {
+				l.target = b.block("label." + s.Label.Name)
+			}
+			b.jump(l.target)
+			b.cur = l.target
+			b.stmt(s.Stmt)
+		}
+
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			if s.Label != nil {
+				b.jump(b.labelFor(s.Label.Name).brk)
+			} else if n := len(b.breaks); n > 0 {
+				b.jump(b.breaks[n-1])
+			}
+			b.terminate()
+		case token.CONTINUE:
+			if s.Label != nil {
+				b.jump(b.labelFor(s.Label.Name).cont)
+			} else {
+				// Skip select break-only frames (nil continue target).
+				for i := len(b.conts) - 1; i >= 0; i-- {
+					if b.conts[i] != nil {
+						b.jump(b.conts[i])
+						break
+					}
+				}
+			}
+			b.terminate()
+		case token.GOTO:
+			l := b.labelFor(s.Label.Name)
+			if l.target == nil {
+				l.target = b.block("label." + s.Label.Name)
+			}
+			b.jump(l.target)
+			b.terminate()
+		case token.FALLTHROUGH:
+			// Handled by switchBody via block ordering; the statement
+			// itself carries no node.
+		}
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.terminate()
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if isPanic(s.X) {
+			b.terminate()
+		}
+
+	case *ast.DeclStmt, *ast.AssignStmt, *ast.IncDecStmt, *ast.SendStmt,
+		*ast.GoStmt, *ast.DeferStmt:
+		b.add(s)
+
+	case *ast.EmptyStmt:
+		// nothing
+
+	default:
+		// Unknown statement kinds flow through as opaque nodes.
+		b.add(s)
+	}
+}
+
+// switchBody builds the clause blocks of a switch or type switch. Every
+// clause is a successor of the current block (the comparisons' evaluation
+// order is not modelled); fallthrough is an edge to the following clause's
+// block.
+func (b *builder) switchBody(clauses []ast.Stmt, lbl string) {
+	head := b.cur
+	done := b.block("switch.done")
+	b.pushLoop(done, nil, lbl)
+	hasDefault := false
+	blocks := make([]*Block, len(clauses))
+	for i := range clauses {
+		blocks[i] = b.block("switch.case")
+	}
+	for i, c := range clauses {
+		cc := c.(*ast.CaseClause)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		if head != nil {
+			head.Succs = append(head.Succs, blocks[i])
+		}
+		b.cur = blocks[i]
+		for _, e := range cc.List {
+			b.add(e)
+		}
+		falls := false
+		for _, s := range cc.Body {
+			if br, ok := s.(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				falls = true
+				continue
+			}
+			b.stmt(s)
+		}
+		if falls && i+1 < len(blocks) {
+			b.jump(blocks[i+1])
+			b.terminate()
+		}
+		b.jump(done)
+	}
+	if head != nil && !hasDefault {
+		head.Succs = append(head.Succs, done)
+	}
+	b.popLoop()
+	b.cur = done
+}
+
+func (b *builder) pushLoop(brk, cont *Block, lbl string) {
+	b.breaks = append(b.breaks, brk)
+	b.conts = append(b.conts, cont)
+	if lbl != "" {
+		l := b.labelFor(lbl)
+		l.brk, l.cont = brk, cont
+	}
+}
+
+func (b *builder) popLoop() {
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.conts = b.conts[:len(b.conts)-1]
+}
+
+func (b *builder) labelFor(name string) *label {
+	l := b.labels[name]
+	if l == nil {
+		l = &label{}
+		b.labels[name] = l
+	}
+	return l
+}
+
+// takeLabel consumes the label registered by an enclosing LabeledStmt, if
+// any. The AST does not point from a statement to its label, so the
+// LabeledStmt case stashes the name for the control statement it wraps.
+func (b *builder) takeLabel() string {
+	l := b.curLabel
+	b.curLabel = ""
+	return l
+}
+
+// isPanic reports whether e is a call to the panic builtin.
+func isPanic(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+// Dump renders the graph in a compact textual form for tests and
+// debugging:
+//
+//	b0 entry: [x := 0] -> b1
+func (g *Graph) Dump(fset *token.FileSet) string {
+	var sb strings.Builder
+	for _, blk := range g.Blocks {
+		fmt.Fprintf(&sb, "b%d %s:", blk.Index, blk.Kind)
+		if len(blk.Nodes) > 0 {
+			sb.WriteString(" [")
+			for i, n := range blk.Nodes {
+				if i > 0 {
+					sb.WriteString("; ")
+				}
+				sb.WriteString(nodeText(fset, n))
+			}
+			sb.WriteString("]")
+		}
+		if len(blk.Succs) > 0 {
+			sb.WriteString(" ->")
+			for _, s := range blk.Succs {
+				fmt.Fprintf(&sb, " b%d", s.Index)
+			}
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+func nodeText(fset *token.FileSet, n ast.Node) string {
+	if rs, ok := n.(*ast.RangeStmt); ok {
+		return "range " + nodeText(fset, rs.X)
+	}
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, n); err != nil {
+		return fmt.Sprintf("<%T>", n)
+	}
+	return strings.Join(strings.Fields(buf.String()), " ")
+}

@@ -1,0 +1,357 @@
+package cfg_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/cfg"
+)
+
+// build parses a function body and returns its graph plus the fileset.
+func build(t *testing.T, body string) (*cfg.Graph, *token.FileSet) {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "test.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fn := file.Decls[len(file.Decls)-1].(*ast.FuncDecl)
+	return cfg.New(fn.Body), fset
+}
+
+// wantDump asserts the graph's dump matches want (leading/trailing space
+// trimmed per line).
+func wantDump(t *testing.T, g *cfg.Graph, fset *token.FileSet, want string) {
+	t.Helper()
+	got := strings.TrimSpace(g.Dump(fset))
+	want = strings.TrimSpace(want)
+	var gl []string
+	for _, l := range strings.Split(got, "\n") {
+		gl = append(gl, strings.TrimSpace(l))
+	}
+	var wl []string
+	for _, l := range strings.Split(want, "\n") {
+		wl = append(wl, strings.TrimSpace(l))
+	}
+	if strings.Join(gl, "\n") != strings.Join(wl, "\n") {
+		t.Errorf("graph mismatch\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func TestStraightLine(t *testing.T) {
+	g, fset := build(t, "x := 1; y := x; _ = y")
+	wantDump(t, g, fset, `
+b0 entry: [x := 1; y := x; _ = y]
+`)
+}
+
+func TestIfElseJoin(t *testing.T) {
+	g, fset := build(t, `
+x := 0
+if x > 0 {
+	x = 1
+} else {
+	x = 2
+}
+_ = x
+`)
+	wantDump(t, g, fset, `
+b0 entry: [x := 0; x > 0] -> b1 b2
+b1 if.then: [x = 1] -> b3
+b2 if.else: [x = 2] -> b3
+b3 if.join: [_ = x]
+`)
+}
+
+func TestIfWithoutElse(t *testing.T) {
+	g, fset := build(t, `
+x := 0
+if x > 0 {
+	x = 1
+}
+_ = x
+`)
+	wantDump(t, g, fset, `
+b0 entry: [x := 0; x > 0] -> b1 b2
+b1 if.then: [x = 1] -> b2
+b2 if.join: [_ = x]
+`)
+}
+
+func TestForLoop(t *testing.T) {
+	g, fset := build(t, `
+s := 0
+for i := 0; i < 10; i++ {
+	s += i
+}
+_ = s
+`)
+	wantDump(t, g, fset, `
+b0 entry: [s := 0; i := 0] -> b1
+b1 for.head: [i < 10] -> b3 b2
+b2 for.done: [_ = s]
+b3 for.body: [s += i] -> b4
+b4 for.post: [i++] -> b1
+`)
+}
+
+func TestForBreakContinue(t *testing.T) {
+	g, fset := build(t, `
+for {
+	if done() {
+		break
+	}
+	if skip() {
+		continue
+	}
+	work()
+}
+after()
+`)
+	// The break edge must reach the done block and the continue edge the
+	// head; the body's fallthrough also loops back to the head.
+	var head, done *cfg.Block
+	for _, b := range g.Blocks {
+		switch b.Kind {
+		case "for.head":
+			head = b
+		case "for.done":
+			done = b
+		}
+	}
+	if head == nil || done == nil {
+		t.Fatalf("missing head/done block:\n%s", g.Dump(fset))
+	}
+	intoDone, intoHead := 0, 0
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			if s == done {
+				intoDone++
+			}
+			if s == head && b != g.Blocks[0] {
+				intoHead++
+			}
+		}
+	}
+	if intoDone != 1 {
+		t.Errorf("want exactly 1 break edge into for.done, got %d", intoDone)
+	}
+	if intoHead < 2 {
+		t.Errorf("want continue and loop-end edges into for.head, got %d", intoHead)
+	}
+}
+
+func TestRangeLoop(t *testing.T) {
+	g, fset := build(t, `
+s := 0
+for _, v := range xs {
+	s += v
+}
+_ = s
+`)
+	wantDump(t, g, fset, `
+b0 entry: [s := 0] -> b1
+b1 range.head: [range xs] -> b3 b2
+b2 range.done: [_ = s]
+b3 range.body: [s += v] -> b1
+`)
+}
+
+func TestSwitchFallthroughAndDefault(t *testing.T) {
+	g, fset := build(t, `
+switch x {
+case 1:
+	a()
+	fallthrough
+case 2:
+	b()
+default:
+	c()
+}
+d()
+`)
+	wantDump(t, g, fset, `
+b0 entry: [x] -> b2 b3 b4
+b1 switch.done: [d()]
+b2 switch.case: [1; a()] -> b3
+b3 switch.case: [2; b()] -> b1
+b4 switch.case: [c()] -> b1
+`)
+}
+
+func TestSwitchNoDefaultHasDoneEdge(t *testing.T) {
+	g, fset := build(t, `
+switch x {
+case 1:
+	a()
+}
+d()
+`)
+	wantDump(t, g, fset, `
+b0 entry: [x] -> b2 b1
+b1 switch.done: [d()]
+b2 switch.case: [1; a()] -> b1
+`)
+}
+
+func TestTypeSwitch(t *testing.T) {
+	g, fset := build(t, `
+switch v := x.(type) {
+case int:
+	a(v)
+case string:
+	b(v)
+}
+d()
+`)
+	wantDump(t, g, fset, `
+b0 entry: [v := x.(type)] -> b2 b3 b1
+b1 switch.done: [d()]
+b2 switch.case: [int; a(v)] -> b1
+b3 switch.case: [string; b(v)] -> b1
+`)
+}
+
+func TestSelect(t *testing.T) {
+	g, fset := build(t, `
+select {
+case v := <-ch:
+	use(v)
+case out <- 1:
+	sent()
+default:
+	idle()
+}
+after()
+`)
+	wantDump(t, g, fset, `
+b0 entry: -> b2 b3 b4
+b1 select.done: [after()]
+b2 select.comm: [v := <-ch; use(v)] -> b1
+b3 select.comm: [out <- 1; sent()] -> b1
+b4 select.default: [idle()] -> b1
+`)
+}
+
+func TestReturnTerminates(t *testing.T) {
+	g, fset := build(t, `
+if bad() {
+	return
+}
+ok()
+`)
+	wantDump(t, g, fset, `
+b0 entry: [bad()] -> b1 b2
+b1 if.then: [return]
+b2 if.join: [ok()]
+`)
+}
+
+func TestPanicTerminates(t *testing.T) {
+	g, fset := build(t, `
+if bad() {
+	panic("no")
+}
+ok()
+`)
+	wantDump(t, g, fset, `
+b0 entry: [bad()] -> b1 b2
+b1 if.then: [panic("no")]
+b2 if.join: [ok()]
+`)
+}
+
+func TestUnreachableAfterReturn(t *testing.T) {
+	g, fset := build(t, `
+return
+dead()
+`)
+	wantDump(t, g, fset, `
+b0 entry: [return]
+b1 unreachable: [dead()]
+`)
+}
+
+func TestDeferIsAnOrdinaryNode(t *testing.T) {
+	g, fset := build(t, `
+m := get()
+defer put(m)
+use(m)
+`)
+	wantDump(t, g, fset, `
+b0 entry: [m := get(); defer put(m); use(m)]
+`)
+}
+
+func TestLabeledBreakContinue(t *testing.T) {
+	g, fset := build(t, `
+outer:
+for i := 0; i < 3; i++ {
+	for j := 0; j < 3; j++ {
+		if a() {
+			break outer
+		}
+		if b() {
+			continue outer
+		}
+	}
+}
+after()
+`)
+	// break outer must target the outer loop's done block; continue outer
+	// its post block. Find them by kind.
+	var outerDone, outerPost *cfg.Block
+	for _, b := range g.Blocks {
+		if b.Kind == "for.done" && outerDone == nil {
+			outerDone = b // first for.done created is the outer loop's
+		}
+		if b.Kind == "for.post" && outerPost == nil {
+			outerPost = b
+		}
+	}
+	if outerDone == nil || outerPost == nil {
+		t.Fatalf("missing outer done/post:\n%s", g.Dump(fset))
+	}
+	foundBreak, foundCont := false, false
+	for _, b := range g.Blocks {
+		if b.Kind != "if.then" {
+			continue
+		}
+		for _, s := range b.Succs {
+			if s == outerDone {
+				foundBreak = true
+			}
+			if s == outerPost {
+				foundCont = true
+			}
+		}
+	}
+	if !foundBreak {
+		t.Errorf("break outer edge missing:\n%s", g.Dump(fset))
+	}
+	if !foundCont {
+		t.Errorf("continue outer edge missing:\n%s", g.Dump(fset))
+	}
+}
+
+func TestGoto(t *testing.T) {
+	g, fset := build(t, `
+	x := 0
+retry:
+	x++
+	if x < 3 {
+		goto retry
+	}
+	done()
+`)
+	wantDump(t, g, fset, `
+b0 entry: [x := 0] -> b1
+b1 label.retry: [x++; x < 3] -> b2 b3
+b2 if.then: -> b1
+b3 if.join: [done()]
+`)
+}

@@ -1,0 +1,120 @@
+// Package dataflow is a forward dataflow engine over the cfg package's
+// graphs: the fixpoint half of the flow-sensitive tagalint analyzers. A
+// client supplies a join-semilattice of abstract states and a monotone
+// transfer function over CFG nodes; the engine computes, for every
+// reachable block, the join of the states flowing in over all paths from
+// the entry.
+//
+// The engine iterates in reverse post-order until no block's input state
+// changes, so the result is deterministic for a given graph and the pass
+// count is bounded by the lattice height. A safety valve aborts runs whose
+// transfer function is not monotone (states would oscillate forever).
+package dataflow
+
+import (
+	"fmt"
+	"go/ast"
+
+	"repro/internal/analysis/cfg"
+)
+
+// Lattice describes the abstract-state domain S: a bottom element, a
+// commutative/associative/idempotent join, equality, and cloning (the
+// engine never mutates a state it has stored; transfer functions receive a
+// clone they may mutate freely).
+type Lattice[S any] interface {
+	Bottom() S
+	Clone(S) S
+	Join(a, b S) S
+	Equal(a, b S) bool
+}
+
+// Result carries the fixpoint: the input state of every reachable block
+// (indexed by Block.Index; unreachable blocks keep the zero value with
+// Reached false) plus iteration accounting for termination tests.
+type Result[S any] struct {
+	In      []S
+	Reached []bool
+	// Passes counts block-transfer applications until the fixpoint; it is
+	// bounded by blocks × (lattice height + 1) for a monotone transfer.
+	Passes int
+}
+
+// maxPassFactor bounds the fixpoint at maxPassFactor passes per block —
+// far above any monotone client's need (the poollife lattice has height
+// ≤ 2 per tracked variable) — so a non-monotone transfer fails loudly
+// instead of hanging the lint.
+const maxPassFactor = 1024
+
+// Forward computes the forward fixpoint of transfer over g, seeding the
+// entry block with entry. transfer is applied to every node of a block in
+// order and must return the (possibly mutated) state it was handed.
+func Forward[S any](g *cfg.Graph, lat Lattice[S], entry S, transfer func(ast.Node, S) S) (*Result[S], error) {
+	n := len(g.Blocks)
+	res := &Result[S]{In: make([]S, n), Reached: make([]bool, n)}
+	if n == 0 {
+		return res, nil
+	}
+	for i := range res.In {
+		res.In[i] = lat.Bottom()
+	}
+	res.In[0] = lat.Clone(entry)
+	res.Reached[0] = true
+
+	order := postorder(g)
+	// Reverse post-order: process definers before users where possible.
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+
+	dirty := make([]bool, n)
+	dirty[0] = true
+	maxPasses := maxPassFactor * n
+	for changed := true; changed; {
+		changed = false
+		for _, blk := range order {
+			if !dirty[blk.Index] {
+				continue
+			}
+			dirty[blk.Index] = false
+			res.Passes++
+			if res.Passes > maxPasses {
+				return nil, fmt.Errorf("dataflow: no fixpoint after %d passes over %d blocks (non-monotone transfer?)", res.Passes, n)
+			}
+			out := lat.Clone(res.In[blk.Index])
+			for _, node := range blk.Nodes {
+				out = transfer(node, out)
+			}
+			for _, succ := range blk.Succs {
+				joined := lat.Join(lat.Clone(res.In[succ.Index]), out)
+				if !res.Reached[succ.Index] || !lat.Equal(joined, res.In[succ.Index]) {
+					res.In[succ.Index] = joined
+					res.Reached[succ.Index] = true
+					dirty[succ.Index] = true
+					changed = true
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+// postorder returns the blocks reachable from the entry in depth-first
+// post-order.
+func postorder(g *cfg.Graph) []*cfg.Block {
+	seen := make([]bool, len(g.Blocks))
+	var order []*cfg.Block
+	var visit func(b *cfg.Block)
+	visit = func(b *cfg.Block) {
+		if seen[b.Index] {
+			return
+		}
+		seen[b.Index] = true
+		for _, s := range b.Succs {
+			visit(s)
+		}
+		order = append(order, b)
+	}
+	visit(g.Blocks[0])
+	return order
+}

@@ -1,0 +1,182 @@
+package dataflow_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"maps"
+	"testing"
+
+	"repro/internal/analysis/cfg"
+	"repro/internal/analysis/dataflow"
+)
+
+// setLattice is a may-analysis over sets of assigned variable names — the
+// same shape as poollife's released-set lattice.
+type setLattice struct{}
+
+func (setLattice) Bottom() map[string]bool { return nil }
+
+func (setLattice) Clone(s map[string]bool) map[string]bool {
+	if s == nil {
+		return map[string]bool{}
+	}
+	return maps.Clone(s)
+}
+
+func (setLattice) Join(a, b map[string]bool) map[string]bool {
+	if a == nil {
+		a = map[string]bool{}
+	}
+	for k := range b {
+		a[k] = true
+	}
+	return a
+}
+
+func (setLattice) Equal(a, b map[string]bool) bool { return maps.Equal(a, b) }
+
+// assigned records every variable name appearing on the left of := or =
+// within n.
+func assigned(n ast.Node, s map[string]bool) map[string]bool {
+	ast.Inspect(n, func(n ast.Node) bool {
+		if as, ok := n.(*ast.AssignStmt); ok {
+			for _, lhs := range as.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+					s[id.Name] = true
+				}
+			}
+		}
+		return true
+	})
+	return s
+}
+
+func build(t *testing.T, body string) *cfg.Graph {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "test.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fn := file.Decls[len(file.Decls)-1].(*ast.FuncDecl)
+	return cfg.New(fn.Body)
+}
+
+func TestBranchJoinIsUnion(t *testing.T) {
+	g := build(t, `
+if c {
+	x := 1
+	_ = x
+} else {
+	y := 2
+	_ = y
+}
+z := 3
+_ = z
+`)
+	res, err := dataflow.Forward[map[string]bool](g, setLattice{}, nil, assigned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The join block (the one holding "z := 3") must see both branches'
+	// assignments.
+	var join map[string]bool
+	for _, b := range g.Blocks {
+		if b.Kind == "if.join" {
+			join = res.In[b.Index]
+		}
+	}
+	for _, want := range []string{"x", "y"} {
+		if !join[want] {
+			t.Errorf("join state missing %q: %v", want, join)
+		}
+	}
+	if join["z"] {
+		t.Errorf("join input must precede z := 3: %v", join)
+	}
+}
+
+func TestLoopFixpointTerminates(t *testing.T) {
+	g := build(t, `
+x := 0
+for i := 0; i < 10; i++ {
+	if c {
+		a := 1
+		_ = a
+	}
+	b := 2
+	_ = b
+}
+done := true
+_ = done
+`)
+	res, err := dataflow.Forward[map[string]bool](g, setLattice{}, nil, assigned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A finite lattice over a loop converges in a small number of passes:
+	// well under the engine's non-monotonicity safety valve.
+	if res.Passes > 4*len(g.Blocks) {
+		t.Errorf("fixpoint took %d passes for %d blocks", res.Passes, len(g.Blocks))
+	}
+	// Loop-carried facts reach the loop head via the back edge.
+	for _, b := range g.Blocks {
+		if b.Kind == "for.head" {
+			for _, want := range []string{"x", "i", "b"} {
+				if !res.In[b.Index][want] {
+					t.Errorf("loop head missing loop-carried %q: %v", want, res.In[b.Index])
+				}
+			}
+		}
+	}
+}
+
+func TestUnreachableBlocksNotVisited(t *testing.T) {
+	g := build(t, `
+return
+x := 1
+_ = x
+`)
+	res, err := dataflow.Forward[map[string]bool](g, setLattice{}, nil, assigned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range g.Blocks {
+		if b.Kind == "unreachable" && res.Reached[b.Index] {
+			t.Errorf("unreachable block b%d marked reached", b.Index)
+		}
+	}
+}
+
+// oscillating is a deliberately non-monotone "lattice": Join claims states
+// are fresh every time by toggling membership, so the engine must hit its
+// safety valve instead of spinning forever.
+type oscillating struct{}
+
+func (oscillating) Bottom() map[string]bool                 { return nil }
+func (oscillating) Clone(s map[string]bool) map[string]bool { return setLattice{}.Clone(s) }
+func (oscillating) Join(a, b map[string]bool) map[string]bool {
+	a = setLattice{}.Clone(a)
+	if a["flip"] {
+		delete(a, "flip")
+	} else {
+		a["flip"] = true
+	}
+	return a
+}
+func (oscillating) Equal(a, b map[string]bool) bool { return maps.Equal(a, b) }
+
+func TestNonMonotoneTransferFailsLoudly(t *testing.T) {
+	g := build(t, `
+for {
+	x := 1
+	_ = x
+}
+`)
+	_, err := dataflow.Forward[map[string]bool](g, oscillating{}, nil, assigned)
+	if err == nil {
+		t.Fatal("want convergence error for oscillating lattice, got nil")
+	}
+}

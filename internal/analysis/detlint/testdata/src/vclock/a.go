@@ -1,0 +1,8 @@
+// Package vclock stands in for the exempt clock package: its whole job is
+// to implement the clock abstraction over the host clock, so detlint must
+// stay silent here.
+package vclock
+
+import "time"
+
+func hostNow() time.Time { return time.Now() }

@@ -1,0 +1,262 @@
+// Package hotalloc defines the tagalint analyzer that statically guards
+// the courier's zero-allocation budget (PR 5). ci.sh checks the budget
+// dynamically (TestCourierAllocBudget counts allocs/message at run time),
+// but a dynamic gate only fires on the paths the benchmark happens to
+// drive; hotalloc flags allocation sites in any function annotated
+//
+//	//tagalint:hotpath
+//
+// so a regression is caught at lint time, on every path, before a
+// benchmark run. The two gates are complementary and ci.sh keeps both.
+//
+// Flagged inside hotpath functions:
+//
+//   - pointer composite literals (&T{...}) and map/slice/chan composite
+//     literals — always heap-allocating once they escape;
+//   - new(T) and make(...) — prealloc belongs outside the hot path;
+//   - function literals — a capturing closure allocates at creation;
+//   - calls into package fmt — formatting boxes arguments and builds
+//     strings;
+//   - append whose destination is not visibly preallocated: growth is
+//     exempt when the destination is a reslice (x[:0] batch-reuse), a
+//     parameter (the caller owns capacity), or a local built by make.
+//
+// Arguments of panic calls are exempt: a function that is about to crash
+// the simulation may format its last words. Justified allocations on cold
+// sub-paths keep a reasoned //lint:ignore hotalloc directive.
+package hotalloc
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer reports allocation sites inside //tagalint:hotpath functions.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc: "report allocation sites in functions marked //tagalint:hotpath\n\n" +
+		"Composite literals, new/make, closures, fmt calls and unpreallocated " +
+		"appends allocate; on the courier hot path every one of them breaks " +
+		"the committed zero-alloc budget ci.sh checks dynamically.",
+	Run: run,
+}
+
+// marker is the hot-path annotation scanned from function doc comments.
+const marker = "//tagalint:hotpath"
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasMarker(fd.Doc) {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func hasMarker(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if c.Text == marker {
+			return true
+		}
+	}
+	return false
+}
+
+// checkFunc walks one hot function, reporting allocation sites.
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	prealloc := preallocated(pass, fd)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(),
+				"closure literal in hot path: creating a capturing closure allocates")
+			return false // the closure body runs elsewhere; one finding per literal
+		case *ast.UnaryExpr:
+			if cl, ok := n.X.(*ast.CompositeLit); ok {
+				pass.Reportf(n.Pos(),
+					"&%s{...} in hot path: pointer composite literals allocate; draw from a pool instead",
+					typeLabel(pass, cl))
+				// Still walk the elements for nested allocations, but skip
+				// re-reporting this literal.
+				for _, elt := range cl.Elts {
+					walkSub(pass, elt, prealloc)
+				}
+				return false
+			}
+		case *ast.CompositeLit:
+			switch pass.TypesInfo.Types[n].Type.Underlying().(type) {
+			case *types.Map, *types.Slice, *types.Chan:
+				pass.Reportf(n.Pos(),
+					"%s literal in hot path: map/slice/channel literals allocate",
+					typeLabel(pass, n))
+			}
+		case *ast.CallExpr:
+			return checkCall(pass, n, prealloc)
+		}
+		return true
+	})
+}
+
+// walkSub re-enters the inspection for a subtree (used after a parent
+// handled itself).
+func walkSub(pass *analysis.Pass, e ast.Expr, prealloc map[*types.Var]bool) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			return checkCall(pass, call, prealloc)
+		}
+		return true
+	})
+}
+
+// checkCall classifies one call in a hot function. It returns false when
+// the children were already handled (or must be skipped).
+func checkCall(pass *analysis.Pass, call *ast.CallExpr, prealloc map[*types.Var]bool) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		switch builtinName(pass, fun) {
+		case "panic":
+			// A crashing path may format its last words; nothing below a
+			// panic argument is hot.
+			return false
+		case "new":
+			pass.Reportf(call.Pos(), "new(...) in hot path allocates; draw from a pool instead")
+			return true
+		case "make":
+			pass.Reportf(call.Pos(), "make(...) in hot path allocates; preallocate outside the hot path")
+			return true
+		case "append":
+			if len(call.Args) > 0 && !appendPreallocated(pass, call.Args[0], prealloc) {
+				pass.Reportf(call.Pos(),
+					"append to %s in hot path may grow the backing array; preallocate capacity (make with cap, caller-owned buffer, or a [:0] reslice)",
+					exprLabel(call.Args[0]))
+			}
+			return true
+		}
+	case *ast.SelectorExpr:
+		if obj, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func); ok &&
+			obj.Pkg() != nil && obj.Pkg().Path() == "fmt" {
+			pass.Reportf(call.Pos(),
+				"fmt.%s in hot path allocates (argument boxing and formatting); build diagnostics off the hot path",
+				obj.Name())
+		}
+	}
+	return true
+}
+
+// builtinName returns id's name when it resolves to a builtin, else "".
+func builtinName(pass *analysis.Pass, id *ast.Ident) string {
+	if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+		return b.Name()
+	}
+	return ""
+}
+
+// appendPreallocated reports whether dst visibly owns its capacity: a
+// reslice expression (the x[:0] batch-reuse idiom), a parameter (the
+// caller provides the buffer and keeps the grown result), or a local the
+// function built with make.
+func appendPreallocated(pass *analysis.Pass, dst ast.Expr, prealloc map[*types.Var]bool) bool {
+	switch d := ast.Unparen(dst).(type) {
+	case *ast.SliceExpr:
+		return true
+	case *ast.Ident:
+		v, ok := pass.TypesInfo.Uses[d].(*types.Var)
+		if !ok {
+			return false
+		}
+		return prealloc[v]
+	}
+	return false
+}
+
+// preallocated collects the variables of fd that visibly own capacity:
+// parameters, and locals assigned from make(...) or a reslice anywhere in
+// the body (flow-insensitively — hotalloc is a per-site budget check, not
+// a may-analysis).
+func preallocated(pass *analysis.Pass, fd *ast.FuncDecl) map[*types.Var]bool {
+	set := map[*types.Var]bool{}
+	if fd.Type.Params != nil {
+		for _, field := range fd.Type.Params.List {
+			for _, name := range field.Names {
+				if v, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+					set[v] = true
+				}
+			}
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if !isCapacityOwning(pass, as.Rhs[i]) {
+				continue
+			}
+			obj := pass.TypesInfo.Defs[id]
+			if obj == nil {
+				obj = pass.TypesInfo.Uses[id]
+			}
+			if v, ok := obj.(*types.Var); ok {
+				set[v] = true
+			}
+		}
+		return true
+	})
+	return set
+}
+
+// isCapacityOwning reports whether e is a make call or a reslice — the
+// initializers that hand a variable its own (or reused) backing array.
+func isCapacityOwning(pass *analysis.Pass, e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SliceExpr:
+		return true
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok {
+			return builtinName(pass, id) == "make"
+		}
+	}
+	return false
+}
+
+// typeLabel renders a composite literal's type compactly for diagnostics:
+// foreign types qualified by package name, own-package types bare.
+func typeLabel(pass *analysis.Pass, cl *ast.CompositeLit) string {
+	if t := pass.TypesInfo.Types[cl].Type; t != nil {
+		return types.TypeString(t, func(p *types.Package) string {
+			if p == pass.Pkg {
+				return ""
+			}
+			return p.Name()
+		})
+	}
+	return "composite"
+}
+
+// exprLabel renders the append destination for the diagnostic.
+func exprLabel(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		if id, ok := ast.Unparen(e.X).(*ast.Ident); ok {
+			return id.Name + "." + e.Sel.Name
+		}
+		return e.Sel.Name
+	}
+	return "slice"
+}

@@ -77,10 +77,17 @@ func ModuleRoot(dir string) (root, modpath string, err error) {
 // and the recursive suffix ("./...", "./internal/..."). Directories named
 // testdata, hidden directories, and directories with no .go files are
 // skipped during recursion.
+//
+// A pattern that matches no packages — a misspelled path, a directory
+// without Go files, an unreadable tree — is an error, never a silently
+// empty result: a driver that "found nothing to check" must not be
+// mistakable for one that checked everything and found it clean.
 func ExpandPatterns(dir string, patterns []string) ([]string, error) {
 	seen := map[string]bool{}
 	var dirs []string
+	matched := 0
 	add := func(d string) {
+		matched++
 		if !seen[d] {
 			seen[d] = true
 			dirs = append(dirs, d)
@@ -88,6 +95,7 @@ func ExpandPatterns(dir string, patterns []string) ([]string, error) {
 	}
 	for _, pat := range patterns {
 		recursive := false
+		matched = 0
 		if pat == "..." {
 			pat, recursive = ".", true
 		} else if strings.HasSuffix(pat, "/...") {
@@ -99,46 +107,59 @@ func ExpandPatterns(dir string, patterns []string) ([]string, error) {
 		}
 		base = filepath.Clean(base)
 		if !recursive {
-			if hasGoFiles(base) {
+			ok, err := hasGoFiles(base)
+			if err != nil {
+				return nil, fmt.Errorf("pattern %q: %w", pat, err)
+			}
+			if ok {
 				add(base)
 			}
-			continue
-		}
-		err := filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
-			if err != nil {
-				return err
-			}
-			if !d.IsDir() {
+		} else {
+			err := filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if !d.IsDir() {
+					return nil
+				}
+				name := d.Name()
+				if path != base && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+					return filepath.SkipDir
+				}
+				ok, err := hasGoFiles(path)
+				if err != nil {
+					return err
+				}
+				if ok {
+					add(path)
+				}
 				return nil
+			})
+			if err != nil {
+				return nil, fmt.Errorf("pattern %q: %w", pat, err)
 			}
-			name := d.Name()
-			if path != base && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
-				return filepath.SkipDir
-			}
-			if hasGoFiles(path) {
-				add(path)
-			}
-			return nil
-		})
-		if err != nil {
-			return nil, err
+		}
+		if matched == 0 {
+			return nil, fmt.Errorf("pattern %q matched no Go packages under %s", pat, base)
 		}
 	}
 	sort.Strings(dirs)
 	return dirs, nil
 }
 
-func hasGoFiles(dir string) bool {
+// hasGoFiles reports whether dir directly contains Go source files. An
+// unreadable directory is an error, not a miss (see ExpandPatterns).
+func hasGoFiles(dir string) (bool, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
-		return false
+		return false, err
 	}
 	for _, e := range entries {
 		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
-			return true
+			return true, nil
 		}
 	}
-	return false
+	return false, nil
 }
 
 // LoadDir parses and type-checks every package rooted in dir (including

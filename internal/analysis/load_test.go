@@ -1,0 +1,47 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestExpandPatternsErrorsOnNoMatch is the regression test for the
+// silent-skip bug: a pattern that resolves to no packages (misspelled
+// directory, directory without Go files) used to yield an empty result and
+// a zero exit from cmd/tagalint, indistinguishable from a clean run. It
+// must be an error.
+func TestExpandPatternsErrorsOnNoMatch(t *testing.T) {
+	tmp := t.TempDir()
+	if err := os.WriteFile(filepath.Join(tmp, "a.go"), []byte("package a\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Mkdir(filepath.Join(tmp, "empty"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name    string
+		pattern string
+	}{
+		{"missing directory", "./nonexistent"},
+		{"missing directory recursive", "./nonexistent/..."},
+		{"directory without Go files", "./empty"},
+		{"recursive without Go files", "./empty/..."},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ExpandPatterns(tmp, []string{tc.pattern}); err == nil {
+				t.Fatalf("ExpandPatterns(%q) = nil error, want no-match error", tc.pattern)
+			}
+		})
+	}
+
+	dirs, err := ExpandPatterns(tmp, []string{"."})
+	if err != nil {
+		t.Fatalf("ExpandPatterns(.) error: %v", err)
+	}
+	if len(dirs) != 1 || dirs[0] != tmp {
+		t.Fatalf("ExpandPatterns(.) = %v, want [%s]", dirs, tmp)
+	}
+}

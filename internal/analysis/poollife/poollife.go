@@ -1,0 +1,412 @@
+// Package poollife defines the flow-sensitive tagalint analyzer that
+// guards the pooled-object lifecycle PR 5 introduced on the courier hot
+// path: once an object marked //tagalint:pooled is handed to a consumer
+// marked //tagalint:pooled release (back to its sync.Pool) or
+// //tagalint:pooled transfer (ownership moves to the callee — the fabric
+// owns a Message after Send), the caller must not touch it again. The
+// pool may recycle the struct at any point afterwards, so a late read is
+// a silent data race against the object's next life and a second release
+// corrupts the pool.
+//
+// The analyzer is a forward may-analysis over the cfg package's graphs:
+// for every function it tracks, per local variable of a pooled type,
+// whether any path to the current point has consumed it. A use while
+// possibly-consumed is reported, as is a second consumption. Reassigning
+// the variable (m = NewMessage(), m := ...) returns it to the live state.
+//
+// Limits, chosen to keep the analysis useful rather than noisy: aliases
+// are not tracked (m2 := m; release(m); use(m2) escapes it), deferred
+// releases are ignored (they run at function exit, after every use in the
+// body), and closures are analyzed as separate functions with all
+// captured variables assumed live on entry.
+package poollife
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sync"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/cfg"
+	"repro/internal/analysis/dataflow"
+	"repro/internal/analysis/poolmark"
+	"repro/internal/analysis/simcall"
+)
+
+// Analyzer reports uses of pool-recycled objects after their release or
+// ownership transfer, and double releases.
+var Analyzer = &analysis.Analyzer{
+	Name: "poollife",
+	Doc: "report use-after-release and double-release of //tagalint:pooled objects\n\n" +
+		"Objects of a type marked //tagalint:pooled are recycled through a pool " +
+		"by functions marked //tagalint:pooled release (or transfer, for " +
+		"ownership handoffs like fabric.Send). After any path has consumed such " +
+		"an object, further uses and further releases race against the pool.",
+	Run: run,
+}
+
+// resolver answers the pooled-type / consumer-function questions against
+// the enclosing module. It is process-global: marker scans are pure
+// directory reads, so one cache serves every pass and every test.
+var (
+	resolveOnce sync.Once
+	resolver    *poolmark.Resolver
+	resolveErr  error
+)
+
+func getResolver() (*poolmark.Resolver, error) {
+	resolveOnce.Do(func() {
+		root, modpath, err := analysis.ModuleRoot(".")
+		if err != nil {
+			resolveErr = fmt.Errorf("poollife: locating module root: %w", err)
+			return
+		}
+		resolver = poolmark.NewResolver(poolmark.NewCache(), root, modpath)
+	})
+	return resolver, resolveErr
+}
+
+func run(pass *analysis.Pass) error {
+	res, err := getResolver()
+	if err != nil {
+		return err
+	}
+	a := &analyzer{pass: pass, res: res}
+	for _, file := range pass.Files {
+		var ferr error
+		ast.Inspect(file, func(n ast.Node) bool {
+			if ferr != nil {
+				return false
+			}
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					ferr = a.function(n.Body)
+				}
+			case *ast.FuncLit:
+				// Analyzed as its own function; the enclosing function's
+				// graph treats the literal as an opaque expression.
+				ferr = a.function(n.Body)
+			}
+			return true
+		})
+		if ferr != nil {
+			return ferr
+		}
+	}
+	return nil
+}
+
+// consumption records how a variable left the live state: which marked
+// function consumed it, in which way, and where.
+type consumption struct {
+	kind poolmark.Kind
+	by   string // callee name, e.g. "Send" or "releaseMessage"
+	pos  token.Pos
+}
+
+// state maps each possibly-consumed pooled variable to its (earliest)
+// consumption. Variables not present are live on every path.
+type state map[*types.Var]consumption
+
+// lattice is the join-semilattice of states: bottom is "nothing consumed",
+// join is the union, keeping the earliest consumption site per variable so
+// the fixpoint is deterministic and monotone (positions only decrease).
+type lattice struct{}
+
+func (lattice) Bottom() state { return nil }
+
+func (lattice) Clone(s state) state {
+	out := make(state, len(s))
+	for v, c := range s {
+		out[v] = c
+	}
+	return out
+}
+
+func (lattice) Join(a, b state) state {
+	if a == nil {
+		a = state{}
+	}
+	for v, c := range b {
+		if prev, ok := a[v]; !ok || c.pos < prev.pos {
+			a[v] = c
+		}
+	}
+	return a
+}
+
+func (lattice) Equal(a, b state) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for v, c := range a {
+		if b[v] != c {
+			return false
+		}
+	}
+	return true
+}
+
+type analyzer struct {
+	pass *analysis.Pass
+	res  *poolmark.Resolver
+}
+
+// function runs the fixpoint over one function body and then replays it,
+// reporting uses-after-consumption and double consumptions.
+func (a *analyzer) function(body *ast.BlockStmt) error {
+	g := cfg.New(body)
+	lat := lattice{}
+	fix, err := dataflow.Forward[state](g, lat, nil, func(n ast.Node, s state) state {
+		a.node(n, s, nil)
+		return s
+	})
+	if err != nil {
+		return fmt.Errorf("poollife: %w", err)
+	}
+	reported := map[token.Pos]bool{}
+	report := func(pos token.Pos, format string, args ...any) {
+		if !reported[pos] {
+			reported[pos] = true
+			a.pass.Reportf(pos, format, args...)
+		}
+	}
+	for _, blk := range g.Blocks {
+		if !fix.Reached[blk.Index] {
+			continue
+		}
+		s := lat.Clone(fix.In[blk.Index])
+		for _, n := range blk.Nodes {
+			a.node(n, s, report)
+		}
+	}
+	return nil
+}
+
+// reportf is the diagnostic sink of one replay pass; nil during the
+// fixpoint, where only the state transition matters.
+type reportf func(pos token.Pos, format string, args ...any)
+
+// node applies one CFG node to s, reporting through report when non-nil.
+func (a *analyzer) node(n ast.Node, s state, report reportf) {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		for _, r := range n.Rhs {
+			a.expr(r, s, report)
+		}
+		for _, l := range n.Lhs {
+			if id, ok := l.(*ast.Ident); ok {
+				// Plain reassignment (or definition) revives the variable:
+				// it now names a different object.
+				if v := a.trackedVar(id); v != nil {
+					delete(s, v)
+				}
+				continue
+			}
+			// m.Field = x reads m to write through it.
+			a.expr(l, s, report)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, val := range vs.Values {
+						a.expr(val, s, report)
+					}
+					for _, name := range vs.Names {
+						if v := a.trackedVar(name); v != nil {
+							delete(s, v)
+						}
+					}
+				}
+			}
+		}
+	case *ast.RangeStmt:
+		// The cfg package adds the RangeStmt itself as the per-iteration
+		// node; its body lives in separate blocks. Evaluate X, then treat
+		// the key/value bindings as fresh definitions.
+		a.expr(n.X, s, report)
+		for _, e := range []ast.Expr{n.Key, n.Value} {
+			id, ok := e.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if v := a.trackedVar(id); v != nil {
+				delete(s, v)
+			}
+		}
+	case *ast.DeferStmt:
+		// Deferred consumers run at function exit, after every use in the
+		// body, so a deferred release never makes a later use stale.
+	case *ast.ExprStmt:
+		a.expr(n.X, s, report)
+	case *ast.GoStmt:
+		a.expr(n.Call, s, report)
+	case *ast.SendStmt:
+		a.expr(n.Chan, s, report)
+		a.expr(n.Value, s, report)
+	case *ast.IncDecStmt:
+		a.expr(n.X, s, report)
+	case *ast.ReturnStmt:
+		for _, r := range n.Results {
+			a.expr(r, s, report)
+		}
+	case ast.Expr:
+		a.expr(n, s, report)
+	case ast.Stmt:
+		// Other statement kinds (Empty, Branch, ...) carry no expressions
+		// the analysis cares about; walk conservatively for uses.
+		ast.Inspect(n, func(x ast.Node) bool {
+			if e, ok := x.(ast.Expr); ok {
+				a.expr(e, s, report)
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// expr walks one expression: consumer calls consume their pooled
+// arguments, every other identifier occurrence is a use.
+func (a *analyzer) expr(e ast.Expr, s state, report reportf) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.FuncLit:
+			// A closure body is a separate function (analyzed on its own);
+			// creating the closure does not use the captured variables yet.
+			return false
+		case *ast.CallExpr:
+			if a.consumerCall(x, s, report) {
+				return false
+			}
+		case *ast.Ident:
+			a.use(x, s, report)
+		}
+		return true
+	})
+}
+
+// consumerCall handles a call to a //tagalint:pooled release/transfer
+// function: pooled identifier arguments (and a pooled method receiver) are
+// consumed; everything else in the call is walked as ordinary uses. It
+// reports whether the call was a consumer (children already handled).
+func (a *analyzer) consumerCall(call *ast.CallExpr, s state, report reportf) bool {
+	callee := simcall.Callee(a.pass.TypesInfo, call)
+	kind, ok := a.res.ConsumerKind(callee)
+	if !ok {
+		return false
+	}
+	// The callee expression: for f.Send(m) the base f is an ordinary use;
+	// for a consumer method on a pooled receiver, the receiver is consumed.
+	if sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr); isSel {
+		if recvID, isID := ast.Unparen(sel.X).(*ast.Ident); isID && a.pooledVar(recvID) != nil && hasRecv(callee) {
+			a.consume(recvID, kind, callee.Name(), call.Pos(), s, report)
+		} else {
+			a.expr(sel.X, s, report)
+		}
+	}
+	for _, arg := range call.Args {
+		if id, isID := ast.Unparen(arg).(*ast.Ident); isID {
+			if v := a.pooledVar(id); v != nil {
+				a.consume(id, kind, callee.Name(), call.Pos(), s, report)
+				continue
+			}
+		}
+		a.expr(arg, s, report)
+	}
+	return true
+}
+
+// consume transitions one pooled variable to the consumed state, reporting
+// a double consumption if any path already consumed it.
+func (a *analyzer) consume(id *ast.Ident, kind poolmark.Kind, by string, pos token.Pos, s state, report reportf) {
+	v := a.pooledVar(id)
+	if v == nil {
+		return
+	}
+	if prev, ok := s[v]; ok {
+		if report != nil {
+			report(pos, "%s of %s %q: %s already consumed it on line %d",
+				kind, a.typeOf(v), id.Name, prev.by, a.line(prev.pos))
+		}
+		// Keep the earliest consumption: later uses blame the first exit.
+		if pos < prev.pos {
+			s[v] = consumption{kind: kind, by: by, pos: pos}
+		}
+		return
+	}
+	s[v] = consumption{kind: kind, by: by, pos: pos}
+}
+
+// use reports a read of a possibly-consumed pooled variable.
+func (a *analyzer) use(id *ast.Ident, s state, report reportf) {
+	v := a.trackedVar(id)
+	if v == nil {
+		return
+	}
+	c, ok := s[v]
+	if !ok {
+		return
+	}
+	if report != nil {
+		verb := "released it to its pool"
+		if c.kind == poolmark.Transfer {
+			verb = "took ownership of it"
+		}
+		report(id.Pos(), "%s %q used after %s %s on line %d; the pool may already have recycled it",
+			a.typeOf(v), id.Name, c.by, verb, a.line(c.pos))
+	}
+}
+
+// trackedVar resolves id to the local/parameter variable it names, or nil
+// for fields, package-level objects and non-variables.
+func (a *analyzer) trackedVar(id *ast.Ident) *types.Var {
+	obj := a.pass.TypesInfo.Uses[id]
+	if obj == nil {
+		obj = a.pass.TypesInfo.Defs[id]
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() {
+		return nil
+	}
+	if v.Parent() == nil || (v.Pkg() != nil && v.Parent() == v.Pkg().Scope()) {
+		return nil // package-level: lifecycle is not intraprocedural
+	}
+	return v
+}
+
+// pooledVar is trackedVar restricted to //tagalint:pooled types.
+func (a *analyzer) pooledVar(id *ast.Ident) *types.Var {
+	v := a.trackedVar(id)
+	if v == nil || !a.res.IsPooled(v.Type()) {
+		return nil
+	}
+	return v
+}
+
+func (a *analyzer) typeOf(v *types.Var) string {
+	// Qualify foreign types by package name (*fabric.Message), own-package
+	// types bare (*obj) — full import paths only clutter diagnostics.
+	return types.TypeString(v.Type(), func(p *types.Package) string {
+		if p == a.pass.Pkg {
+			return ""
+		}
+		return p.Name()
+	})
+}
+
+func (a *analyzer) line(pos token.Pos) int {
+	return a.pass.Fset.Position(pos).Line
+}
+
+// hasRecv reports whether fn is a method.
+func hasRecv(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() != nil
+}

@@ -1,0 +1,22 @@
+// Package poollifefabric proves poollife catches a use-after-Send against
+// the real fabric types. This code compiles today: nothing in the type
+// system stops a sender from reading a Message the fabric already owns —
+// and may already have zeroed and recycled into another rank's transfer.
+package poollifefabric
+
+import (
+	"repro/internal/fabric"
+)
+
+func useAfterSend(f *fabric.Fabric) int {
+	msg := fabric.NewMessage()
+	msg.Src, msg.Dst, msg.Size = 0, 1, 64
+	f.Send(msg)
+	return msg.Size // want `\*fabric\.Message "msg" used after Send took ownership of it on line 14`
+}
+
+func sendIsTheLastTouch(f *fabric.Fabric) {
+	msg := fabric.NewMessage()
+	msg.Src, msg.Dst, msg.Size = 0, 1, 64
+	f.Send(msg) // ok: nothing reads msg afterwards
+}

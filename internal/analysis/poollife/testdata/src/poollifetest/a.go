@@ -1,0 +1,111 @@
+// Package poollifetest exercises poollife on a self-contained pooled
+// lifecycle: use-after-release, use-after-transfer, double release,
+// conditional consumption across branches, and the revive-on-reassign and
+// deferred-release non-findings.
+package poollifetest
+
+//tagalint:pooled
+type obj struct {
+	n int
+}
+
+var pool []*obj
+
+//tagalint:pooled release
+func put(o *obj) { pool = append(pool, o) }
+
+//tagalint:pooled transfer
+func send(o *obj) {}
+
+//tagalint:pooled release
+func (o *obj) free() {}
+
+func get() *obj { return &obj{} }
+
+func useAfterRelease() {
+	o := get()
+	put(o)
+	_ = o.n // want `\*obj "o" used after put released it to its pool on line 27`
+}
+
+func useAfterTransfer() {
+	o := get()
+	send(o)
+	println(o.n) // want `\*obj "o" used after send took ownership of it on line 33`
+}
+
+func useAfterMethodRelease() {
+	o := get()
+	o.free()
+	_ = o.n // want `\*obj "o" used after free released it to its pool on line 39`
+}
+
+func doubleRelease() {
+	o := get()
+	put(o)
+	put(o) // want `release of \*obj "o": put already consumed it on line 45`
+}
+
+func doubleReleaseInLoop() {
+	o := get()
+	for i := 0; i < 2; i++ {
+		put(o) // want `release of \*obj "o": put already consumed it on line 52`
+	}
+}
+
+func conditionalRelease(c bool) {
+	o := get()
+	if c {
+		put(o)
+	}
+	o.n = 1 // want `\*obj "o" used after put released it to its pool on line 59`
+}
+
+func releasedOnEveryBranch(c bool) {
+	o := get()
+	if c {
+		put(o)
+	} else {
+		send(o)
+	}
+	_ = o.n // want `\*obj "o" used after (put|send)`
+}
+
+func reassignmentRevives() {
+	o := get()
+	put(o)
+	o = get()
+	_ = o.n // ok: o names a fresh object now
+}
+
+func earlyExitIsClean(c bool) {
+	o := get()
+	if c {
+		put(o)
+		return
+	}
+	_ = o.n // ok: the releasing path returned
+}
+
+func deferredReleaseIsClean() {
+	o := get()
+	defer put(o)
+	o.n = 2 // ok: the deferred release runs after every use
+}
+
+func writeThroughAfterRelease() {
+	o := get()
+	put(o)
+	o.n = 3 // want `\*obj "o" used after put released it to its pool on line 98`
+}
+
+func switchRelease(k int) {
+	o := get()
+	switch k {
+	case 0:
+		put(o)
+	case 1:
+		// keeps o
+	}
+	_ = o.n // want `\*obj "o" used after put released it to its pool on line 106`
+}

@@ -20,14 +20,42 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Analyzer, f.Message)
 }
 
+// Suppression is one //lint:ignore directive encountered during a run,
+// with the outcome of the run recorded: Used reports whether the directive
+// actually silenced at least one diagnostic. Unused directives are stale —
+// the violation they once excused has been fixed (or the directive never
+// matched) — and accumulate as misleading documentation unless removed;
+// the suppression audit surfaces them.
+type Suppression struct {
+	Pos    token.Position
+	Names  []string // analyzer names the directive silences
+	Reason string
+	Used   bool
+}
+
+func (s Suppression) String() string {
+	return fmt.Sprintf("%s: //lint:ignore %s %s", s.Pos, strings.Join(s.Names, ","), s.Reason)
+}
+
 // Run applies every analyzer to every package and returns the surviving
 // findings, sorted by position. Diagnostics silenced by a //lint:ignore
 // directive (same line or the line immediately above, naming the analyzer
 // or "all") are dropped.
 func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	findings, _, err := RunWithSuppressions(fset, pkgs, analyzers)
+	return findings, err
+}
+
+// RunWithSuppressions is Run plus the audit trail: it additionally returns
+// every //lint:ignore directive seen, each annotated with whether it
+// silenced anything. Callers that enforce suppression hygiene (cmd/tagalint,
+// ci.sh) treat Used == false as a stale directive.
+func RunWithSuppressions(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) ([]Finding, []Suppression, error) {
 	var findings []Finding
+	var directives []*directive
 	for _, pkg := range pkgs {
 		ignores := collectIgnores(fset, pkg.Files)
+		directives = append(directives, ignores.directives...)
 		for _, a := range analyzers {
 			pass := &Pass{
 				Analyzer:  a,
@@ -44,7 +72,7 @@ func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) ([]Finding
 				findings = append(findings, Finding{Analyzer: a.Name, Pos: pos, Message: d.Message})
 			}
 			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.Path, err)
+				return nil, nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.Path, err)
 			}
 		}
 	}
@@ -61,11 +89,46 @@ func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) ([]Finding
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return findings, nil
+
+	sups := make([]Suppression, 0, len(directives))
+	for _, d := range directives {
+		sups = append(sups, Suppression{Pos: d.pos, Names: d.names, Reason: d.reason, Used: d.used})
+	}
+	sort.Slice(sups, func(i, j int) bool {
+		a, b := sups[i], sups[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		return a.Pos.Line < b.Pos.Line
+	})
+	return findings, sups, nil
+}
+
+// Stale filters a run's suppressions down to the unused ones.
+func Stale(sups []Suppression) []Suppression {
+	var stale []Suppression
+	for _, s := range sups {
+		if !s.Used {
+			stale = append(stale, s)
+		}
+	}
+	return stale
+}
+
+// directive is one parsed //lint:ignore comment; used flips when it
+// silences a diagnostic.
+type directive struct {
+	pos    token.Position
+	names  []string
+	reason string
+	used   bool
 }
 
 // ignoreSet records //lint:ignore directives by file and line.
-type ignoreSet map[string]map[int][]string // filename -> line -> analyzer names
+type ignoreSet struct {
+	directives []*directive
+	byPos      map[string]map[int][]*directive // filename -> line -> directives
+}
 
 // collectIgnores scans comments for suppression directives of the form
 //
@@ -75,8 +138,8 @@ type ignoreSet map[string]map[int][]string // filename -> line -> analyzer names
 // name "all") on its own line and on the line directly below, so it works
 // both as a trailing comment and as a comment above the offending
 // statement. The reason is mandatory, as in staticcheck.
-func collectIgnores(fset *token.FileSet, files []*ast.File) ignoreSet {
-	set := ignoreSet{}
+func collectIgnores(fset *token.FileSet, files []*ast.File) *ignoreSet {
+	set := &ignoreSet{byPos: map[string]map[int][]*directive{}}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -91,28 +154,36 @@ func collectIgnores(fset *token.FileSet, files []*ast.File) ignoreSet {
 					continue
 				}
 				pos := fset.Position(c.Pos())
-				byLine := set[pos.Filename]
-				if byLine == nil {
-					byLine = map[int][]string{}
-					set[pos.Filename] = byLine
+				d := &directive{
+					pos:    pos,
+					names:  strings.Split(fields[0], ","),
+					reason: strings.Join(fields[1:], " "),
 				}
-				names := strings.Split(fields[0], ",")
-				byLine[pos.Line] = append(byLine[pos.Line], names...)
+				set.directives = append(set.directives, d)
+				byLine := set.byPos[pos.Filename]
+				if byLine == nil {
+					byLine = map[int][]*directive{}
+					set.byPos[pos.Filename] = byLine
+				}
+				byLine[pos.Line] = append(byLine[pos.Line], d)
 			}
 		}
 	}
 	return set
 }
 
-func (s ignoreSet) covers(analyzer string, pos token.Position) bool {
-	byLine := s[pos.Filename]
+func (s *ignoreSet) covers(analyzer string, pos token.Position) bool {
+	byLine := s.byPos[pos.Filename]
 	if byLine == nil {
 		return false
 	}
 	for _, line := range []int{pos.Line, pos.Line - 1} {
-		for _, name := range byLine[line] {
-			if name == analyzer || name == "all" {
-				return true
+		for _, d := range byLine[line] {
+			for _, name := range d.names {
+				if name == analyzer || name == "all" {
+					d.used = true
+					return true
+				}
 			}
 		}
 	}

@@ -1,0 +1,79 @@
+package analysis
+
+import (
+	"go/ast"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// failEveryCall is a toy analyzer reporting one diagnostic per call
+// expression, used to exercise suppression bookkeeping.
+var failEveryCall = &Analyzer{
+	Name: "toycall",
+	Doc:  "report every call expression\n\nToy analyzer for driver tests.",
+	Run: func(pass *Pass) error {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if c, ok := n.(*ast.CallExpr); ok {
+					pass.Reportf(c.Pos(), "call expression")
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+const suppressionSrc = `package toy
+
+func a() {
+	println("hit")
+}
+
+func b() {
+	//lint:ignore toycall this call is fine, honest
+	println("suppressed")
+}
+
+func c() int {
+	//lint:ignore toycall nothing on the next line ever fires
+	return 1
+}
+`
+
+// TestSuppressionAudit checks that RunWithSuppressions reports every
+// //lint:ignore directive with its usage: the one silencing a finding as
+// used, the one covering a line that produces no diagnostic as stale.
+func TestSuppressionAudit(t *testing.T) {
+	tmp := t.TempDir()
+	if err := os.WriteFile(filepath.Join(tmp, "a.go"), []byte(suppressionSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	loader := NewLoader()
+	pkgs, err := loader.LoadDir(tmp, "toy")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	findings, sups, err := RunWithSuppressions(loader.Fset, pkgs, []*Analyzer{failEveryCall})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("findings = %v, want exactly the unsuppressed call in a()", findings)
+	}
+	if len(sups) != 2 {
+		t.Fatalf("suppressions = %v, want 2 directives", sups)
+	}
+	if !sups[0].Used {
+		t.Errorf("directive in b() reported stale; it silences a finding: %s", sups[0])
+	}
+	if sups[1].Used {
+		t.Errorf("directive in c() reported used; nothing fires under it: %s", sups[1])
+	}
+	stale := Stale(sups)
+	if len(stale) != 1 || !strings.Contains(stale[0].Reason, "ever fires") {
+		t.Errorf("Stale = %v, want just the c() directive", stale)
+	}
+}

@@ -1,0 +1,134 @@
+package analysis
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"strings"
+)
+
+// SARIF 2.1.0 output, the interchange shape CI systems ingest for code
+// scanning. Only the fields tagalint populates are modelled; the names and
+// nesting follow the OASIS sarif-schema-2.1.0 definitions so the output
+// validates against the standard schema.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool               sarifTool                `json:"tool"`
+	Results            []sarifResult            `json:"results"`
+	OriginalURIBaseIDs map[string]sarifArtifact `json:"originalUriBaseIds,omitempty"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	Version        string      `json:"version,omitempty"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string        `json:"id"`
+	ShortDescription sarifMessage  `json:"shortDescription"`
+	FullDescription  *sarifMessage `json:"fullDescription,omitempty"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	RuleIndex int             `json:"ruleIndex"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI       string `json:"uri"`
+	URIBaseID string `json:"uriBaseId,omitempty"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// srcRootID is the uriBaseId findings are reported relative to.
+const srcRootID = "SRCROOT"
+
+// SARIF renders findings as a SARIF 2.1.0 log. Every analyzer becomes a
+// reporting rule of the single tagalint run (its Doc's first line as the
+// short description, the remainder as the full one); finding paths are
+// emitted relative to root under the SRCROOT uriBaseId so the log stays
+// portable across checkouts. version stamps the driver.
+func SARIF(findings []Finding, analyzers []*Analyzer, root, version string) ([]byte, error) {
+	rules := make([]sarifRule, len(analyzers))
+	index := make(map[string]int, len(analyzers))
+	for i, a := range analyzers {
+		short, full, _ := strings.Cut(a.Doc, "\n\n")
+		rules[i] = sarifRule{
+			ID:               a.Name,
+			ShortDescription: sarifMessage{Text: short},
+		}
+		if full = strings.TrimSpace(full); full != "" {
+			rules[i].FullDescription = &sarifMessage{Text: full}
+		}
+		index[a.Name] = i
+	}
+	results := make([]sarifResult, 0, len(findings))
+	for _, f := range findings {
+		uri := f.Pos.Filename
+		base := ""
+		if root != "" {
+			if rel, err := filepath.Rel(root, f.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+				uri, base = filepath.ToSlash(rel), srcRootID
+			}
+		}
+		results = append(results, sarifResult{
+			RuleID:    f.Analyzer,
+			RuleIndex: index[f.Analyzer],
+			Level:     "warning",
+			Message:   sarifMessage{Text: f.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifact{URI: uri, URIBaseID: base},
+					Region:           sarifRegion{StartLine: f.Pos.Line, StartColumn: f.Pos.Column},
+				},
+			}},
+		})
+	}
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool: sarifTool{Driver: sarifDriver{
+				Name:    "tagalint",
+				Version: version,
+				Rules:   rules,
+			}},
+			Results: results,
+			OriginalURIBaseIDs: map[string]sarifArtifact{
+				srcRootID: {URI: "file://" + filepath.ToSlash(root) + "/"},
+			},
+		}},
+	}
+	return json.MarshalIndent(&log, "", "  ")
+}

@@ -1,0 +1,116 @@
+package analysis
+
+import (
+	"encoding/json"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// TestSARIFShape validates the emitted log against the SARIF 2.1.0 shape:
+// the required top-level fields, the tool driver with one reporting rule
+// per analyzer, and results whose ruleId/ruleIndex/locations agree with
+// the findings, with paths relative to SRCROOT.
+func TestSARIFShape(t *testing.T) {
+	analyzers := []*Analyzer{
+		{Name: "alpha", Doc: "short alpha\n\nlong alpha description"},
+		{Name: "beta", Doc: "short beta"},
+	}
+	findings := []Finding{
+		{
+			Analyzer: "beta",
+			Pos:      token.Position{Filename: "/repo/internal/x/file.go", Line: 42, Column: 7},
+			Message:  "something is off",
+		},
+		{
+			Analyzer: "alpha",
+			Pos:      token.Position{Filename: "/elsewhere/y.go", Line: 3, Column: 1},
+			Message:  "outside the root",
+		},
+	}
+	data, err := SARIF(findings, analyzers, "/repo", "v1.2.3")
+	if err != nil {
+		t.Fatalf("SARIF: %v", err)
+	}
+
+	var log map[string]any
+	if err := json.Unmarshal(data, &log); err != nil {
+		t.Fatalf("emitted SARIF is not valid JSON: %v", err)
+	}
+	if got := log["version"]; got != "2.1.0" {
+		t.Errorf("version = %v, want 2.1.0", got)
+	}
+	schema, _ := log["$schema"].(string)
+	if !strings.Contains(schema, "sarif-2.1.0") {
+		t.Errorf("$schema = %q, want a sarif-2.1.0 schema reference", schema)
+	}
+
+	runs, ok := log["runs"].([]any)
+	if !ok || len(runs) != 1 {
+		t.Fatalf("runs = %v, want exactly one run", log["runs"])
+	}
+	run := runs[0].(map[string]any)
+	driver := run["tool"].(map[string]any)["driver"].(map[string]any)
+	if got := driver["name"]; got != "tagalint" {
+		t.Errorf("driver.name = %v, want tagalint", got)
+	}
+	if got := driver["version"]; got != "v1.2.3" {
+		t.Errorf("driver.version = %v, want v1.2.3", got)
+	}
+	rules := driver["rules"].([]any)
+	if len(rules) != len(analyzers) {
+		t.Fatalf("rules = %d entries, want %d", len(rules), len(analyzers))
+	}
+	rule0 := rules[0].(map[string]any)
+	if got := rule0["id"]; got != "alpha" {
+		t.Errorf("rules[0].id = %v, want alpha", got)
+	}
+	if got := rule0["shortDescription"].(map[string]any)["text"]; got != "short alpha" {
+		t.Errorf("rules[0].shortDescription.text = %v, want the Doc's first line", got)
+	}
+
+	results := run["results"].([]any)
+	if len(results) != len(findings) {
+		t.Fatalf("results = %d entries, want %d", len(results), len(findings))
+	}
+	r0 := results[0].(map[string]any)
+	if got := r0["ruleId"]; got != "beta" {
+		t.Errorf("results[0].ruleId = %v, want beta", got)
+	}
+	if got := r0["ruleIndex"]; got != float64(1) {
+		t.Errorf("results[0].ruleIndex = %v, want 1 (position of beta in rules)", got)
+	}
+	if got := r0["level"]; got != "warning" {
+		t.Errorf("results[0].level = %v, want warning", got)
+	}
+	if got := r0["message"].(map[string]any)["text"]; got != "something is off" {
+		t.Errorf("results[0].message.text = %v", got)
+	}
+	loc := r0["locations"].([]any)[0].(map[string]any)["physicalLocation"].(map[string]any)
+	art := loc["artifactLocation"].(map[string]any)
+	if got := art["uri"]; got != "internal/x/file.go" {
+		t.Errorf("artifactLocation.uri = %v, want root-relative path", got)
+	}
+	if got := art["uriBaseId"]; got != "SRCROOT" {
+		t.Errorf("artifactLocation.uriBaseId = %v, want SRCROOT", got)
+	}
+	region := loc["region"].(map[string]any)
+	if region["startLine"] != float64(42) || region["startColumn"] != float64(7) {
+		t.Errorf("region = %v, want startLine 42 startColumn 7", region)
+	}
+
+	// A finding outside the root keeps its absolute path and no base id.
+	r1 := results[1].(map[string]any)
+	art1 := r1["locations"].([]any)[0].(map[string]any)["physicalLocation"].(map[string]any)["artifactLocation"].(map[string]any)
+	if got := art1["uri"]; got != "/elsewhere/y.go" {
+		t.Errorf("out-of-root uri = %v, want absolute path", got)
+	}
+	if _, has := art1["uriBaseId"]; has {
+		t.Errorf("out-of-root artifact has uriBaseId %v, want none", art1["uriBaseId"])
+	}
+
+	base := run["originalUriBaseIds"].(map[string]any)["SRCROOT"].(map[string]any)
+	if got := base["uri"]; got != "file:///repo/" {
+		t.Errorf("originalUriBaseIds.SRCROOT.uri = %v, want file:///repo/", got)
+	}
+}

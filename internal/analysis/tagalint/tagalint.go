@@ -8,8 +8,11 @@ package tagalint
 import (
 	"repro/internal/analysis"
 	"repro/internal/analysis/condloop"
+	"repro/internal/analysis/detlint"
 	"repro/internal/analysis/doccomment"
+	"repro/internal/analysis/hotalloc"
 	"repro/internal/analysis/lockcross"
+	"repro/internal/analysis/poollife"
 	"repro/internal/analysis/simerr"
 	"repro/internal/analysis/taskctx"
 )
@@ -18,8 +21,11 @@ import (
 func Suite() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		condloop.Analyzer,
+		detlint.Analyzer,
 		doccomment.Analyzer,
+		hotalloc.Analyzer,
 		lockcross.Analyzer,
+		poollife.Analyzer,
 		simerr.Analyzer,
 		taskctx.Analyzer,
 	}

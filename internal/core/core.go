@@ -153,8 +153,11 @@ type Pending[T any] struct {
 }
 
 // Push stages one descriptor. Safe for concurrent producers.
+//
+//tagalint:hotpath
 func (q *Pending[T]) Push(v T) {
 	q.mu.Lock()
+	//lint:ignore hotalloc staged reuses pooled backing arrays recycled by Drain; growth stops once the high-water mark is reached
 	q.staged = append(q.staged, v)
 	q.mu.Unlock()
 }
@@ -162,6 +165,8 @@ func (q *Pending[T]) Push(v T) {
 // Drain moves all staged descriptors into dst (appending) and returns the
 // result. The returned slice is owned by the caller: the poller appends
 // drained descriptors to its private working list.
+//
+//tagalint:hotpath
 func (q *Pending[T]) Drain(dst []T) []T {
 	q.mu.Lock()
 	staged := q.staged
@@ -179,6 +184,7 @@ func (q *Pending[T]) Drain(dst []T) []T {
 			staged[i] = zero // drop references for the collector
 		}
 		q.mu.Lock()
+		//lint:ignore hotalloc the pool list grows to the number of in-flight staging arrays and then stabilises
 		q.pool = append(q.pool, staged[:0])
 		q.mu.Unlock()
 	}

@@ -169,6 +169,8 @@ func (p Profile) Zero() bool {
 // recycles it through an internal pool. Neither handlers nor hooks may
 // retain the *Message past their return; anything with a longer life
 // belongs in Payload. Allocate with NewMessage to draw from the pool.
+//
+//tagalint:pooled
 type Message struct {
 	Src, Dst Rank
 	Class    Class
@@ -210,10 +212,15 @@ var msgPool = sync.Pool{New: func() any { return new(Message) }}
 // does not care where the struct came from — but they feed the pool on
 // release, so steady-state traffic allocates no Message structs at all
 // only when senders use NewMessage.
+//
+//tagalint:hotpath
 func NewMessage() *Message { return msgPool.Get().(*Message) }
 
 // releaseMessage zeroes m (dropping payload and hook references) and
 // returns it to the pool.
+//
+//tagalint:pooled release
+//tagalint:hotpath
 func releaseMessage(m *Message) {
 	*m = Message{}
 	msgPool.Put(m)
@@ -336,7 +343,12 @@ func (f *Fabric) Register(r Rank, class Class, h Handler) {
 // Send submits a message. It never blocks: ordering-domain couriers pick the
 // message up and charge the modelled transfer time. Posting-side software
 // costs (the MPI library lock, the GASPI queue post) are charged by the
-// protocol layers before calling Send.
+// protocol layers before calling Send. Send takes ownership of m: the
+// fabric recycles the struct after delivery, so the caller must not touch
+// it again.
+//
+//tagalint:pooled transfer
+//tagalint:hotpath
 func (f *Fabric) Send(m *Message) {
 	if m.Src < 0 || int(m.Src) >= f.topo.Ranks() || m.Dst < 0 || int(m.Dst) >= f.topo.Ranks() {
 		panic(fmt.Sprintf("fabric: message between invalid ranks %d -> %d", m.Src, m.Dst))
@@ -355,24 +367,32 @@ func (f *Fabric) Send(m *Message) {
 	}
 	p, ok := f.paths[key]
 	if !ok {
-		p = &path{
-			in:    vsync.NewQueue[*Message](f.clk),
-			out:   vsync.NewQueue[flight](f.clk),
-			fault: f.faultsFor(key),
-		}
-		f.paths[key] = p
-		f.wg.Add(2)
-		f.clk.Go(func() {
-			defer f.wg.Done()
-			f.inject(p)
-		})
-		f.clk.Go(func() {
-			defer f.wg.Done()
-			f.deliver(p)
-		})
+		p = f.addPath(key)
 	}
 	f.mu.Unlock()
 	p.in.Push(m)
+}
+
+// addPath creates the ordering domain's path and starts its courier pair.
+// It runs with f.mu held, once per (src, dst, class, lane) tuple over the
+// fabric's lifetime: path setup is the cold side of Send and may allocate.
+func (f *Fabric) addPath(key pathKey) *path {
+	p := &path{
+		in:    vsync.NewQueue[*Message](f.clk),
+		out:   vsync.NewQueue[flight](f.clk),
+		fault: f.faultsFor(key),
+	}
+	f.paths[key] = p
+	f.wg.Add(2)
+	f.clk.Go(func() {
+		defer f.wg.Done()
+		f.inject(p)
+	})
+	f.clk.Go(func() {
+		defer f.wg.Done()
+		f.deliver(p)
+	})
+	return p
 }
 
 // inject is the first courier stage of one ordering domain: it charges the
@@ -385,6 +405,8 @@ func (f *Fabric) Send(m *Message) {
 // batch strictly in arrival order, so the non-overtaking guarantee and the
 // fault plane's per-domain decision stream are exactly those of one-at-a-
 // time delivery.
+//
+//tagalint:hotpath
 func (f *Fabric) inject(p *path) {
 	defer p.out.Close()
 	var batch []*Message
@@ -403,6 +425,8 @@ func (f *Fabric) inject(p *path) {
 
 // injectOne charges injection for one message and hands it to the delivery
 // stage (or surfaces its fault-plane failure).
+//
+//tagalint:hotpath
 func (f *Fabric) injectOne(p *path, m *Message) {
 	var popTs time.Duration
 	if f.rec != nil {
@@ -461,6 +485,8 @@ func (f *Fabric) injectOne(p *path, m *Message) {
 
 // chargeInject occupies the message's source-side port (NIC injection port
 // inter-node, copy engine intra-node) for d of modelled time.
+//
+//tagalint:hotpath
 func (f *Fabric) chargeInject(m *Message, intra bool, d time.Duration) {
 	if intra {
 		f.shm[m.Src].Use(d)
@@ -477,6 +503,8 @@ func (f *Fabric) chargeInject(m *Message, intra bool, d time.Duration) {
 // RetransmitDelay and retries until an attempt succeeds. On success the
 // returned latency includes the spike of a jitter hit and the caller
 // proceeds with the normal injection.
+//
+//tagalint:hotpath
 func (f *Fabric) faultInject(pf *pathFaults, m *Message, inject, lat time.Duration) (newLat time.Duration, surfaced bool) {
 	for attempt := 0; ; attempt++ {
 		dropped := pf.outageAt(f.clk.Now())
@@ -513,6 +541,8 @@ func (f *Fabric) faultInject(pf *pathFaults, m *Message, inject, lat time.Durati
 // The path's (destination, class) never changes and Register precedes
 // traffic, so the handler is looked up once and cached for the courier's
 // lifetime instead of taking the fabric lock per message.
+//
+//tagalint:hotpath
 func (f *Fabric) deliver(p *path) {
 	var batch []flight
 	var h Handler

@@ -222,7 +222,10 @@ func (p *Proc) Segment(id SegmentID) (*memory.Segment, error) {
 	return p.reg.Lookup(id)
 }
 
-// protocol message payload.
+// protocol message payload. Pooled: once a consumer passes it to putGMsg
+// nothing may touch it again.
+//
+//tagalint:pooled
 type gMsg struct {
 	kind      OpType
 	src       Rank
@@ -251,10 +254,15 @@ var gMsgPool = sync.Pool{New: func() any { return new(gMsg) }}
 
 // newGMsg returns a pooled message with every field zero and an empty
 // (capacity-retaining) data buffer.
+//
+//tagalint:hotpath
 func newGMsg() *gMsg { return gMsgPool.Get().(*gMsg) }
 
 // putGMsg zeroes m, keeps its data array for the next snapshot, and
 // returns it to the pool.
+//
+//tagalint:pooled release
+//tagalint:hotpath
 func putGMsg(m *gMsg) {
 	data := m.data
 	*m = gMsg{}
@@ -501,6 +509,8 @@ func (p *Proc) Read(localSeg SegmentID, localOff int, remote Rank,
 // deliver is the fabric handler for GASPI traffic. Each payload is
 // retired to the pool after its last field read (its OnInjected hook ran
 // strictly earlier, on the injection courier).
+//
+//tagalint:hotpath
 func (p *Proc) deliver(fm *fabric.Message) {
 	m := fm.Payload.(*gMsg)
 	switch m.kind {

@@ -225,7 +225,10 @@ const (
 	kindFlushAck
 )
 
-// inMsg is a protocol message payload.
+// inMsg is a protocol message payload. Pooled: once a consumer passes it
+// to putInMsg nothing may touch it again.
+//
+//tagalint:pooled
 type inMsg struct {
 	kind msgKind
 	src  Rank
@@ -252,10 +255,15 @@ var inMsgPool = sync.Pool{New: func() any { return new(inMsg) }}
 
 // newInMsg returns a pooled message with every field zero and an empty
 // (capacity-retaining) data buffer.
+//
+//tagalint:hotpath
 func newInMsg() *inMsg { return inMsgPool.Get().(*inMsg) }
 
 // putInMsg zeroes m, keeps its data array for the next snapshot, and
 // returns it to the pool.
+//
+//tagalint:pooled release
+//tagalint:hotpath
 func putInMsg(m *inMsg) {
 	data := m.data
 	*m = inMsg{}
@@ -269,6 +277,8 @@ func putInMsg(m *inMsg) {
 // queueing delay it returns from the lock resource is the per-call share of
 // the §VI-C "time inside MPI" blowup; instrumented runs feed it straight
 // into the mpi.lock_wait histogram.
+//
+//tagalint:hotpath
 func (p *Proc) charge(base time.Duration) {
 	p.mu.Lock()
 	d := p.jit.Apply(base)
@@ -367,6 +377,8 @@ func (p *Proc) irecv(buf []byte, src Rank, tag int) *Request {
 
 // consume completes the match of message m with posted receive pr and
 // retires m to the payload pool.
+//
+//tagalint:hotpath
 func (p *Proc) consume(m *inMsg, pr *postedRecv) {
 	switch m.kind {
 	case kindEager:
@@ -392,6 +404,8 @@ func (p *Proc) consume(m *inMsg, pr *postedRecv) {
 
 // deliver is the fabric handler: it runs on courier goroutines in arrival
 // order per source.
+//
+//tagalint:hotpath
 func (p *Proc) deliver(fm *fabric.Message) {
 	m := fm.Payload.(*inMsg)
 	switch m.kind {
@@ -405,6 +419,7 @@ func (p *Proc) deliver(fm *fabric.Message) {
 				return
 			}
 		}
+		//lint:ignore hotalloc the unexpected queue grows only when receives lag sends; matched traffic never reaches this append
 		p.unexpected = append(p.unexpected, m)
 		p.mu.Unlock()
 
@@ -420,6 +435,7 @@ func (p *Proc) deliver(fm *fabric.Message) {
 		fm := fabric.NewMessage()
 		fm.Src, fm.Dst, fm.Class, fm.Size = p.rank, src, fabric.ClassMPI, len(buf)
 		fm.Payload = dm
+		//lint:ignore hotalloc one closure per rendezvous is the protocol's cost, amortised over an EagerThreshold-sized transfer
 		fm.OnInjected = func() {
 			dm.data = append(dm.data[:0], buf...)
 			sreq.complete(Status{Source: p.rank, Tag: tag, Count: len(buf)})

@@ -86,6 +86,8 @@ type notifWait struct {
 // when the operation is abandoned after its final all-failed attempt. An
 // attempt that fails only partially (the fault plane never produces this)
 // is leaked to the GC rather than double-released.
+//
+//tagalint:pooled
 type pendingOp struct {
 	op       gaspisim.Operation    // as submitted, Tag pointing back at this record
 	counter  *tasking.EventCounter // the task's event counter
@@ -98,8 +100,15 @@ type pendingOp struct {
 
 var pendingOpPool = sync.Pool{New: func() any { return new(pendingOp) }}
 
+// newPendingOp returns a zeroed record from the pool.
+//
+//tagalint:hotpath
 func newPendingOp() *pendingOp { return pendingOpPool.Get().(*pendingOp) }
 
+// putPendingOp zeroes po and returns it to the pool.
+//
+//tagalint:pooled release
+//tagalint:hotpath
 func putPendingOp(po *pendingOp) {
 	*po = pendingOp{}
 	pendingOpPool.Put(po)
@@ -212,6 +221,8 @@ func (l *Library) Notify(t *tasking.Task, remote Rank, remoteSeg SegmentID,
 // submit binds op to the calling task's event counter and posts it with a
 // pendingOp tag so the polling task can retire it on success or retry it on
 // failure. nreq is the number of low-level requests the submission spawns.
+//
+//tagalint:hotpath
 func (l *Library) submit(t *tasking.Task, op gaspisim.Operation, nreq int) error {
 	c := t.Events()
 	c.Increase(nreq)
@@ -267,6 +278,8 @@ func (l *Library) NotifyIwaitAll(t *tasking.Task, seg SegmentID,
 // poll is one pass of the transparent polling task (Figure 7): resubmit
 // failed operations whose backoff expired, drain every queue's completed
 // low-level requests, then check the pending notification list.
+//
+//tagalint:hotpath
 func (l *Library) poll() int {
 	retired := l.resubmitDue()
 	for q := 0; q < l.p.Queues(); q++ {
