@@ -1,13 +1,16 @@
 // Command trace inspects Chrome trace_event JSON timelines written by the
-// simulator's -trace flag (package obs): it validates their structure and
-// prints a summary or the longest spans.
+// simulator's -trace flag (package obs): it validates their structure,
+// prints a summary or the longest spans, and reconstructs the critical
+// path with per-class blame attribution (package critpath).
 //
 // Example:
 //
 //	heat -variant tagaspi -nodes 2 -trace /tmp/heat.json
-//	trace /tmp/heat.json            # summary
-//	trace -check /tmp/heat.json     # validate only; exit 0/1
-//	trace -top 20 /tmp/heat.json    # longest spans
+//	trace /tmp/heat.json             # summary
+//	trace -check /tmp/heat.json      # validate only; exit 0/1
+//	trace -top 20 /tmp/heat.json     # longest spans
+//	trace -blame /tmp/heat.json      # critical-path blame report (text)
+//	trace -critpath /tmp/heat.json   # same report as canonical JSON
 package main
 
 import (
@@ -16,13 +19,16 @@ import (
 	"os"
 
 	"repro/internal/obs"
+	"repro/internal/obs/critpath"
 )
 
 func main() {
-	check := flag.Bool("check", false, "validate only: exit 0 if the trace is well-formed, 1 otherwise")
+	check := flag.Bool("check", false, "validate only: exit 0 if the trace is well-formed and complete, 1 otherwise")
 	top := flag.Int("top", 0, "print the N longest spans instead of the summary")
+	blame := flag.Bool("blame", false, "print the critical-path blame report (text)")
+	critJSON := flag.Bool("critpath", false, "print the critical-path blame report as canonical JSON")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: trace [-check] [-top N] <trace.json>...\n")
+		fmt.Fprintf(os.Stderr, "usage: trace [-check] [-top N] [-blame] [-critpath] <trace.json>...\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -46,7 +52,33 @@ func main() {
 			continue
 		}
 		if *check {
+			// A structurally valid trace can still be incomplete: the tracer
+			// embeds an "obs:events_dropped" warning instant when events were
+			// discarded for out-of-range ranks. Fail on it.
+			if n, dropped := droppedEvents(t); dropped {
+				fmt.Fprintf(os.Stderr, "trace: %s: %d events were dropped during recording\n", path, n)
+				fail = true
+				continue
+			}
 			fmt.Printf("%s: ok (%d events)\n", path, len(t.TraceEvents))
+			continue
+		}
+		if *blame || *critJSON {
+			rep, err := critpath.FromTraceFile(t)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "trace: %s: %v\n", path, err)
+				fail = true
+				continue
+			}
+			if *critJSON {
+				err = rep.WriteJSON(os.Stdout)
+			} else {
+				err = rep.WriteText(os.Stdout)
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "trace: %s: %v\n", path, err)
+				fail = true
+			}
 			continue
 		}
 		if *top > 0 {
@@ -61,4 +93,19 @@ func main() {
 	if fail {
 		os.Exit(1)
 	}
+}
+
+// droppedEvents reports whether the trace embeds the tracer's
+// events-dropped warning, and the recorded drop count.
+func droppedEvents(t *obs.TraceFile) (int64, bool) {
+	for _, e := range t.TraceEvents {
+		if e.Ph == "i" && e.Name == "obs:events_dropped" {
+			n := int64(0)
+			if v, ok := e.Args["v"].(float64); ok {
+				n = int64(v)
+			}
+			return n, true
+		}
+	}
+	return 0, false
 }

@@ -19,6 +19,7 @@ import (
 	"repro/internal/gaspisim"
 	"repro/internal/mpisim"
 	"repro/internal/obs"
+	"repro/internal/obs/critpath"
 	"repro/internal/tagaspi"
 	"repro/internal/tampi"
 	"repro/internal/tasking"
@@ -119,6 +120,14 @@ type Result struct {
 	// the fabric first, then per-rank MPI, GASPI, (hybrid only) tasking
 	// and (TAGASPI only) retry-policy snapshots.
 	Snapshots []obs.Snapshot
+
+	// Blame is the critical-path blame report of the run, attributing the
+	// makespan to compute, fabric transit, notify wait, MPI lock wait,
+	// retry backoff and scheduler idle (DESIGN.md §10). It is computed
+	// only on instrumented runs — when Config.Recorder is an
+	// *obs.Collector with a live Tracer — and is nil otherwise, or when
+	// the trace could not be analysed.
+	Blame *critpath.Report
 }
 
 // TotalMPITime sums Busy+Waited over all ranks: the paper's "total time
@@ -260,5 +269,13 @@ func Run(cfg Config, main func(*Env)) Result {
 		}
 	}
 	fab.Close()
+	if col, ok := cfg.Recorder.(*obs.Collector); ok && col != nil && col.Tracer != nil {
+		// All couriers and pollers have drained (fab.Close, RT.Shutdown), so
+		// the event set is final. Analysis failures (an empty measurement
+		// window, say) leave Blame nil rather than failing the run.
+		if rep, err := critpath.Analyze(col.Tracer.Events()); err == nil {
+			res.Blame = rep
+		}
+	}
 	return res
 }

@@ -29,6 +29,13 @@ func TestLinkOutageRecovery(t *testing.T) {
 		},
 	}
 	bad := make(chan string, 4)
+	// Collective segment creation: under the zero-latency ideal profile the
+	// t=0 write+notify would otherwise race rank 1's registration within the
+	// same virtual instant. An MPI barrier cannot provide the ordering here —
+	// its messages would retransmit through the outage and defer the write
+	// past the window — so the ranks synchronize on a host channel, which
+	// costs no virtual time and leaves the tested scenario untouched.
+	segReady := make(chan struct{})
 	res := cluster.Run(cfg, func(env *cluster.Env) {
 		seg, err := env.GASPI.SegmentCreate(0, n)
 		if err != nil {
@@ -37,6 +44,7 @@ func TestLinkOutageRecovery(t *testing.T) {
 		}
 		switch env.Rank {
 		case 0:
+			<-segReady
 			for i := range seg.Bytes() {
 				seg.Bytes()[i] = byte(i)
 			}
@@ -46,6 +54,7 @@ func TestLinkOutageRecovery(t *testing.T) {
 				}
 			}, tasking.WithDeps(tasking.In(seg, 0, n)))
 		case 1:
+			close(segReady)
 			var got int64
 			env.RT.Submit(func(tk *tasking.Task) {
 				env.TAGASPI.NotifyIwait(tk, 0, 3, &got)

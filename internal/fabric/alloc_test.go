@@ -3,6 +3,7 @@ package fabric
 import (
 	"testing"
 
+	"repro/internal/obs"
 	"repro/internal/vclock"
 )
 
@@ -12,17 +13,29 @@ import (
 var raceEnabled bool
 
 // allocsPerMessage measures host heap allocations per message for a full
-// Send -> inject -> deliver round trip on an uninstrumented fabric,
-// including every courier-side allocation (AllocsPerRun counts global
-// mallocs, so courier goroutines are included).
-func allocsPerMessage(t *testing.T, batch int) float64 {
+// Send -> inject -> deliver round trip, including every courier-side
+// allocation (AllocsPerRun counts global mallocs, so courier goroutines
+// are included). With instrumented=true the fabric records into a live
+// Collector — spans, instants and the flow-stamped causal edges — and the
+// tracer is Reset between measurement rounds so its pre-grown shard
+// buffers are reused instead of growing, which is exactly the steady state
+// the hotalloc budget polices.
+func allocsPerMessage(t *testing.T, batch int, instrumented bool) float64 {
 	t.Helper()
 	clk := vclock.NewVirtual()
 	f := New(clk, NewTopology(2, 1), ProfileOmniPath())
+	var col *obs.Collector
+	if instrumented {
+		col = &obs.Collector{Tracer: obs.NewTracer(2)}
+		f.SetRecorder(col)
+	}
 	delivered := make(chan struct{}, 4*batch)
 	f.Register(1, ClassMPI, func(m *Message) { delivered <- struct{}{} })
 
 	send := func() {
+		if col != nil {
+			col.Tracer.Reset()
+		}
 		for i := 0; i < batch; i++ {
 			m := NewMessage()
 			m.Src, m.Dst, m.Class, m.Size = 0, 1, ClassMPI, 256
@@ -32,7 +45,7 @@ func allocsPerMessage(t *testing.T, batch int) float64 {
 			<-delivered
 		}
 	}
-	send() // warm up the path (courier spawn, queue growth)
+	send() // warm up the path (courier spawn, queue and shard growth)
 
 	per := testing.AllocsPerRun(16, send) / float64(batch)
 	f.Close()
@@ -57,9 +70,24 @@ func TestCourierAllocBudget(t *testing.T) {
 	if raceEnabled {
 		t.Skip("allocation counts are inflated by race-detector instrumentation")
 	}
-	per := allocsPerMessage(t, 64)
+	per := allocsPerMessage(t, 64, false)
 	t.Logf("courier path: %.2f allocs/message (budget %.1f)", per, CourierAllocBudget)
 	if per > CourierAllocBudget {
 		t.Fatalf("courier send path allocates %.2f/message, budget is %.1f", per, CourierAllocBudget)
+	}
+}
+
+// TestCourierAllocBudgetInstrumented holds the same budget with causal
+// tracing on: flow-id stamping (Message.Flow, the per-path sequence) and
+// the 's'/'f' edge recording must not add a single steady-state allocation
+// per message on top of the recording layer's pre-grown shard buffers.
+func TestCourierAllocBudgetInstrumented(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are inflated by race-detector instrumentation")
+	}
+	per := allocsPerMessage(t, 64, true)
+	t.Logf("instrumented courier path: %.2f allocs/message (budget %.1f)", per, CourierAllocBudget)
+	if per > CourierAllocBudget {
+		t.Fatalf("flow-stamped send path allocates %.2f/message, budget is %.1f", per, CourierAllocBudget)
 	}
 }

@@ -195,6 +195,14 @@ type Message struct {
 	// contract).
 	OnFailed func()
 
+	// Flow is the causal-flow edge id stamped by Send when a recorder is
+	// installed (zero otherwise): the trace binds the send-side 's' flow
+	// event to the delivery-side 'f' event through it, and protocol layers
+	// may carry it further (gaspisim hands it to the notification it
+	// fulfils). Ids derive from the message's ordering domain and a
+	// per-domain sequence number, so they are deterministic across reruns.
+	Flow int64
+
 	// enqueued is the Send timestamp, stamped only when a recorder is
 	// installed; the injection courier turns it into the queue-residency
 	// latency sample.
@@ -243,6 +251,15 @@ type path struct {
 	in    *vsync.Queue[*Message] // awaiting injection
 	out   *vsync.Queue[flight]   // in flight towards the destination
 	fault *pathFaults            // nil: the fault plane cannot touch this path
+
+	// Flow-id assignment for causal tracing: ids are flowBase (an FNV-1a
+	// hash of the ordering-domain key, spreading domains across the id
+	// space) plus a per-domain sequence number. Sends on one domain are
+	// serialized by the virtual clock (see DESIGN.md §10), so the sequence
+	// assignment — and with it every flow id — is deterministic across
+	// reruns; the atomic is for race-detector soundness, not ordering.
+	flowBase uint64
+	flowSeq  atomic.Uint64
 }
 
 // flight is a message past local completion with its computed arrival time
@@ -370,7 +387,23 @@ func (f *Fabric) Send(m *Message) {
 		p = f.addPath(key)
 	}
 	f.mu.Unlock()
+	if f.rec != nil {
+		m.Flow = p.nextFlowID()
+		f.rec.Flow(int(m.Src), obs.TrackFabricTx, obs.CatFabric, "flow:msg", 's', m.enqueued, m.Flow)
+	}
 	p.in.Push(m)
+}
+
+// nextFlowID assigns the next causal-flow edge id of one ordering domain.
+// Ids are positive and never zero (zero marks an unstamped message).
+//
+//tagalint:hotpath
+func (p *path) nextFlowID() int64 {
+	id := int64((p.flowBase + p.flowSeq.Add(1)) &^ (1 << 63))
+	if id == 0 {
+		id = 1
+	}
+	return id
 }
 
 // addPath creates the ordering domain's path and starts its courier pair.
@@ -378,9 +411,10 @@ func (f *Fabric) Send(m *Message) {
 // fabric's lifetime: path setup is the cold side of Send and may allocate.
 func (f *Fabric) addPath(key pathKey) *path {
 	p := &path{
-		in:    vsync.NewQueue[*Message](f.clk),
-		out:   vsync.NewQueue[flight](f.clk),
-		fault: f.faultsFor(key),
+		in:       vsync.NewQueue[*Message](f.clk),
+		out:      vsync.NewQueue[flight](f.clk),
+		fault:    f.faultsFor(key),
+		flowBase: flowBaseOf(key),
 	}
 	f.paths[key] = p
 	f.wg.Add(2)
@@ -393,6 +427,27 @@ func (f *Fabric) addPath(key pathKey) *path {
 		f.deliver(p)
 	})
 	return p
+}
+
+// flowBaseOf hashes an ordering-domain key into the 64-bit flow-id space
+// (FNV-1a over the key fields), so the per-domain id sequences of different
+// domains start far apart and practically never collide. The base depends
+// only on the key — not on path-creation order — keeping flow ids
+// deterministic across reruns.
+func flowBaseOf(key pathKey) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, v := range [4]uint64{uint64(key.src), uint64(key.dst), uint64(key.class), uint64(key.lane)} {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	return h
 }
 
 // inject is the first courier stage of one ordering domain: it charges the
@@ -576,6 +631,10 @@ func (f *Fabric) deliver(p *path) {
 				}
 			}
 			if f.rec != nil {
+				if m.Flow != 0 {
+					f.rec.Flow(int(m.Dst), obs.TrackFabricRx, obs.CatFabric, "flow:msg",
+						'f', f.clk.Now(), m.Flow)
+				}
 				f.rec.Instant(int(m.Dst), obs.TrackFabricRx, obs.CatFabric, "fabric:deliver",
 					f.clk.Now(), int64(m.Size))
 			}

@@ -11,6 +11,8 @@ import (
 	"repro/internal/exp"
 	"repro/internal/fabric"
 	"repro/internal/gaspisim"
+	"repro/internal/obs"
+	"repro/internal/obs/critpath"
 	"repro/internal/tasking"
 )
 
@@ -61,6 +63,72 @@ func AblationMPILockBlowup(o Opts) Figure {
 					"MPI time (s)": job.TotalMPITime().Seconds(),
 					"messages":     float64(job.Fabric.Messages),
 				}
+			},
+		})
+	}
+	return runSweep(o, sw)
+}
+
+// AblationCritPathBlame runs the three Gauss–Seidel variants instrumented
+// and reduces each run's critical-path blame report (cluster.Result.Blame,
+// DESIGN.md §10) to per-class makespan shares. It verifies the paper's
+// causal claim from the repo's own telemetry: the MPI-based variants spend
+// critical-path time serializing on the THREAD_MULTIPLE lock (application
+// calls for TAMPI, the progress engine even for single-threaded MPI-Only
+// ranks), while TAGASPI's notified one-sided path never touches that lock.
+func AblationCritPathBlame(o Opts) Figure {
+	nodes, steps := 4, 8
+	if o.Preset == Quick {
+		nodes, steps = 2, 4
+	}
+	p := gsParams(nodes, 32, 32, steps)
+	classes := []critpath.Class{
+		critpath.ClassCompute, critpath.ClassFabric, critpath.ClassNotifyWait,
+		critpath.ClassMPILockWait, critpath.ClassRetry, critpath.ClassIdle,
+	}
+	series := make([]string, len(classes))
+	for i, c := range classes {
+		series[i] = c.String()
+	}
+	sw := &exp.Sweep{
+		Fig: Figure{
+			ID: "blame", Title: "Gauss-Seidel critical-path blame by variant",
+			XLabel: "variant (0=MPI-Only, 1=TAMPI, 2=TAGASPI)", X: []float64{0, 1, 2},
+			YLabel: "% of makespan on the critical path",
+			Notes: []string{
+				"paper (§VI-C): MPI variants serialize on the THREAD_MULTIPLE lock; TAGASPI's one-sided notify path does not — its mpi_lock_wait share must be strictly below MPI-Only's",
+			},
+		},
+		Series: series,
+	}
+	for _, v := range []gsVariant{gsMPIOnly, gsTAMPI, gsTAGASPI} {
+		v := v
+		cfg := gsConfig(v, nodes, fabric.ProfileOmniPath())
+		cfg.Recorder = obs.NewCollector(cfg.Nodes * cfg.RanksPerNode)
+		sw.Points = append(sw.Points, exp.Point{
+			ID:  fmt.Sprintf("blame/%s", gsNames[v]),
+			X:   float64(v),
+			Cfg: cfg,
+			Main: func(env *cluster.Env) {
+				switch v {
+				case gsMPIOnly:
+					heat.RunMPIOnly(env, p)
+				case gsTAMPI:
+					heat.RunTAMPI(env, p)
+				case gsTAGASPI:
+					heat.RunTAGASPI(env, p)
+				}
+			},
+			Values: func(job cluster.Result) map[string]float64 {
+				vals := make(map[string]float64, len(classes))
+				for _, c := range classes {
+					share := 0.0
+					if job.Blame != nil {
+						share = 100 * job.Blame.Share(c)
+					}
+					vals[c.String()] = share
+				}
+				return vals
 			},
 		})
 	}

@@ -85,6 +85,7 @@ func All() map[string]Generator {
 		"rma":     AblationRMANotification,
 		"onready": AblationOnready,
 		"faults":  AblationFaultInjection,
+		"blame":   AblationCritPathBlame,
 	}
 }
 
@@ -96,7 +97,7 @@ func IDs() []string {
 	}
 	sort.Strings(ids)
 	// Keep the paper's order first.
-	order := []string{"9", "10", "11", "12", "13a", "13b", "lock", "poll", "rma", "onready", "faults"}
+	order := []string{"9", "10", "11", "12", "13a", "13b", "lock", "poll", "rma", "onready", "faults", "blame"}
 	return order[:len(ids)]
 }
 

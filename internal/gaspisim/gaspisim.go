@@ -159,9 +159,13 @@ type Proc struct {
 	segs map[SegmentID]*segState
 }
 
-// segState holds a segment's notification space.
+// segState holds a segment's notification space. flows carries the causal
+// flow id of each fulfilled-but-not-yet-observed notification (instrumented
+// runs only): the first observer — a NotifyWaitSome wake or a NotifyReset —
+// consumes it and finishes the notification's flow edge.
 type segState struct {
 	notifs  map[NotificationID]int64
+	flows   map[NotificationID]int64
 	waiters []*notifWaiter
 }
 
@@ -525,14 +529,16 @@ func (p *Proc) deliver(fm *fabric.Message) {
 		}
 		copy(dst, m.data)
 		if m.notify {
-			p.setNotification(m.seg, m.notifyID, m.notifyVal)
-			p.recNotify(m.notifyID, m.postTs)
+			nflow := p.notifyFlowOf(fm, m)
+			p.setNotification(m.seg, m.notifyID, m.notifyVal, nflow)
+			p.recNotify(m.notifyID, m.postTs, nflow)
 		}
 		putGMsg(m)
 
 	case OpNotify:
-		p.setNotification(m.seg, m.notifyID, m.notifyVal)
-		p.recNotify(m.notifyID, m.postTs)
+		nflow := p.notifyFlowOf(fm, m)
+		p.setNotification(m.seg, m.notifyID, m.notifyVal, nflow)
+		p.recNotify(m.notifyID, m.postTs, nflow)
 		putGMsg(m)
 
 	case OpRead:
@@ -575,22 +581,61 @@ func (p *Proc) deliver(fm *fabric.Message) {
 
 // recNotify records a fulfilled remote notification: an instant on the
 // notification track plus the post-to-fulfilment latency (the figure the
-// paper's §IV-D polling-frequency discussion turns on).
-func (p *Proc) recNotify(id NotificationID, postTs time.Duration) {
+// paper's §IV-D polling-frequency discussion turns on). When the
+// notification carries a causal flow id, fulfilment starts the
+// notification's flow edge; the waiter that observes it finishes it.
+func (p *Proc) recNotify(id NotificationID, postTs time.Duration, flow int64) {
 	if p.rec == nil {
 		return
 	}
 	now := p.clk.Now()
 	p.rec.Instant(int(p.rank), obs.TrackNotify, obs.CatNotify,
 		"notify:fulfill", now, int64(id))
+	if flow != 0 {
+		p.rec.Flow(int(p.rank), obs.TrackNotify, obs.CatNotify, "flow:notify", 's', now, flow)
+	}
 	p.rec.Latency("gaspi.notify_latency", now-postTs)
+}
+
+// notifyFlowOf derives a notification's causal-flow id from the carrying
+// message's fabric flow id, continuing the message's edge chain into the
+// waiter that eventually observes the notification. Zero (no edge) when
+// uninstrumented.
+//
+//tagalint:hotpath
+func (p *Proc) notifyFlowOf(fm *fabric.Message, m *gMsg) int64 {
+	if p.rec == nil || fm.Flow == 0 {
+		return 0
+	}
+	return obs.FlowID(obs.FlowKindNotify, fm.Flow, int64(m.seg), int64(m.notifyID))
+}
+
+// takeNotifyFlow removes and returns the stashed flow id of a fulfilled
+// notification, zero if none: only the first observer finishes the edge.
+func (p *Proc) takeNotifyFlow(seg SegmentID, id NotificationID) int64 {
+	if p.rec == nil {
+		return 0
+	}
+	p.mu.Lock()
+	st, ok := p.segs[seg]
+	if !ok || st.flows == nil {
+		p.mu.Unlock()
+		return 0
+	}
+	f := st.flows[id]
+	if f != 0 {
+		delete(st.flows, id)
+	}
+	p.mu.Unlock()
+	return f
 }
 
 // opReadResp is the internal read-response kind (not user-submittable).
 const opReadResp OpType = 0xFF
 
-// setNotification stores a notification value and wakes matching waiters.
-func (p *Proc) setNotification(seg SegmentID, id NotificationID, val int64) {
+// setNotification stores a notification value (stashing its causal flow id
+// when nonzero) and wakes matching waiters.
+func (p *Proc) setNotification(seg SegmentID, id NotificationID, val int64, flow int64) {
 	p.mu.Lock()
 	st, ok := p.segs[seg]
 	if !ok {
@@ -598,6 +643,12 @@ func (p *Proc) setNotification(seg SegmentID, id NotificationID, val int64) {
 		panic(fmt.Sprintf("gaspisim: notification for unknown segment %d on rank %d", seg, p.rank))
 	}
 	st.notifs[id] = val
+	if flow != 0 {
+		if st.flows == nil {
+			st.flows = make(map[NotificationID]int64)
+		}
+		st.flows[id] = flow
+	}
 	var wake []*notifWaiter
 	keep := st.waiters[:0]
 	for _, w := range st.waiters {
@@ -616,17 +667,31 @@ func (p *Proc) setNotification(seg SegmentID, id NotificationID, val int64) {
 }
 
 // NotifyReset atomically reads and clears a notification slot, returning
-// its value and whether it was set (gaspi_notify_reset).
+// its value and whether it was set (gaspi_notify_reset). Resetting a slot
+// whose flow edge is still unobserved finishes the edge at the reset time —
+// this is the observation point of TAGASPI's polling service.
 func (p *Proc) NotifyReset(seg SegmentID, id NotificationID) (int64, bool) {
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	st, ok := p.segs[seg]
 	if !ok {
+		p.mu.Unlock()
 		return 0, false
 	}
 	v, set := st.notifs[id]
+	var flow int64
 	if set {
 		delete(st.notifs, id)
+		if st.flows != nil {
+			flow = st.flows[id]
+			if flow != 0 {
+				delete(st.flows, id)
+			}
+		}
+	}
+	p.mu.Unlock()
+	if flow != 0 && p.rec != nil {
+		p.rec.Flow(int(p.rank), obs.TrackNotify, obs.CatNotify, "flow:notify",
+			'f', p.clk.Now(), flow)
 	}
 	return v, set
 }
@@ -664,6 +729,12 @@ func (p *Proc) NotifyWaitSome(seg SegmentID, begin NotificationID, num int,
 	id, ok := p.notifyWaitSome(seg, begin, num, timeout)
 	if p.rec != nil {
 		now := p.clk.Now()
+		if ok {
+			if flow := p.takeNotifyFlow(seg, id); flow != 0 {
+				p.rec.Flow(int(p.rank), obs.TrackNotify, obs.CatNotify, "flow:notify",
+					'f', now, flow)
+			}
+		}
 		p.rec.Span(int(p.rank), obs.TrackNotify, obs.CatNotify, "notify:wait",
 			start, now, int64(id))
 		p.rec.Latency("gaspi.notify_wait", now-start)

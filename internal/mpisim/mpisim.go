@@ -115,6 +115,20 @@ type Proc struct {
 	nextWin    int
 	wins       map[int]*Win
 	barrierTag int
+
+	// Progress-engine bookkeeping (§VI-C, DESIGN.md §10): couriers note
+	// each delivery here instead of taking libLock themselves, and the
+	// application's next library call charges MPIMatchCost per delivery
+	// that happened strictly before its own virtual instant. The strict
+	// inequality is what keeps runs deterministic: a delivery at the same
+	// instant as an application call is excluded regardless of which
+	// goroutine the host scheduler ran first, and any strictly earlier
+	// delivery has finished its note before the clock could advance (the
+	// courier is not parked mid-deliver). progOld counts deliveries before
+	// progTs; progN counts deliveries at exactly progTs. Guarded by mu.
+	progOld int64
+	progN   int64
+	progTs  time.Duration
 }
 
 // Rank returns the process rank.
@@ -276,16 +290,71 @@ func putInMsg(m *inMsg) {
 // charge serves one library call through the THREAD_MULTIPLE lock. The
 // queueing delay it returns from the lock resource is the per-call share of
 // the §VI-C "time inside MPI" blowup; instrumented runs feed it straight
-// into the mpi.lock_wait histogram.
+// into the mpi.lock_wait histogram, and every nonzero wait additionally
+// records an "mpi:lock_wait" span plus a lock-acquire flow edge (wait start
+// → acquire) so the critical-path analysis can blame lock serialization
+// (DESIGN.md §10). The edge id hashes (rank, wait start, wait length) —
+// all virtual quantities, so ids are deterministic across reruns.
 //
 //tagalint:hotpath
 func (p *Proc) charge(base time.Duration) {
+	now := p.clk.Now()
 	p.mu.Lock()
 	d := p.jit.Apply(base)
+	k := p.progOld
+	if p.progTs < now {
+		k += p.progN
+		p.progN = 0
+	}
+	p.progOld = 0
 	p.mu.Unlock()
-	waited := p.libLock.Use(d)
+	p.useLock(now, time.Duration(k)*p.prof.MPIMatchCost, d)
+}
+
+// progressNote records that the progress engine has an incoming message to
+// match: the courier delivering it must not take the THREAD_MULTIPLE lock
+// itself (the grant order between a courier and an application call landing
+// on the same virtual instant would depend on host scheduling), so it only
+// counts the delivery and the application's next library call serves the
+// matching work through the lock (§VI-C) — deliveries strictly before the
+// call's instant are charged, same-instant ones deferred to the call after.
+//
+//tagalint:hotpath
+func (p *Proc) progressNote() {
+	now := p.clk.Now()
+	p.mu.Lock()
+	if now != p.progTs {
+		p.progOld += p.progN
+		p.progN = 0
+		p.progTs = now
+	}
+	p.progN++
+	p.mu.Unlock()
+}
+
+// useLock occupies the library lock for prog+d of modelled time, where prog
+// is the progress engine's pending matching work serialized ahead of the
+// caller's own call, and records the effective queueing delay (queueing +
+// prog): the mpi.lock_wait histogram always, and — on a nonzero wait — an
+// "mpi:lock_wait" span plus a lock-acquire flow edge (wait start → acquire)
+// so the critical-path analysis can blame lock serialization (DESIGN.md
+// §10). The edge id hashes (rank, wait start, wait length) — all virtual
+// quantities, so ids are deterministic across reruns.
+//
+//tagalint:hotpath
+func (p *Proc) useLock(start, prog, d time.Duration) {
+	waited := p.libLock.Use(prog + d)
 	if p.rec != nil {
+		waited += prog
 		p.rec.Latency("mpi.lock_wait", waited)
+		if waited > 0 {
+			acq := start + waited
+			p.rec.Span(int(p.rank), obs.TrackMPI, obs.CatMPI, "mpi:lock_wait",
+				start, acq, int64(waited))
+			id := obs.FlowID(obs.FlowKindLock, int64(p.rank), int64(start), int64(waited))
+			p.rec.Flow(int(p.rank), obs.TrackMPI, obs.CatMPI, "flow:lock", 's', start, id)
+			p.rec.Flow(int(p.rank), obs.TrackMPI, obs.CatMPI, "flow:lock", 'f', acq, id)
+		}
 	}
 }
 
@@ -407,6 +476,7 @@ func (p *Proc) consume(m *inMsg, pr *postedRecv) {
 //
 //tagalint:hotpath
 func (p *Proc) deliver(fm *fabric.Message) {
+	p.progressNote()
 	m := fm.Payload.(*inMsg)
 	switch m.kind {
 	case kindEager, kindRTS:
@@ -484,36 +554,69 @@ func (p *Proc) Testsome(reqs []*Request) []int {
 	return idx
 }
 
-// Wait blocks until the request completes and returns its status.
+// Wait blocks until the request completes and returns its status. The
+// blocked interval is recorded as an "mpi:wait" span so completion waits
+// are visible to the critical-path analysis.
 func (p *Proc) Wait(r *Request) Status {
 	p.charge(p.prof.MPIOpOverhead)
+	var start time.Duration
+	if p.rec != nil {
+		start = p.clk.Now()
+	}
 	r.park()
+	if p.rec != nil {
+		p.rec.Span(int(p.rank), obs.TrackMPI, obs.CatMPI, "mpi:wait",
+			start, p.clk.Now(), 1)
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.status
 }
 
-// Waitall blocks until every request completes.
+// Waitall blocks until every request completes. The blocked interval is
+// recorded as one "mpi:wait" span (arg: request count).
 func (p *Proc) Waitall(reqs []*Request) {
 	p.charge(p.prof.MPIOpOverhead)
+	var start time.Duration
+	if p.rec != nil {
+		start = p.clk.Now()
+	}
 	for _, r := range reqs {
 		if r != nil {
 			r.park()
 		}
+	}
+	if p.rec != nil {
+		p.rec.Span(int(p.rank), obs.TrackMPI, obs.CatMPI, "mpi:wait",
+			start, p.clk.Now(), int64(len(reqs)))
 	}
 }
 
 // Send is the blocking send.
 func (p *Proc) Send(buf []byte, dst Rank, tag int) {
 	r := p.Isend(buf, dst, tag)
-	r.park()
+	p.parkSpan(r)
 }
 
 // Recv is the blocking receive.
 func (p *Proc) Recv(buf []byte, src Rank, tag int) Status {
 	r := p.Irecv(buf, src, tag)
-	r.park()
+	p.parkSpan(r)
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.status
+}
+
+// parkSpan parks on r and records the blocked interval as an "mpi:wait"
+// span, like Wait does.
+func (p *Proc) parkSpan(r *Request) {
+	var start time.Duration
+	if p.rec != nil {
+		start = p.clk.Now()
+	}
+	r.park()
+	if p.rec != nil {
+		p.rec.Span(int(p.rank), obs.TrackMPI, obs.CatMPI, "mpi:wait",
+			start, p.clk.Now(), 1)
+	}
 }

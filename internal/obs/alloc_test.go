@@ -22,6 +22,7 @@ func recordSite(rec Recorder, rank int, now time.Duration) {
 	}
 	rec.Span(rank, TrackFabricTx, CatFabric, "fabric:inject", now, now+time.Microsecond, 256)
 	rec.Instant(rank, TrackFabricRx, CatFabric, "fabric:deliver", now, 256)
+	rec.Flow(rank, TrackFabricTx, CatFabric, "flow:msg", 's', now, 12345)
 	rec.Latency("fabric_queue_residency", time.Microsecond)
 	rec.Count("fabric_messages", 1)
 }

@@ -1,0 +1,178 @@
+package critpath
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+const us = time.Microsecond
+
+// handTrace builds a small two-rank scenario with a known critical path:
+//
+//	rank 0: compute [0,40us], sends a message at 10us (flow 7: s@10us,
+//	        f@30us on rank 1), mpi:lock_wait [40,45us] inside an isend
+//	        shell [38,47us].
+//	rank 1: notify:wait [5,32us] ended by the delivery at 30us, then
+//	        compute [32,60us] — the makespan end.
+//
+// Walking back from (1, 60us): compute 28us ← wait tail [30,32us] 2us ←
+// fabric [10,30us] 20us ← rank 0 compute [0,10us] 10us. Total 60us.
+func handTrace() []obs.Event {
+	rec := obs.NewTracer(2)
+	rec.Span(0, obs.TaskTrack(0), obs.CatTask, "body", 0, 40*us, 1)
+	rec.Flow(0, obs.TrackFabricTx, obs.CatFabric, "flow:msg", 's', 10*us, 7)
+	rec.Span(0, obs.TrackMPI, obs.CatMPI, "mpi:isend", 38*us, 47*us, 64)
+	rec.Span(0, obs.TrackMPI, obs.CatMPI, "mpi:lock_wait", 40*us, 45*us, 0)
+	rec.Flow(1, obs.TrackFabricRx, obs.CatFabric, "flow:msg", 'f', 30*us, 7)
+	rec.Span(1, obs.TrackNotify, obs.CatNotify, "notify:wait", 5*us, 32*us, 0)
+	rec.Span(1, obs.TaskTrack(0), obs.CatTask, "body", 32*us, 60*us, 2)
+	return rec.Events()
+}
+
+func TestAnalyzeHandTrace(t *testing.T) {
+	rep, err := Analyze(handTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Makespan != 60*us {
+		t.Fatalf("makespan = %v, want 60us", rep.Makespan)
+	}
+	if rep.Attributed != rep.Makespan {
+		t.Fatalf("attributed %v of %v", rep.Attributed, rep.Makespan)
+	}
+	want := map[Class]time.Duration{
+		ClassCompute:    38 * us, // 28us on rank 1 + 10us on rank 0
+		ClassFabric:     20 * us, // send 10us -> deliver 30us
+		ClassNotifyWait: 2 * us,  // delivery 30us -> wait end 32us
+	}
+	for c, d := range want {
+		if rep.Blame[c].Time != d {
+			t.Errorf("%s = %v, want %v", c, rep.Blame[c].Time, d)
+		}
+	}
+	if rep.Blame[ClassMPILockWait].Time != 0 {
+		t.Errorf("lock wait off-path should be 0, got %v", rep.Blame[ClassMPILockWait].Time)
+	}
+	if rep.Jumps != 1 {
+		t.Errorf("jumps = %d, want 1", rep.Jumps)
+	}
+}
+
+func TestAnalyzeLockWaitOnPath(t *testing.T) {
+	// A single rank whose last activity is an isend shell with a lock wait
+	// inside: the lock wait must outrank the shell where they overlap.
+	rec := obs.NewTracer(1)
+	rec.Span(0, obs.TaskTrack(0), obs.CatTask, "body", 0, 10*us, 1)
+	rec.Span(0, obs.TrackMPI, obs.CatMPI, "mpi:isend", 10*us, 30*us, 64)
+	rec.Span(0, obs.TrackMPI, obs.CatMPI, "mpi:lock_wait", 12*us, 25*us, 0)
+	rep, err := Analyze(rec.Events())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.Blame[ClassMPILockWait].Time; got != 13*us {
+		t.Errorf("mpi_lock_wait = %v, want 13us", got)
+	}
+	if got := rep.Blame[ClassCompute].Time; got != 17*us {
+		t.Errorf("compute = %v, want 17us (10 body + 2 shell head + 5 shell tail)", got)
+	}
+	if rep.Attributed != rep.Makespan {
+		t.Fatalf("attributed %v of %v", rep.Attributed, rep.Makespan)
+	}
+}
+
+func TestAnalyzeGapIsIdle(t *testing.T) {
+	rec := obs.NewTracer(1)
+	rec.Span(0, obs.TaskTrack(0), obs.CatTask, "body", 0, 10*us, 1)
+	rec.Span(0, obs.TaskTrack(0), obs.CatTask, "body", 25*us, 40*us, 2)
+	rep, err := Analyze(rec.Events())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.Blame[ClassIdle].Time; got != 15*us {
+		t.Errorf("idle = %v, want 15us", got)
+	}
+	if rep.Attributed != rep.Makespan {
+		t.Fatalf("attributed %v of %v", rep.Attributed, rep.Makespan)
+	}
+}
+
+func TestAnalyzeRetrySpan(t *testing.T) {
+	rec := obs.NewTracer(1)
+	rec.Span(0, obs.TaskTrack(0), obs.CatTask, "body", 0, 10*us, 1)
+	rec.Span(0, obs.QueueTrack(0), obs.CatGaspi, "tagaspi:retry", 10*us, 50*us, 2)
+	rep, err := Analyze(rec.Events())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.Blame[ClassRetry].Time; got != 40*us {
+		t.Errorf("retry = %v, want 40us", got)
+	}
+}
+
+func TestReportDeterministicOutput(t *testing.T) {
+	evs := handTrace()
+	var a, b, ja, jb bytes.Buffer
+	for i, out := range []*bytes.Buffer{&a, &b} {
+		rep, err := Analyze(evs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := rep.WriteText(out); err != nil {
+			t.Fatal(err)
+		}
+		j := []*bytes.Buffer{&ja, &jb}[i]
+		if err := rep.WriteJSON(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("text reports differ across identical analyses")
+	}
+	if !bytes.Equal(ja.Bytes(), jb.Bytes()) {
+		t.Error("JSON reports differ across identical analyses")
+	}
+	txt := a.String()
+	for _, wantSub := range []string{"critical-path blame", "mpi_lock_wait", "attributed 100.00%"} {
+		if !strings.Contains(txt, wantSub) {
+			t.Errorf("text report missing %q:\n%s", wantSub, txt)
+		}
+	}
+}
+
+func TestFromTraceFileRoundTrip(t *testing.T) {
+	rec := obs.NewTracer(2)
+	rec.Span(0, obs.TaskTrack(0), obs.CatTask, "body", 0, 40*us, 1)
+	rec.Flow(0, obs.TrackFabricTx, obs.CatFabric, "flow:msg", 's', 10*us, 7)
+	rec.Flow(1, obs.TrackFabricRx, obs.CatFabric, "flow:msg", 'f', 30*us, 7)
+	rec.Span(1, obs.TaskTrack(0), obs.CatTask, "body", 30*us, 60*us, 2)
+	var buf bytes.Buffer
+	if err := rec.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	tf, err := obs.ParseTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := Analyze(rec.Events())
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := FromTraceFile(tf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dj, pj bytes.Buffer
+	if err := direct.WriteJSON(&dj); err != nil {
+		t.Fatal(err)
+	}
+	if err := parsed.WriteJSON(&pj); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dj.Bytes(), pj.Bytes()) {
+		t.Errorf("report from parsed trace differs:\ndirect: %s\nparsed: %s", dj.String(), pj.String())
+	}
+}

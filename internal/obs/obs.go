@@ -36,6 +36,7 @@ const (
 	CatNotify Cat = "notify" // notification waits and fulfilments
 	CatPoll   Cat = "poll"   // task-aware polling-task passes
 	CatFabric Cat = "fabric" // wire/NIC activity: injection and delivery
+	CatObs    Cat = "obs"    // tracer self-diagnostics: drop/clamp warnings
 )
 
 // Track is the timeline row (the Chrome trace "tid") an event is drawn on
@@ -130,6 +131,53 @@ func itoa(n int) string {
 	return string(buf[i:])
 }
 
+// Flow-id kind discriminators for FlowID. Fabric message edges do not use
+// FlowID (their ids come from the per-ordering-domain sequence, see
+// fabric.Message.Flow); every other edge kind hashes its identifying tuple
+// under a distinct kind so the id spaces stay disjoint.
+const (
+	FlowKindLock   int64 = 2 // MPI THREAD_MULTIPLE lock-acquire edges
+	FlowKindTask   int64 = 3 // task-dependency release edges
+	FlowKindNotify int64 = 4 // GASPI notification fulfilment edges
+)
+
+// FlowID derives a deterministic causal-flow edge id from a kind
+// discriminator and three kind-specific integer components (FNV-1a over
+// the tuple). The result is positive and never zero, so callers can use
+// zero as "no flow". Components must be deterministic functions of
+// modelled state — virtual times, task ids, sequence numbers — never host
+// values, so edge ids are byte-stable across reruns.
+//
+//tagalint:hotpath
+func FlowID(kind, a, b, c int64) int64 {
+	h := fnvMix(fnvOffset64, uint64(kind))
+	h = fnvMix(h, uint64(a))
+	h = fnvMix(h, uint64(b))
+	h = fnvMix(h, uint64(c))
+	id := int64(h &^ (1 << 63))
+	if id == 0 {
+		id = 1
+	}
+	return id
+}
+
+const (
+	fnvOffset64 uint64 = 14695981039346656037
+	fnvPrime64  uint64 = 1099511628211
+)
+
+// fnvMix folds one 64-bit value into an FNV-1a state byte by byte.
+//
+//tagalint:hotpath
+func fnvMix(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= fnvPrime64
+		v >>= 8
+	}
+	return h
+}
+
 // Recorder receives events and measurements from instrumented components.
 // Implementations must be safe for concurrent use from rank mains, task
 // bodies, fabric couriers and polling tasks, and must not block on modelled
@@ -141,6 +189,11 @@ type Recorder interface {
 	Span(rank int, track Track, cat Cat, name string, start, end time.Duration, arg int64)
 	// Instant records a point event at ts.
 	Instant(rank int, track Track, cat Cat, name string, ts time.Duration, arg int64)
+	// Flow records one endpoint of a causal flow edge at ts: ph 's' starts
+	// the edge, ph 'f' finishes it, and the two endpoints bind through id.
+	// Flow ids must be assigned deterministically from modelled state (see
+	// DESIGN.md §10) so traces stay byte-identical across reruns.
+	Flow(rank int, track Track, cat Cat, name string, ph byte, ts time.Duration, id int64)
 	// Latency adds one duration sample to the named histogram.
 	Latency(name string, d time.Duration)
 	// Count adds delta to the named counter.
@@ -173,6 +226,15 @@ func (c *Collector) Span(rank int, track Track, cat Cat, name string, start, end
 func (c *Collector) Instant(rank int, track Track, cat Cat, name string, ts time.Duration, arg int64) {
 	if c.Tracer != nil {
 		c.Tracer.Instant(rank, track, cat, name, ts, arg)
+	}
+}
+
+// Flow implements Recorder.
+//
+//tagalint:hotpath
+func (c *Collector) Flow(rank int, track Track, cat Cat, name string, ph byte, ts time.Duration, id int64) {
+	if c.Tracer != nil {
+		c.Tracer.Flow(rank, track, cat, name, ph, ts, id)
 	}
 }
 

@@ -8,20 +8,23 @@ import (
 	"os"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
 // Event is one recorded trace event. Spans carry a duration; instants do
-// not. Timestamps are virtual-clock readings.
+// not. Flow events ('s' start / 'f' finish) carry the flow id binding the
+// two endpoints of one causal edge. Timestamps are virtual-clock readings.
 type Event struct {
 	Name  string
 	Cat   Cat
 	Rank  int32
 	Track Track
-	Ph    byte // 'X' (complete span) or 'i' (instant)
+	Ph    byte // 'X' (complete span), 'i' (instant), 's'/'f' (flow edge)
 	Ts    time.Duration
 	Dur   time.Duration
 	Arg   int64
+	Flow  int64 // flow edge id ('s'/'f' events only)
 }
 
 // Tracer records events into per-rank buffers. Recording takes one short
@@ -30,7 +33,9 @@ type Event struct {
 // timestamp, which makes the output independent of host-scheduler
 // interleaving and therefore deterministic across identical runs.
 type Tracer struct {
-	shards []tshard
+	shards  []tshard
+	dropped atomic.Int64 // events discarded for out-of-range ranks
+	clamped atomic.Int64 // spans whose end preceded their start
 }
 
 type tshard struct {
@@ -50,9 +55,15 @@ func NewTracer(ranks int) *Tracer {
 }
 
 // Span records a completed interval. A span whose end precedes its start is
-// clamped to zero duration at start.
+// clamped to zero duration at start; the clamp is counted in the
+// obs_span_clamped counter and flagged with an "obs:span_clamped" warning
+// instant (arg: the negative duration in nanoseconds) so clock bugs are
+// visible in the trace instead of silently masked.
 func (t *Tracer) Span(rank int, track Track, cat Cat, name string, start, end time.Duration, arg int64) {
 	if end < start {
+		t.clamped.Add(1)
+		t.append(rank, Event{Name: "obs:span_clamped", Cat: CatObs, Rank: int32(rank),
+			Track: track, Ph: 'i', Ts: start, Arg: int64(end - start)})
 		end = start
 	}
 	t.append(rank, Event{Name: name, Cat: cat, Rank: int32(rank), Track: track,
@@ -65,14 +76,56 @@ func (t *Tracer) Instant(rank int, track Track, cat Cat, name string, ts time.Du
 		Ph: 'i', Ts: ts, Arg: arg})
 }
 
+// Flow records one endpoint of a causal flow edge: ph 's' starts the edge,
+// ph 'f' finishes it, and the two endpoints bind through id.
+//
+//tagalint:hotpath
+func (t *Tracer) Flow(rank int, track Track, cat Cat, name string, ph byte, ts time.Duration, id int64) {
+	t.append(rank, Event{Name: name, Cat: cat, Rank: int32(rank), Track: track,
+		Ph: ph, Ts: ts, Flow: id})
+}
+
+//tagalint:hotpath
 func (t *Tracer) append(rank int, e Event) {
 	if rank < 0 || rank >= len(t.shards) {
+		t.dropped.Add(1)
 		return
 	}
 	s := &t.shards[rank]
 	s.mu.Lock()
+	//lint:ignore hotalloc per-shard event buffers amortise growth over the run; the steady state appends in place
 	s.events = append(s.events, e)
 	s.mu.Unlock()
+}
+
+// Dropped reports how many events were discarded because their rank was
+// outside the tracer's shard range.
+func (t *Tracer) Dropped() int64 { return t.dropped.Load() }
+
+// Clamped reports how many spans arrived with end < start and were clamped
+// to zero duration.
+func (t *Tracer) Clamped() int64 { return t.clamped.Load() }
+
+// Snapshot implements Snapshotter, surfacing the tracer's health counters.
+func (t *Tracer) Snapshot() Snapshot {
+	return Snapshot{Component: "obs.tracer", Rank: -1, Samples: []Sample{
+		{Name: "obs_events_dropped", Value: float64(t.dropped.Load())},
+		{Name: "obs_span_clamped", Value: float64(t.clamped.Load())},
+	}}
+}
+
+// Reset implements Snapshotter: it clears the health counters and discards
+// all recorded events, retaining the shard buffers' capacity so a
+// steady-state measurement window starts empty without reallocating.
+func (t *Tracer) Reset() {
+	t.dropped.Store(0)
+	t.clamped.Store(0)
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		s.events = s.events[:0]
+		s.mu.Unlock()
+	}
 }
 
 // Len reports the total number of recorded events.
@@ -125,6 +178,9 @@ func sortEvents(evs []Event) {
 		if a.Arg != b.Arg {
 			return a.Arg < b.Arg
 		}
+		if a.Flow != b.Flow {
+			return a.Flow < b.Flow
+		}
 		return a.Ph < b.Ph
 	})
 }
@@ -134,9 +190,24 @@ func sortEvents(evs []Event) {
 // Timestamps and durations are microseconds with nanosecond precision.
 // The event stream is sorted canonically and preceded by process/thread
 // naming metadata, so identical simulator runs produce identical bytes.
+// When events were dropped for out-of-range ranks, an "obs:events_dropped"
+// warning instant (arg: the drop count) is embedded so file-level checks
+// (cmd/trace -check) can fail on incomplete traces.
 func (t *Tracer) Write(w io.Writer) error {
 	evs := t.Events()
+	if d := t.dropped.Load(); d > 0 {
+		evs = append(evs, Event{Name: "obs:events_dropped", Cat: CatObs,
+			Rank: 0, Track: TrackMain, Ph: 'i', Ts: 0, Arg: d})
+		sortEvents(evs)
+	}
+	return WriteEvents(w, evs)
+}
 
+// WriteEvents serializes an already-canonically-ordered event set as Chrome
+// trace_event JSON, deriving the process/thread naming metadata from the
+// events themselves. Tracer.Write delegates here; exposing it separately
+// lets parsed traces be re-serialized byte-identically (see EventsOf).
+func WriteEvents(w io.Writer, evs []Event) error {
 	// Collect the (rank, track) pairs in use for naming metadata.
 	type rt struct {
 		rank  int32
@@ -191,6 +262,12 @@ func (t *Tracer) Write(w io.Writer) error {
 		case 'i':
 			fmt.Fprintf(bw, "%s{\"name\":%s,\"cat\":\"%s\",\"ph\":\"i\",\"s\":\"t\",\"ts\":%s,\"pid\":%d,\"tid\":%d,\"args\":{\"v\":%d}}",
 				sep(), jsonString(e.Name), e.Cat, usec(e.Ts), e.Rank, e.Track, e.Arg)
+		case 's':
+			fmt.Fprintf(bw, "%s{\"name\":%s,\"cat\":\"%s\",\"ph\":\"s\",\"id\":%d,\"ts\":%s,\"pid\":%d,\"tid\":%d}",
+				sep(), jsonString(e.Name), e.Cat, e.Flow, usec(e.Ts), e.Rank, e.Track)
+		case 'f':
+			fmt.Fprintf(bw, "%s{\"name\":%s,\"cat\":\"%s\",\"ph\":\"f\",\"bp\":\"e\",\"id\":%d,\"ts\":%s,\"pid\":%d,\"tid\":%d}",
+				sep(), jsonString(e.Name), e.Cat, e.Flow, usec(e.Ts), e.Rank, e.Track)
 		}
 	}
 	if _, err := bw.WriteString("\n],\"displayTimeUnit\":\"ns\"}\n"); err != nil {

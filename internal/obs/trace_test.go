@@ -137,8 +137,30 @@ func TestTracerDropsOutOfRangeRanks(t *testing.T) {
 	tr := NewTracer(1)
 	tr.Span(5, TrackMain, CatTask, "x", 0, 1, 0)
 	tr.Instant(-1, TrackMain, CatTask, "y", 0, 0)
+	tr.Flow(7, TrackMain, CatTask, "z", 's', 0, 1)
 	if tr.Len() != 0 {
 		t.Fatalf("out-of-range events recorded: %d", tr.Len())
+	}
+	if got := tr.Dropped(); got != 3 {
+		t.Fatalf("Dropped() = %d, want 3", got)
+	}
+	snap := tr.Snapshot()
+	if snap.Component != "obs.tracer" || len(snap.Samples) != 2 ||
+		snap.Samples[0].Name != "obs_events_dropped" || snap.Samples[0].Value != 3 {
+		t.Fatalf("Snapshot() = %+v, want obs_events_dropped=3", snap)
+	}
+	// A written trace embeds the drop warning so file-level checks can fail.
+	tr.Instant(0, TrackMain, CatTask, "ok", 0, 0) // keep the trace non-empty
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"obs:events_dropped"`) {
+		t.Fatalf("written trace lacks the obs:events_dropped warning:\n%s", buf.String())
+	}
+	tr.Reset()
+	if tr.Dropped() != 0 || tr.Clamped() != 0 || tr.Len() != 0 {
+		t.Fatalf("Reset() left dropped=%d clamped=%d len=%d", tr.Dropped(), tr.Clamped(), tr.Len())
 	}
 }
 
@@ -146,8 +168,63 @@ func TestSpanClampsNegativeDuration(t *testing.T) {
 	tr := NewTracer(1)
 	tr.Span(0, TrackMain, CatTask, "x", 100, 50, 0)
 	evs := tr.Events()
-	if len(evs) != 1 || evs[0].Dur != 0 || evs[0].Ts != 100 {
-		t.Fatalf("events = %+v, want one zero-duration span at ts 100", evs)
+	if len(evs) != 2 {
+		t.Fatalf("events = %+v, want a clamp warning plus the clamped span", evs)
+	}
+	warn, span := evs[0], evs[1]
+	if span.Name == "obs:span_clamped" {
+		warn, span = span, warn
+	}
+	if span.Dur != 0 || span.Ts != 100 {
+		t.Fatalf("span = %+v, want zero duration at ts 100", span)
+	}
+	if warn.Name != "obs:span_clamped" || warn.Ph != 'i' || warn.Ts != 100 || warn.Arg != -50 {
+		t.Fatalf("warning = %+v, want obs:span_clamped instant at ts 100 with arg -50", warn)
+	}
+	if got := tr.Clamped(); got != 1 {
+		t.Fatalf("Clamped() = %d, want 1", got)
+	}
+	if snap := tr.Snapshot(); snap.Samples[1].Name != "obs_span_clamped" || snap.Samples[1].Value != 1 {
+		t.Fatalf("Snapshot() = %+v, want obs_span_clamped=1", snap)
+	}
+}
+
+// TestFlowRoundTrip is the byte-identity gate for traces carrying flow
+// events: write → parse → EventsOf → WriteEvents must reproduce the
+// original document exactly (the contract that lets stored traces be
+// re-processed by critpath without drift).
+func TestFlowRoundTrip(t *testing.T) {
+	tr := NewTracer(2)
+	fillTracer(tr)
+	tr.Flow(0, TrackFabricTx, CatFabric, "flow:msg", 's', 210*time.Nanosecond, 9001)
+	tr.Flow(1, TrackFabricRx, CatFabric, "flow:msg", 'f', 700*time.Nanosecond, 9001)
+	tr.Flow(1, TrackNotify, CatNotify, "flow:notify", 's', 705*time.Nanosecond, 42)
+	tr.Flow(1, TrackNotify, CatNotify, "flow:notify", 'f', 900*time.Nanosecond, 42)
+
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	tf, err := ParseTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("parse own output: %v", err)
+	}
+	if err := tf.Validate(); err != nil {
+		t.Fatalf("validate own output: %v", err)
+	}
+	evs, err := EventsOf(tf)
+	if err != nil {
+		t.Fatalf("EventsOf: %v", err)
+	}
+	if len(evs) != 10 {
+		t.Fatalf("EventsOf returned %d events, want 10", len(evs))
+	}
+	var buf2 bytes.Buffer
+	if err := WriteEvents(&buf2, evs); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatalf("re-serialized trace differs:\n--- original ---\n%s\n--- round-trip ---\n%s", buf.String(), buf2.String())
 	}
 }
 

@@ -4,8 +4,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"sort"
+	"time"
 )
 
 // TraceEvent is one parsed Chrome trace_event entry, as read back by the
@@ -19,6 +21,8 @@ type TraceEvent struct {
 	Pid  int            `json:"pid"`
 	Tid  int            `json:"tid"`
 	S    string         `json:"s,omitempty"`
+	ID   int64          `json:"id,omitempty"`
+	BP   string         `json:"bp,omitempty"`
 	Args map[string]any `json:"args,omitempty"`
 }
 
@@ -48,10 +52,12 @@ func ReadTraceFile(path string) (*TraceFile, error) {
 	return ParseTrace(f)
 }
 
-// validPhases are the event phases the tracer emits plus the begin/end and
-// counter phases other trace_event producers use.
+// validPhases are the event phases the tracer emits (including the 's'/'f'
+// flow-edge phases) plus the begin/end and counter phases other trace_event
+// producers use.
 var validPhases = map[string]bool{
 	"X": true, "i": true, "I": true, "M": true, "B": true, "E": true, "C": true,
+	"s": true, "f": true,
 }
 
 // Validate checks structural well-formedness: at least one non-metadata
@@ -94,6 +100,47 @@ func (t *TraceFile) Validate() error {
 		return fmt.Errorf("obs: trace has only metadata events")
 	}
 	return nil
+}
+
+// EventsOf converts a parsed trace document back to the tracer's native
+// event representation, dropping the naming metadata (WriteEvents re-derives
+// it). The tracer serializes timestamps as microseconds with exactly three
+// decimals, so the float64 round trip through math.Round is exact for any
+// virtual time below 2^52 nanoseconds (~52 days); re-serializing the result
+// with WriteEvents reproduces the original document byte for byte.
+func EventsOf(t *TraceFile) ([]Event, error) {
+	evs := make([]Event, 0, len(t.TraceEvents))
+	for i, e := range t.TraceEvents {
+		if e.Ph == "M" {
+			continue
+		}
+		if len(e.Ph) != 1 {
+			return nil, fmt.Errorf("obs: event %d (%q) has unsupported phase %q", i, e.Name, e.Ph)
+		}
+		ev := Event{
+			Name:  e.Name,
+			Cat:   Cat(e.Cat),
+			Rank:  int32(e.Pid),
+			Track: Track(e.Tid),
+			Ph:    e.Ph[0],
+			Ts:    time.Duration(math.Round(e.Ts * 1e3)),
+		}
+		switch e.Ph {
+		case "X":
+			ev.Dur = time.Duration(math.Round(e.Dur * 1e3))
+		case "i":
+		case "s", "f":
+			ev.Flow = e.ID
+		default:
+			return nil, fmt.Errorf("obs: event %d (%q) has unsupported phase %q", i, e.Name, e.Ph)
+		}
+		if v, ok := e.Args["v"].(float64); ok {
+			ev.Arg = int64(v)
+		}
+		evs = append(evs, ev)
+	}
+	sortEvents(evs)
+	return evs, nil
 }
 
 // TraceSummary aggregates a trace for the CLI.

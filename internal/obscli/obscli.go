@@ -1,12 +1,14 @@
 // Package obscli wires the observability subsystem (package obs) into the
-// simulator command-line tools: a common -trace/-metrics flag pair, the
-// collector handed to cluster.Config.Recorder, and the end-of-run output.
+// simulator command-line tools: a common -trace/-metrics/-blame flag set,
+// the collector handed to cluster.Config.Recorder, and the end-of-run
+// output.
 package obscli
 
 import (
 	"flag"
 	"fmt"
 	"io"
+	"os"
 
 	"repro/internal/cluster"
 	"repro/internal/obs"
@@ -16,20 +18,24 @@ import (
 type Flags struct {
 	TracePath string
 	Metrics   bool
+	BlamePath string
 }
 
-// Register declares the -trace and -metrics flags on the default flag set.
+// Register declares the -trace, -metrics and -blame flags on the default
+// flag set.
 func Register() *Flags {
 	f := &Flags{}
 	flag.StringVar(&f.TracePath, "trace", "",
 		"write a Chrome trace_event JSON timeline to this file (open in Perfetto)")
 	flag.BoolVar(&f.Metrics, "metrics", false,
 		"print latency histograms and per-component statistics after the run")
+	flag.StringVar(&f.BlamePath, "blame", "",
+		"write the critical-path blame report to this file (\"-\" for stdout)")
 	return f
 }
 
 // Enabled reports whether any observability output was requested.
-func (f *Flags) Enabled() bool { return f.TracePath != "" || f.Metrics }
+func (f *Flags) Enabled() bool { return f.TracePath != "" || f.Metrics || f.BlamePath != "" }
 
 // Collector builds the recorder for a job with the given rank count, or
 // returns nil when no observability output was requested — the nil keeps
@@ -39,7 +45,7 @@ func (f *Flags) Collector(ranks int) *obs.Collector {
 		return nil
 	}
 	c := &obs.Collector{}
-	if f.TracePath != "" {
+	if f.TracePath != "" || f.BlamePath != "" {
 		c.Tracer = obs.NewTracer(ranks)
 	}
 	if f.Metrics {
@@ -48,9 +54,10 @@ func (f *Flags) Collector(ranks int) *obs.Collector {
 	return c
 }
 
-// Finish writes the requested outputs: the trace file, then (on w) the
-// latency histograms and the per-component snapshots of the finished job,
-// including the per-node NIC port utilisation relative to elapsed time.
+// Finish writes the requested outputs: the trace file, the critical-path
+// blame report, then (on w) the latency histograms and the per-component
+// snapshots of the finished job, including the per-node NIC port
+// utilisation relative to elapsed time.
 func (f *Flags) Finish(w io.Writer, c *obs.Collector, res cluster.Result) error {
 	if c == nil {
 		return nil
@@ -60,6 +67,29 @@ func (f *Flags) Finish(w io.Writer, c *obs.Collector, res cluster.Result) error 
 			return err
 		}
 		fmt.Fprintf(w, "trace: %d events written to %s\n", c.Tracer.Len(), f.TracePath)
+	}
+	if f.BlamePath != "" {
+		if res.Blame == nil {
+			return fmt.Errorf("blame: no critical-path report (run recorded no trace events)")
+		}
+		if f.BlamePath == "-" {
+			if err := res.Blame.WriteText(w); err != nil {
+				return err
+			}
+		} else {
+			bf, err := os.Create(f.BlamePath)
+			if err != nil {
+				return err
+			}
+			if err := res.Blame.WriteText(bf); err != nil {
+				bf.Close()
+				return err
+			}
+			if err := bf.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "blame: critical-path report written to %s\n", f.BlamePath)
+		}
 	}
 	if f.Metrics {
 		if c.Metrics != nil {

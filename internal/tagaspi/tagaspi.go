@@ -95,6 +95,7 @@ type pendingOp struct {
 	oks      int                   // successful completions seen in total
 	fails    int                   // failed completions seen this attempt
 	attempts int                   // failed attempts so far
+	failAt   time.Duration         // modelled time the current attempt failed
 	dueAt    time.Duration         // modelled time of the next resubmission
 }
 
@@ -351,7 +352,8 @@ func (l *Library) opFailed(po *pendingOp) int {
 	if shift > maxBackoffShift {
 		shift = maxBackoffShift
 	}
-	po.dueAt = l.p.Clock().Now() + l.backoff<<shift
+	po.failAt = l.p.Clock().Now()
+	po.dueAt = po.failAt + l.backoff<<shift
 	l.retryQ = append(l.retryQ, po)
 	return 0
 }
@@ -376,6 +378,10 @@ func (l *Library) resubmitDue() int {
 		l.retries.Add(1)
 		if l.rec != nil {
 			l.rec.Count("tagaspi_retries", 1)
+			// Retry/backoff blame span: the interval the operation spent
+			// failed and backed off before this resubmission (DESIGN.md §10).
+			l.rec.Span(int(l.p.Rank()), obs.QueueTrack(po.op.Queue), obs.CatGaspi,
+				"tagaspi:retry", po.failAt, now, int64(po.attempts))
 		}
 		if err := l.p.Submit(po.op); err != nil {
 			// Submission errors are programming errors caught on first

@@ -21,10 +21,16 @@ func must(err error) {
 	}
 }
 
-// mustSeg is SegmentCreate with the error turned into a panic.
+// mustSeg is SegmentCreate with the error turned into a panic, followed by
+// a barrier: gaspi_segment_create is a collective operation, so no rank may
+// target a remote segment before every rank has registered it. The barrier
+// matters under ProfileIdeal, where a zero-latency write+notify posted at
+// t=0 would otherwise race the destination rank's registration within the
+// same virtual instant.
 func mustSeg(env *cluster.Env, id gaspisim.SegmentID, size int) *memory.Segment {
 	seg, err := env.GASPI.SegmentCreate(id, size)
 	must(err)
+	env.MPI.Barrier()
 	return seg
 }
 
@@ -45,11 +51,7 @@ func TestWriteNotifyDataFlow(t *testing.T) {
 	var processed atomic.Int64
 	cluster.Run(hybridConfig(2), func(env *cluster.Env) {
 		const N = 64
-		seg, err := env.GASPI.SegmentCreate(0, N)
-		if err != nil {
-			t.Error(err)
-			return
-		}
+		seg := mustSeg(env, 0, N)
 		switch env.Rank {
 		case 0:
 			for i := 0; i < N; i++ {

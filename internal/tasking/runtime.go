@@ -217,9 +217,29 @@ func (rt *Runtime) depsSatisfied(t *Task) {
 func (rt *Runtime) markReady(t *Task) {
 	if rt.rec != nil {
 		t.readyAt = rt.clk.Now()
+		if t.relBy != 0 {
+			rt.rec.Flow(rt.rank, obs.TrackMain, obs.CatTask, "flow:task", 'f',
+				t.readyAt, obs.FlowID(obs.FlowKindTask, int64(rt.rank), t.relBy, t.id))
+		}
 		rt.rec.Instant(rt.rank, obs.TrackMain, obs.CatTask, "task:ready", t.readyAt, t.id)
 	}
 	rt.dispatch(t)
+}
+
+// recReleaseEdges starts one dependency-release flow edge from completed
+// task t to every successor its completion made ready; markReady finishes
+// each edge at the successor's ready timestamp. Edge ids hash (rank,
+// predecessor id, successor id) — all deterministic — so reruns emit
+// identical edges. Callers must not hold rt.mu (lockcross discipline).
+func (rt *Runtime) recReleaseEdges(t *Task, ready []*Task) {
+	if rt.rec == nil || len(ready) == 0 {
+		return
+	}
+	now := rt.clk.Now()
+	for _, s := range ready {
+		rt.rec.Flow(rt.rank, obs.TrackMain, obs.CatTask, "flow:task", 's',
+			now, obs.FlowID(obs.FlowKindTask, int64(rt.rank), t.id, s.id))
+	}
 }
 
 // dispatch hands a ready task to the worker pool. The core-grant ticket is
@@ -271,6 +291,7 @@ func (rt *Runtime) finishBody(t *Task) {
 	if completed && rt.rec != nil {
 		rt.rec.Instant(rt.rank, obs.TrackMain, obs.CatTask, "task:complete", rt.clk.Now(), t.id)
 	}
+	rt.recReleaseEdges(t, ready)
 	rt.wakeSatisfied(ready)
 }
 
@@ -312,6 +333,7 @@ func (rt *Runtime) completeLocked(t *Task) (ready []*Task) {
 	for _, s := range t.succs {
 		s.preds--
 		if s.preds == 0 && s.state == stateCreated {
+			s.relBy = t.id // the release edge critpath follows (DESIGN.md §10)
 			ready = append(ready, s)
 		}
 	}

@@ -55,6 +55,7 @@ type Task struct {
 	state state
 	preds int
 	succs []*Task
+	relBy int64 // id of the predecessor whose completion made this task ready
 
 	pre  EventCounter // gates execution (onready-registered events)
 	comp EventCounter // gates completion (external events API)
@@ -197,5 +198,6 @@ func (c *EventCounter) Decrease(n int) {
 		rt.rec.Instant(rt.rank, obs.TrackMain, obs.CatTask, "task:complete",
 			rt.clk.Now(), c.t.id)
 	}
+	rt.recReleaseEdges(c.t, ready)
 	rt.wakeSatisfied(ready)
 }

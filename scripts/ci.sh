@@ -41,8 +41,8 @@ fi
 # nil-Recorder instrumentation site must allocate nothing. Run without
 # -race on purpose — race instrumentation inflates allocation counts, so
 # the gates skip themselves under the race build.
-echo "== allocation-regression gates: courier budget + nil-Recorder zero-alloc"
-go test -run 'TestCourierAllocBudget' ./internal/fabric
+echo "== allocation-regression gates: courier budget (plain + flow-stamped) + nil-Recorder zero-alloc"
+go test -run 'TestCourierAllocBudget|TestCourierAllocBudgetInstrumented' ./internal/fabric
 go test -run 'TestNilRecorderZeroAlloc|TestNilHalvesCollectorZeroAlloc' ./internal/obs
 
 # Bench smoke: the host-time benchmarks must run, and a quick figure run
@@ -108,5 +108,27 @@ heat_pid=$!
 wait "$heat_pid"
 go run ./cmd/trace -check "$trace_tmp"
 go run ./cmd/trace -check "$trace_tmp2"
+
+# Critical-path blame gate (DESIGN.md §10): two identical seeded
+# instrumented runs must produce byte-identical -blame reports (the
+# causal-flow ids, the happens-before walk and the report serialization
+# are all deterministic functions of modelled state), and the report from
+# the recorded trace file must agree with the in-process one: cmd/trace
+# -blame re-derives it from the serialized events alone.
+echo "== blame determinism gate: two seeded instrumented runs, byte-identical reports"
+blame_a="$(mktemp -t heat-blame-a.XXXXXX.txt)"
+blame_b="$(mktemp -t heat-blame-b.XXXXXX.txt)"
+blame_t="$(mktemp -t heat-blame-t.XXXXXX.txt)"
+trap 'rm -f "$fig_a" "$fig_b" "$fault_a" "$fault_b" "$trace_tmp" "$trace_tmp2" "$blame_a" "$blame_b" "$blame_t"' EXIT
+/tmp/ci-heat-bin -variant tagaspi -nodes 2 -rpn 1 -cores 2 \
+    -rows 128 -cols 256 -steps 2 -block 64 -host=false \
+    -blame "$blame_a" > /dev/null
+/tmp/ci-heat-bin -variant tagaspi -nodes 2 -rpn 1 -cores 2 \
+    -rows 128 -cols 256 -steps 2 -block 64 -host=false \
+    -trace "$trace_tmp" -blame "$blame_b" > /dev/null
+cmp "$blame_a" "$blame_b"
+grep -q "attributed 100.00% of makespan" "$blame_a"
+go run ./cmd/trace -blame "$trace_tmp" > "$blame_t"
+cmp "$blame_a" "$blame_t"
 
 echo "ci: OK"
