@@ -11,6 +11,9 @@
 //	figures -fig 9 -fig 13b   # a subset, in the order given
 //	figures -all              # everything, in paper order
 //	figures -all -quick       # reduced scale (seconds instead of minutes)
+//	figures -scale            # paper-scale Figs. 9/10: strong scaling out
+//	                          # to 256 nodes (2048 ranks/point) in minutes
+//	figures -scale -json BENCH_host.json  # scale series with host times
 //	figures -all -parallel 8  # at most 8 concurrent simulation points
 //	figures -all -seq         # fully sequential (one point at a time)
 //	figures -all -quick -json BENCH_figures.json
@@ -53,6 +56,8 @@ func main() {
 	flag.Var(&figs, "fig", "figure id to regenerate (repeatable)")
 	all := flag.Bool("all", false, "regenerate every figure")
 	quick := flag.Bool("quick", false, "use the reduced Quick preset")
+	scale := flag.Bool("scale", false,
+		"paper-scale strong scaling: Figs. 9/10 out to 256 nodes (default figure set: 9, 10)")
 	list := flag.Bool("list", false, "list the known figure ids and exit")
 	parallel := flag.Int("parallel", 0, "max concurrent simulation points (0 = GOMAXPROCS)")
 	seq := flag.Bool("seq", false, "run points sequentially (same as -parallel 1)")
@@ -101,9 +106,19 @@ func main() {
 	if *quick {
 		preset = figures.Quick
 	}
+	if *scale {
+		if *quick {
+			fmt.Fprintln(os.Stderr, "figures: -scale and -quick are mutually exclusive")
+			os.Exit(2)
+		}
+		preset = figures.Scale
+	}
 	gens := figures.All()
 	var ids []string
 	switch {
+	case *scale && !*all && len(figs) == 0:
+		// Only the Gauss–Seidel figures honour the Scale preset.
+		ids = []string{"9", "10"}
 	case *all:
 		ids = figures.IDs()
 	case len(figs) > 0:

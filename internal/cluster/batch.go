@@ -1,0 +1,46 @@
+package cluster
+
+import (
+	"runtime"
+	"sync"
+)
+
+// forEachRank runs f(r) for every rank 0..n-1 on a bounded pool of host
+// goroutines (at most GOMAXPROCS). It is used for the host-side setup and
+// teardown phases of a job, which touch only rank-private state and no
+// modelled time: bounding the fan-out keeps the host goroutine count flat
+// when a 256-node sweep builds tens of thousands of rank environments.
+// Small jobs skip the pool entirely — spawning workers for a handful of
+// ranks costs more than it saves.
+func forEachRank(n int, f func(r int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n < 16 {
+		for r := 0; r < n; r++ {
+			f(r)
+		}
+		return
+	}
+	var next int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				r := int(next)
+				next++
+				mu.Unlock()
+				if r >= n {
+					return
+				}
+				f(r)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -192,36 +192,44 @@ func Run(cfg Config, main func(*Env)) Result {
 
 	n := topo.Ranks()
 	envs := make([]*Env, n)
+	// Rank environments are built before any main starts, in parallel
+	// batches on a bounded set of host workers: at 10k-rank scale the
+	// per-rank setup (tasking runtime, task-aware libraries) is pure host
+	// work with no modelled time, and doing it inside 10k freshly spawned
+	// rank goroutines serialized badly behind the scheduler. Setup touches
+	// only rank-private state, so batch construction is race-free.
+	forEachRank(n, func(r int) {
+		env := &Env{
+			Rank: fabric.Rank(r), Cfg: cfg, Clk: clk, Fab: fab,
+			MPI: mw.Proc(fabric.Rank(r)), GASPI: gw.Proc(fabric.Rank(r)),
+		}
+		if cfg.WithTasking {
+			env.RT = tasking.New(clk, tasking.Config{
+				Cores:            cfg.CoresPerRank,
+				SubmitOverhead:   cfg.TaskSubmitOverhead,
+				DispatchOverhead: cfg.TaskDispatchOverhead,
+			})
+			if cfg.Recorder != nil {
+				env.RT.SetRecorder(cfg.Recorder, r)
+			}
+			if cfg.WithTAMPI {
+				env.TAMPI = tampi.New(env.MPI, env.RT, cfg.TAMPIPoll)
+			}
+			if cfg.WithTAGASPI {
+				env.TAGASPI = tagaspi.New(env.GASPI, env.RT, cfg.TAGASPIPoll)
+				if cfg.Recorder != nil {
+					env.TAGASPI.SetRecorder(cfg.Recorder)
+				}
+			}
+		}
+		envs[r] = env
+	})
 	var wg sync.WaitGroup
 	for r := 0; r < n; r++ {
-		r := r
+		env := envs[r]
 		wg.Add(1)
 		clk.Go(func() {
 			defer wg.Done()
-			env := &Env{
-				Rank: fabric.Rank(r), Cfg: cfg, Clk: clk, Fab: fab,
-				MPI: mw.Proc(fabric.Rank(r)), GASPI: gw.Proc(fabric.Rank(r)),
-			}
-			if cfg.WithTasking {
-				env.RT = tasking.New(clk, tasking.Config{
-					Cores:            cfg.CoresPerRank,
-					SubmitOverhead:   cfg.TaskSubmitOverhead,
-					DispatchOverhead: cfg.TaskDispatchOverhead,
-				})
-				if cfg.Recorder != nil {
-					env.RT.SetRecorder(cfg.Recorder, r)
-				}
-				if cfg.WithTAMPI {
-					env.TAMPI = tampi.New(env.MPI, env.RT, cfg.TAMPIPoll)
-				}
-				if cfg.WithTAGASPI {
-					env.TAGASPI = tagaspi.New(env.GASPI, env.RT, cfg.TAGASPIPoll)
-					if cfg.Recorder != nil {
-						env.TAGASPI.SetRecorder(cfg.Recorder)
-					}
-				}
-			}
-			envs[r] = env
 			main(env)
 			if env.RT != nil {
 				env.RT.TaskWait()
@@ -234,37 +242,49 @@ func Run(cfg Config, main func(*Env)) Result {
 	}
 	wg.Wait()
 	res := Result{Elapsed: clk.Now(), Fabric: fab.Stats()}
+	// Teardown mirrors setup: per-rank statistics land in preallocated
+	// indexed slots, so the collection parallelises without perturbing the
+	// deterministic rank order of the result.
 	res.MPILock = make([]vsync.ResourceStats, n)
-	for r := 0; r < n; r++ {
-		res.MPILock[r] = mw.Proc(fabric.Rank(r)).LockStats()
-	}
 	if cfg.WithTasking {
 		res.Tasking = make([]tasking.Stats, n)
-		for r := 0; r < n; r++ {
-			if envs[r] != nil && envs[r].RT != nil {
-				res.Tasking[r] = envs[r].RT.Stats()
-			}
-		}
 	}
+	mpiSnaps := make([]obs.Snapshot, n)
+	gaspiSnaps := make([]obs.Snapshot, n)
+	var taskSnaps, tagaspiSnaps []obs.Snapshot
+	if cfg.WithTasking {
+		taskSnaps = make([]obs.Snapshot, n)
+	}
+	if cfg.WithTAGASPI {
+		tagaspiSnaps = make([]obs.Snapshot, n)
+	}
+	forEachRank(n, func(r int) {
+		res.MPILock[r] = mw.Proc(fabric.Rank(r)).LockStats()
+		mpiSnaps[r] = mw.Proc(fabric.Rank(r)).Snapshot()
+		gaspiSnaps[r] = gw.Proc(fabric.Rank(r)).Snapshot()
+		if envs[r] != nil && envs[r].RT != nil {
+			res.Tasking[r] = envs[r].RT.Stats()
+			taskSnaps[r] = envs[r].RT.Snapshot()
+		}
+		if envs[r] != nil && envs[r].TAGASPI != nil {
+			tagaspiSnaps[r] = envs[r].TAGASPI.Snapshot()
+		}
+	})
 	res.NIC = fab.NICSnapshots()
 	res.Snapshots = append(res.Snapshots, fab.Snapshot())
-	for r := 0; r < n; r++ {
-		res.Snapshots = append(res.Snapshots, mw.Proc(fabric.Rank(r)).Snapshot())
-	}
-	for r := 0; r < n; r++ {
-		res.Snapshots = append(res.Snapshots, gw.Proc(fabric.Rank(r)).Snapshot())
-	}
+	res.Snapshots = append(res.Snapshots, mpiSnaps...)
+	res.Snapshots = append(res.Snapshots, gaspiSnaps...)
 	if cfg.WithTasking {
 		for r := 0; r < n; r++ {
 			if envs[r] != nil && envs[r].RT != nil {
-				res.Snapshots = append(res.Snapshots, envs[r].RT.Snapshot())
+				res.Snapshots = append(res.Snapshots, taskSnaps[r])
 			}
 		}
 	}
 	if cfg.WithTAGASPI {
 		for r := 0; r < n; r++ {
 			if envs[r] != nil && envs[r].TAGASPI != nil {
-				res.Snapshots = append(res.Snapshots, envs[r].TAGASPI.Snapshot())
+				res.Snapshots = append(res.Snapshots, tagaspiSnaps[r])
 			}
 		}
 	}

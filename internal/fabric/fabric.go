@@ -8,9 +8,15 @@
 //   - GASPI: operations posted to the same queue towards the same target
 //     arrive in posting order (GASPI spec §"queues").
 //
-// Both guarantees are provided by delivering each ordering domain — a
-// (source, destination, class, lane) tuple — through a dedicated courier
-// goroutine, created lazily on first use.
+// Both guarantees are provided per ordering domain — a (source,
+// destination, class, lane) tuple. Domains hash onto a bounded pool of
+// courier shards; each shard's single courier goroutine drains the input
+// queues of many domains and advances their injection/delivery state
+// machines through a per-shard agenda (a (time, seq) min-heap of pending
+// events), so the host goroutine count scales with the shard count, not
+// with the O(ranks²) domain count, while each domain's messages still
+// inject and deliver strictly in arrival order. See ARCHITECTURE.md
+// "Sharded host substrate".
 //
 // The two Profiles mirror the paper's evaluation systems: Marenostrum4
 // (Intel Omni-Path, where the PSM2-optimised two-sided path is fast and
@@ -247,10 +253,13 @@ type pathKey struct {
 	lane     int
 }
 
-type path struct {
-	in    *vsync.Queue[*Message] // awaiting injection
-	out   *vsync.Queue[flight]   // in flight towards the destination
-	fault *pathFaults            // nil: the fault plane cannot touch this path
+// dom is the state of one ordering domain. All fields except the flow
+// sequence are owned by the domain's shard courier (single goroutine);
+// creation happens under f.mu before any traffic reaches the shard.
+type dom struct {
+	key   pathKey
+	shard *courierShard
+	fault *pathFaults // nil: the fault plane cannot touch this domain
 
 	// Flow-id assignment for causal tracing: ids are flowBase (an FNV-1a
 	// hash of the ordering-domain key, spreading domains across the id
@@ -260,6 +269,28 @@ type path struct {
 	// reruns; the atomic is for race-detector soundness, not ordering.
 	flowBase uint64
 	flowSeq  atomic.Uint64
+
+	// Injection state machine: pend holds messages awaiting injection in
+	// arrival order; cur is the head-of-line message whose injection is in
+	// progress, with its precomputed costs. injBusy gates the chain so at
+	// most one injection per domain is in flight — the FIFO guarantee.
+	pend    msgFIFO
+	injBusy bool
+	cur     *Message
+	popTs   time.Duration // injection start (the old courier's PopAll time)
+	lat     time.Duration // one-way latency, including any jitter spike
+	rx      time.Duration // destination reception cost (0 intra-node)
+	inject  time.Duration // source-side port occupancy
+	intra   bool
+	attempt int
+
+	// Delivery state machine, pipelined behind injection exactly like the
+	// old courier pair: flights queue behind the one in-flight delivery.
+	flights flightFIFO
+	delBusy bool
+	curFl   flight
+	delFree time.Duration // completion time of the last delivery
+	h       Handler       // destination handler, cached on first delivery
 }
 
 // flight is a message past local completion with its computed arrival time
@@ -268,6 +299,163 @@ type flight struct {
 	m       *Message
 	arrival time.Duration
 	rx      time.Duration
+}
+
+// msgFIFO is an allocation-reusing FIFO of messages: pops advance a head
+// index instead of reslicing, and the buffer is reset (capacity kept) when
+// it empties, so a steady-state domain queues with no per-message garbage.
+type msgFIFO struct {
+	buf  []*Message
+	head int
+}
+
+//tagalint:hotpath
+func (q *msgFIFO) push(m *Message) {
+	//lint:ignore hotalloc the buffer resets to [:0] on empty and reuses capacity; growth stops at the domain's backlog high-water mark (the dynamic CourierAllocBudget gate holds at 0/message)
+	q.buf = append(q.buf, m)
+}
+
+//tagalint:hotpath
+func (q *msgFIFO) pop() *Message {
+	m := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head++
+	if q.head == len(q.buf) {
+		q.buf = q.buf[:0]
+		q.head = 0
+	}
+	return m
+}
+
+func (q *msgFIFO) len() int { return len(q.buf) - q.head }
+
+// flightFIFO is msgFIFO for flights.
+type flightFIFO struct {
+	buf  []flight
+	head int
+}
+
+//tagalint:hotpath
+func (q *flightFIFO) push(fl flight) {
+	//lint:ignore hotalloc same amortisation as msgFIFO.push: capacity is kept across the [:0] reset, so steady state appends in place
+	q.buf = append(q.buf, fl)
+}
+
+//tagalint:hotpath
+func (q *flightFIFO) pop() flight {
+	fl := q.buf[q.head]
+	q.buf[q.head] = flight{}
+	q.head++
+	if q.head == len(q.buf) {
+		q.buf = q.buf[:0]
+		q.head = 0
+	}
+	return fl
+}
+
+func (q *flightFIFO) len() int { return len(q.buf) - q.head }
+
+// Agenda event kinds: what a shard courier does when a scheduled instant
+// arrives.
+const (
+	evInjDone  = iota // source port charged: local completion, hand to delivery
+	evInjFault        // fault-plane drop charged: surface or schedule retry
+	evInjRetry        // retransmit backoff elapsed: next injection attempt
+	evDelStart        // flight arrived and the domain's delivery turn came
+	evDelDone         // destination port charged: invoke the handler
+)
+
+// agEvent is one pending state-machine step of a domain, scheduled on its
+// shard's agenda.
+type agEvent struct {
+	when time.Duration
+	seq  uint64 // creation order within the shard, breaks same-instant ties
+	kind uint8
+	d    *dom
+}
+
+// agendaHeap is a (when, seq) min-heap of pending events. Same-instant
+// events fire in creation order, a deterministic choice among orders the
+// old courier-per-domain model left to the host scheduler.
+type agendaHeap []agEvent
+
+func (h agendaHeap) less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+
+//tagalint:hotpath
+func (h *agendaHeap) push(ev agEvent) {
+	//lint:ignore hotalloc pops zero the vacated slot and shrink in place, so the heap's backing array stabilises at the shard's in-flight high-water mark
+	*h = append(*h, ev)
+	a := *h
+	i := len(a) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !a.less(i, parent) {
+			break
+		}
+		a[i], a[parent] = a[parent], a[i]
+		i = parent
+	}
+}
+
+//tagalint:hotpath
+func (h *agendaHeap) pop() agEvent {
+	a := *h
+	n := len(a)
+	ev := a[0]
+	a[0] = a[n-1]
+	a[n-1] = agEvent{}
+	*h = a[:n-1]
+	n--
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && a.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && a.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		a[i], a[smallest] = a[smallest], a[i]
+		i = smallest
+	}
+	return ev
+}
+
+// inEntry is one queued Send: the message plus its resolved domain.
+type inEntry struct {
+	m *Message
+	d *dom
+}
+
+// courierShard is one slice of the bounded courier pool: an input queue
+// fed by Send and an agenda of scheduled domain events, drained by a
+// single courier goroutine. Everything except the queue is owned by that
+// goroutine.
+type courierShard struct {
+	in      *vsync.Queue[inEntry]
+	clk     vclock.Clock
+	agenda  agendaHeap
+	started bool // courier goroutine spawned (guarded by f.mu)
+}
+
+// schedule books a future domain step on the shard agenda. The event's
+// wake sequence is drawn from the clock's process-wide counter at this
+// very call — the instant the goroutine-per-domain couriers armed their
+// sleep timers — so same-deadline ties against rank-task timers resolve
+// in the exact order the old model produced.
+//
+//tagalint:hotpath
+func (s *courierShard) schedule(when time.Duration, kind uint8, d *dom) {
+	s.agenda.push(agEvent{when: when, seq: s.clk.AllocSeq(), kind: kind, d: d})
 }
 
 // Stats aggregates fabric traffic counters.
@@ -291,10 +479,22 @@ type Fabric struct {
 	shm    []*vsync.Resource // per-rank intra-node copy engine
 	rec    obs.Recorder      // nil: uninstrumented
 	mu     sync.Mutex
-	paths  map[pathKey]*path
+	doms   map[pathKey]*dom
+	shards []*courierShard
 	hands  map[Class][]Handler // per class, indexed by rank
-	closed bool
 	wg     sync.WaitGroup
+
+	// Teardown (Close): closing opens the drain window — new Sends from
+	// delivery handlers are still accepted so in-flight protocol chains
+	// (rendezvous CTS/DATA, read responses) can complete; closed marks the
+	// fabric fully drained and torn down, after which Send panics.
+	// inflight counts messages accepted by Send and not yet retired
+	// (handler returned or failure surfaced); Close waits for it to reach
+	// zero before closing the shard queues.
+	closing   bool
+	closed    bool
+	inflight  atomic.Int64
+	closeWait vclock.Parker
 
 	// Fault plane (SetFaultPlan); plan and seed are set before traffic.
 	plan      FaultPlan
@@ -307,6 +507,24 @@ type Fabric struct {
 	faults  atomic.Int64
 }
 
+// courierShardsFor is the size of the courier pool: enough shards to
+// spread the domains of a large cluster across host cores, never more
+// than the hard bound. Power of two, so domain placement is a mask of the
+// domain-key hash.
+func courierShardsFor(topo Topology) int {
+	n := 1
+	for n < topo.Ranks() && n < maxCourierShards {
+		n <<= 1
+	}
+	return n
+}
+
+// maxCourierShards bounds the courier pool. The pool exists to decouple
+// goroutine count from the O(ranks²) domain count; past a few dozen
+// couriers the host cores are saturated and more shards only add idle
+// goroutines.
+const maxCourierShards = 64
+
 // New builds a fabric for the given topology and cost profile.
 func New(clk vclock.Clock, topo Topology, prof Profile) *Fabric {
 	n := topo.Ranks()
@@ -314,8 +532,12 @@ func New(clk vclock.Clock, topo Topology, prof Profile) *Fabric {
 		clk:   clk,
 		topo:  topo,
 		prof:  prof,
-		paths: make(map[pathKey]*path),
+		doms:  make(map[pathKey]*dom),
 		hands: make(map[Class][]Handler),
+	}
+	f.shards = make([]*courierShard, courierShardsFor(topo))
+	for i := range f.shards {
+		f.shards[i] = &courierShard{in: vsync.NewQueue[inEntry](clk), clk: clk}
 	}
 	f.nicTx = make([]*vsync.Resource, topo.Nodes())
 	f.nicRx = make([]*vsync.Resource, topo.Nodes())
@@ -357,12 +579,12 @@ func (f *Fabric) Register(r Rank, class Class, h Handler) {
 	hs[r] = h
 }
 
-// Send submits a message. It never blocks: ordering-domain couriers pick the
-// message up and charge the modelled transfer time. Posting-side software
-// costs (the MPI library lock, the GASPI queue post) are charged by the
-// protocol layers before calling Send. Send takes ownership of m: the
-// fabric recycles the struct after delivery, so the caller must not touch
-// it again.
+// Send submits a message. It never blocks: the domain's shard courier
+// picks the message up and charges the modelled transfer time. Posting-side
+// software costs (the MPI library lock, the GASPI queue post) are charged
+// by the protocol layers before calling Send. Send takes ownership of m:
+// the fabric recycles the struct after delivery, so the caller must not
+// touch it again.
 //
 //tagalint:pooled transfer
 //tagalint:hotpath
@@ -382,51 +604,73 @@ func (f *Fabric) Send(m *Message) {
 		f.mu.Unlock()
 		panic("fabric: Send after Close")
 	}
-	p, ok := f.paths[key]
+	d, ok := f.doms[key]
 	if !ok {
-		p = f.addPath(key)
+		d = f.addDom(key)
 	}
+	// The accept is recorded while f.mu is held, so Close — which flips
+	// closing under the same lock before waiting — either sees this
+	// message in flight or happened entirely before it.
+	f.inflight.Add(1)
 	f.mu.Unlock()
 	if f.rec != nil {
-		m.Flow = p.nextFlowID()
+		m.Flow = d.nextFlowID()
 		f.rec.Flow(int(m.Src), obs.TrackFabricTx, obs.CatFabric, "flow:msg", 's', m.enqueued, m.Flow)
 	}
-	p.in.Push(m)
+	d.shard.in.Push(inEntry{m: m, d: d})
 }
 
 // nextFlowID assigns the next causal-flow edge id of one ordering domain.
 // Ids are positive and never zero (zero marks an unstamped message).
 //
 //tagalint:hotpath
-func (p *path) nextFlowID() int64 {
-	id := int64((p.flowBase + p.flowSeq.Add(1)) &^ (1 << 63))
+func (d *dom) nextFlowID() int64 {
+	id := int64((d.flowBase + d.flowSeq.Add(1)) &^ (1 << 63))
 	if id == 0 {
 		id = 1
 	}
 	return id
 }
 
-// addPath creates the ordering domain's path and starts its courier pair.
-// It runs with f.mu held, once per (src, dst, class, lane) tuple over the
-// fabric's lifetime: path setup is the cold side of Send and may allocate.
-func (f *Fabric) addPath(key pathKey) *path {
-	p := &path{
-		in:       vsync.NewQueue[*Message](f.clk),
-		out:      vsync.NewQueue[flight](f.clk),
+// addDom creates an ordering domain and, if its shard's courier is not yet
+// running, spawns it. It runs with f.mu held, once per (src, dst, class,
+// lane) tuple over the fabric's lifetime: domain setup is the cold side of
+// Send and may allocate.
+func (f *Fabric) addDom(key pathKey) *dom {
+	shard := f.shards[flowBaseOf(key)&uint64(len(f.shards)-1)]
+	d := &dom{
+		key:      key,
+		shard:    shard,
 		fault:    f.faultsFor(key),
 		flowBase: flowBaseOf(key),
 	}
-	f.paths[key] = p
-	f.wg.Add(2)
-	f.clk.Go(func() {
-		defer f.wg.Done()
-		f.inject(p)
-	})
-	f.clk.Go(func() {
-		defer f.wg.Done()
-		f.deliver(p)
-	})
-	return p
+	f.doms[key] = d
+	if !shard.started {
+		shard.started = true
+		f.wg.Add(1)
+		f.clk.Go(func() {
+			defer f.wg.Done()
+			f.courier(shard)
+		})
+	}
+	return d
+}
+
+// retire marks one accepted message fully processed (delivered or its
+// failure surfaced) and wakes a Close waiting for the fabric to drain.
+//
+//tagalint:hotpath
+func (f *Fabric) retire() {
+	if f.inflight.Add(-1) != 0 {
+		return
+	}
+	f.mu.Lock()
+	p := f.closeWait
+	f.closeWait = nil
+	f.mu.Unlock()
+	if p != nil {
+		p.Unpark()
+	}
 }
 
 // flowBaseOf hashes an ordering-domain key into the 64-bit flow-id space
@@ -450,43 +694,146 @@ func flowBaseOf(key pathKey) uint64 {
 	return h
 }
 
-// inject is the first courier stage of one ordering domain: it charges the
-// source-side injection cost, fires local completion, and hands the message
-// to the delivery stage. Pipelining the two stages lets a path overlap the
-// flight of message i with the injection of message i+1, as NICs do.
+// courier is one shard's service loop: it drains the shard's input queue,
+// starts the injection chain of idle domains, and fires the agenda events
+// of all the shard's domains in (time, seq) order. Between events it
+// parks on the input queue at the frontier agenda event's exact
+// (deadline, seq) — the timer the old couriers would have been sleeping
+// on — so new traffic wakes it immediately while the event keeps its
+// place in the global same-deadline wake order across re-parks.
 //
-// The courier drains its queue in batches — one lock round trip and at
-// most one park per wakeup instead of one per message — but processes the
-// batch strictly in arrival order, so the non-overtaking guarantee and the
-// fault plane's per-domain decision stream are exactly those of one-at-a-
-// time delivery.
+// Timing equivalence with the old courier-pair-per-domain model: every
+// Resource booking and every hook runs at exactly the virtual instant the
+// blocking couriers would have executed it — the agenda replaces sleeping
+// with scheduling, not the cost arithmetic — and every agenda event's
+// wake sequence is drawn at the code point where the old model armed the
+// corresponding timer (ARCHITECTURE.md gives the step-by-step argument).
 //
 //tagalint:hotpath
-func (f *Fabric) inject(p *path) {
-	defer p.out.Close()
-	var batch []*Message
+func (f *Fabric) courier(s *courierShard) {
+	var buf []inEntry
 	for {
+		var items []inEntry
 		var ok bool
-		batch, ok = p.in.PopAll(batch)
+		if len(s.agenda) == 0 {
+			items, ok = s.in.PopAll(buf)
+		} else {
+			ev := s.agenda[0]
+			items, ok = s.in.PopAllUntil(buf, ev.when, ev.seq)
+		}
 		if !ok {
+			f.drainAgenda(s)
 			return
 		}
-		for _, m := range batch {
-			f.injectOne(p, m)
+		if len(items) > 0 {
+			// Push wake: fresh injections are booked mid-cascade, exactly
+			// when the old per-domain inject couriers booked theirs. A push
+			// cannot land between our timer's expiry and the queue's locked
+			// re-check — a timer wake means every other registered goroutine
+			// was parked — so absorbing here never reorders past a due event.
+			buf = f.absorb(items)
+			continue
 		}
-		clear(batch) // drop message refs before the array becomes the push buffer
+		// Timer wake at the agenda frontier: the advance loop fired our
+		// (deadline, seq) as the globally-earliest timer, the same
+		// one-step-per-quiescence-window serialization the old couriers got
+		// from their Sleep calls. Fire exactly one event, then re-park.
+		f.fire(s.agenda.pop())
 	}
 }
 
-// injectOne charges injection for one message and hands it to the delivery
-// stage (or surfaces its fault-plane failure).
+// absorb pushes one drained batch of Sends into their domains and starts
+// the injection chain of every idle domain at the current instant. It
+// returns the spent batch for reuse as the queue's push buffer.
 //
 //tagalint:hotpath
-func (f *Fabric) injectOne(p *path, m *Message) {
-	var popTs time.Duration
+func (f *Fabric) absorb(items []inEntry) []inEntry {
+	now := f.clk.Now()
+	for i, e := range items {
+		e.d.pend.push(e.m)
+		if !e.d.injBusy {
+			e.d.injBusy = true
+			f.startInject(e.d, now)
+		}
+		items[i] = inEntry{} // drop refs before the array becomes the push buffer
+	}
+	return items
+}
+
+// drainAgenda fires whatever the agenda still holds after the input queue
+// closed. Close waits for every accepted message to retire before closing
+// the queues, so the agenda is normally empty here; any residue is driven
+// to completion on a private parker that only ever wakes by deadline.
+func (f *Fabric) drainAgenda(s *courierShard) {
+	var p vclock.Parker
+	for len(s.agenda) > 0 {
+		ev := s.agenda[0]
+		if ev.when > f.clk.Now() {
+			if p == nil {
+				p = f.clk.Parker()
+				p.SetName("fabric-drain")
+				p.SetExternal(true)
+			}
+			p.ParkUntil(ev.when, ev.seq)
+			continue
+		}
+		f.fire(s.agenda.pop())
+	}
+}
+
+// at runs a domain step at virtual instant when: scheduled on the shard
+// agenda when the instant lies in the future, dispatched inline when it is
+// already due — the zero-delay steps the old couriers ran without arming a
+// timer (their sleeps were guarded `if d > 0`), so no wake sequence is
+// drawn for them and the surrounding cascade keeps its old shape.
+//
+//tagalint:hotpath
+func (f *Fabric) at(d *dom, when time.Duration, kind uint8) {
+	if when > f.clk.Now() {
+		d.shard.schedule(when, kind, d)
+		return
+	}
+	f.fire(agEvent{when: when, kind: kind, d: d})
+}
+
+// fire dispatches one agenda event at its scheduled instant.
+//
+//tagalint:hotpath
+func (f *Fabric) fire(ev agEvent) {
+	d := ev.d
+	switch ev.kind {
+	case evInjDone:
+		f.injDone(d, ev.when)
+	case evInjFault:
+		f.injFault(d, ev.when)
+	case evInjRetry:
+		d.attempt++
+		f.injectAttempt(d, ev.when)
+	case evDelStart:
+		done := ev.when
+		if d.curFl.rx > 0 {
+			_, done = f.nicRx[f.topo.NodeOf(d.curFl.m.Dst)].Reserve(d.curFl.rx)
+		}
+		f.at(d, done, evDelDone)
+	case evDelDone:
+		f.delDone(d, ev.when)
+	}
+}
+
+// startInject begins the injection of the domain's next pending message at
+// virtual instant now: it computes the message's wire costs and runs the
+// first injection attempt. It is the event-driven form of the old inject
+// courier's per-message loop head, so now plays the role the courier's
+// PopAll wake-up time played — the send instant for an idle domain, the
+// previous injection's completion for a backlogged one.
+//
+//tagalint:hotpath
+func (f *Fabric) startInject(d *dom, now time.Duration) {
+	m := d.pend.pop()
+	d.cur = m
+	d.popTs = now
 	if f.rec != nil {
-		popTs = f.clk.Now()
-		f.rec.Latency("fabric.queue_residency", popTs-m.enqueued)
+		f.rec.Latency("fabric.queue_residency", now-m.enqueued)
 	}
 	intra := f.topo.SameNode(m.Src, m.Dst)
 	var lat time.Duration
@@ -513,154 +860,213 @@ func (f *Fabric) injectOne(p *path, m *Message) {
 		// the port for a fraction of a full-message injection.
 		inject = f.prof.InjectOverhead / 4
 	}
-	if p.fault != nil {
-		var surfaced bool
-		lat, surfaced = f.faultInject(p.fault, m, inject, lat)
-		if surfaced {
-			// Failure handed to the protocol layer; nothing flies and
-			// the consumed message goes back to the pool.
-			releaseMessage(m)
+	d.intra = intra
+	d.lat = lat
+	d.inject = inject
+	d.rx = wire
+	if intra {
+		d.rx = 0 // intra-node copies are charged once, at injection
+	}
+	d.attempt = 0
+	f.injectAttempt(d, now)
+}
+
+// injectAttempt runs one injection attempt at virtual instant now: the
+// fault-plane decisions (rolled at the attempt instant, before the port is
+// charged, exactly like the old courier loop), then the source-side port
+// booking. The completion event carries the injection forward.
+//
+//tagalint:hotpath
+func (f *Fabric) injectAttempt(d *dom, now time.Duration) {
+	m := d.cur
+	if pf := d.fault; pf != nil {
+		dropped := pf.outageAt(now)
+		if !dropped && pf.drop > 0 {
+			dropped = pf.roll(saltDrop) < pf.drop
+		}
+		if dropped {
+			// Each failed attempt charges the full injection cost — the
+			// port did the work before the loss was detected.
+			f.faults.Add(1)
+			_, done := f.nicTx[f.topo.NodeOf(m.Src)].Reserve(d.inject)
+			f.at(d, done, evInjFault)
 			return
 		}
+		if pf.jitter > 0 && pf.roll(saltJitter) < pf.jitter {
+			d.lat += pf.spike
+		}
 	}
-	f.chargeInject(m, intra, inject)
+	var done time.Duration
+	if d.intra {
+		_, done = f.shm[m.Src].Reserve(d.inject)
+	} else {
+		_, done = f.nicTx[f.topo.NodeOf(m.Src)].Reserve(d.inject)
+	}
+	f.at(d, done, evInjDone)
+}
+
+// injFault runs when a failed attempt's port charge completes. A failure
+// of a message with an OnFailed hook is surfaced (hook runs, message
+// consumed); without the hook the domain backs off RetransmitDelay and
+// retries until an attempt succeeds, modelling a reliable transport that
+// hides faults by paying time (the MPI contract).
+//
+//tagalint:hotpath
+func (f *Fabric) injFault(d *dom, now time.Duration) {
+	m := d.cur
+	pf := d.fault
+	if f.rec != nil {
+		f.rec.Count("fabric_faults_injected", 1)
+		f.rec.Instant(int(m.Src), obs.TrackFabricTx, obs.CatFabric,
+			"fabric:fault", now, int64(m.Size))
+	}
+	if m.OnFailed != nil {
+		// Failure handed to the protocol layer; nothing flies and the
+		// consumed message goes back to the pool.
+		m.OnFailed()
+		d.cur = nil
+		releaseMessage(m)
+		f.retire()
+		f.injNext(d, now)
+		return
+	}
+	if d.attempt >= maxTransparentRetries {
+		panic("fabric: transparent retransmission did not converge (Drop rate 1 on a class with no OnFailed hook?)")
+	}
+	f.at(d, now+pf.retrans, evInjRetry)
+}
+
+// injDone runs at an injection's local-completion instant: the source
+// buffer is reusable, the flight towards the destination starts, and the
+// domain's next pending message (if any) begins injecting — the pipelining
+// the old courier pair provided by running inject and deliver on separate
+// goroutines.
+//
+//tagalint:hotpath
+func (f *Fabric) injDone(d *dom, now time.Duration) {
+	m := d.cur
+	d.cur = nil
 	if m.OnInjected != nil {
 		m.OnInjected() // local completion: source buffer reusable
 	}
 	if f.rec != nil {
 		f.rec.Span(int(m.Src), obs.TrackFabricTx, obs.CatFabric, "fabric:inject",
-			popTs, f.clk.Now(), int64(m.Size))
+			d.popTs, now, int64(m.Size))
 	}
-	rx := wire
-	if intra {
-		rx = 0 // intra-node copies are charged once, at injection
-	}
-	p.out.Push(flight{m: m, arrival: f.clk.Now() + lat, rx: rx})
-}
-
-// chargeInject occupies the message's source-side port (NIC injection port
-// inter-node, copy engine intra-node) for d of modelled time.
-//
-//tagalint:hotpath
-func (f *Fabric) chargeInject(m *Message, intra bool, d time.Duration) {
-	if intra {
-		f.shm[m.Src].Use(d)
+	fl := flight{m: m, arrival: now + d.lat, rx: d.rx}
+	if d.delBusy {
+		d.flights.push(fl)
 	} else {
-		f.nicTx[f.topo.NodeOf(m.Src)].Use(d)
+		d.delBusy = true
+		d.curFl = fl
+		start := fl.arrival
+		if d.delFree > start {
+			start = d.delFree
+		}
+		f.at(d, start, evDelStart)
 	}
+	f.injNext(d, now)
 }
 
-// faultInject runs the fault-plane decisions for one message on a faulted
-// path (always inter-node). Each failed attempt charges the full injection
-// cost — the port did the work before the loss was detected. A failure of
-// a message with an OnFailed hook is surfaced (hook runs, message
-// consumed, surfaced=true); without the hook the courier backs off
-// RetransmitDelay and retries until an attempt succeeds. On success the
-// returned latency includes the spike of a jitter hit and the caller
-// proceeds with the normal injection.
+// injNext starts the domain's next pending injection, or idles the chain.
 //
 //tagalint:hotpath
-func (f *Fabric) faultInject(pf *pathFaults, m *Message, inject, lat time.Duration) (newLat time.Duration, surfaced bool) {
-	for attempt := 0; ; attempt++ {
-		dropped := pf.outageAt(f.clk.Now())
-		if !dropped && pf.drop > 0 {
-			dropped = pf.roll(saltDrop) < pf.drop
-		}
-		if !dropped {
-			if pf.jitter > 0 && pf.roll(saltJitter) < pf.jitter {
-				lat += pf.spike
-			}
-			return lat, false
-		}
-		f.faults.Add(1)
-		f.nicTx[f.topo.NodeOf(m.Src)].Use(inject)
-		if f.rec != nil {
-			f.rec.Count("fabric_faults_injected", 1)
-			f.rec.Instant(int(m.Src), obs.TrackFabricTx, obs.CatFabric,
-				"fabric:fault", f.clk.Now(), int64(m.Size))
-		}
-		if m.OnFailed != nil {
-			m.OnFailed()
-			return lat, true
-		}
-		if attempt >= maxTransparentRetries {
-			panic("fabric: transparent retransmission did not converge (Drop rate 1 on a class with no OnFailed hook?)")
-		}
-		f.clk.Sleep(pf.retrans)
+func (f *Fabric) injNext(d *dom, now time.Duration) {
+	if d.pend.len() > 0 {
+		f.startInject(d, now)
+	} else {
+		d.injBusy = false
 	}
 }
 
-// deliver is the second courier stage: it waits out the flight delay,
-// charges the destination port, and invokes the rank's handler in order.
-// Like inject it drains its queue in batches, preserving arrival order.
-// The path's (destination, class) never changes and Register precedes
-// traffic, so the handler is looked up once and cached for the courier's
-// lifetime instead of taking the fabric lock per message.
+// delDone runs at a delivery's completion instant: the destination port
+// charge is over and the rank's handler consumes the message. The domain's
+// (destination, class) never changes and Register precedes traffic, so the
+// handler is looked up once and cached on the domain instead of taking the
+// fabric lock per message.
 //
 //tagalint:hotpath
-func (f *Fabric) deliver(p *path) {
-	var batch []flight
-	var h Handler
-	for {
-		var ok bool
-		batch, ok = p.out.PopAll(batch)
-		if !ok {
-			return
+func (f *Fabric) delDone(d *dom, now time.Duration) {
+	m := d.curFl.m
+	d.curFl = flight{}
+	if d.h == nil {
+		f.mu.Lock()
+		hs := f.hands[m.Class]
+		f.mu.Unlock()
+		if hs != nil {
+			d.h = hs[m.Dst]
 		}
-		for _, fl := range batch {
-			m := fl.m
-			if d := fl.arrival - f.clk.Now(); d > 0 {
-				f.clk.Sleep(d)
-			}
-			if fl.rx > 0 {
-				_, done := f.nicRx[f.topo.NodeOf(m.Dst)].Reserve(fl.rx)
-				if d := done - f.clk.Now(); d > 0 {
-					f.clk.Sleep(d)
-				}
-			}
-
-			if h == nil {
-				f.mu.Lock()
-				hs := f.hands[m.Class]
-				f.mu.Unlock()
-				if hs != nil {
-					h = hs[m.Dst]
-				}
-				if h == nil {
-					panic(fmt.Sprintf("fabric: no handler for class %d on rank %d", m.Class, m.Dst))
-				}
-			}
-			if f.rec != nil {
-				if m.Flow != 0 {
-					f.rec.Flow(int(m.Dst), obs.TrackFabricRx, obs.CatFabric, "flow:msg",
-						'f', f.clk.Now(), m.Flow)
-				}
-				f.rec.Instant(int(m.Dst), obs.TrackFabricRx, obs.CatFabric, "fabric:deliver",
-					f.clk.Now(), int64(m.Size))
-			}
-			h(m)
-			releaseMessage(m)
+		if d.h == nil {
+			panic(fmt.Sprintf("fabric: no handler for class %d on rank %d", m.Class, m.Dst))
 		}
-		clear(batch) // drop message refs before the array becomes the push buffer
+	}
+	if f.rec != nil {
+		if m.Flow != 0 {
+			f.rec.Flow(int(m.Dst), obs.TrackFabricRx, obs.CatFabric, "flow:msg",
+				'f', now, m.Flow)
+		}
+		f.rec.Instant(int(m.Dst), obs.TrackFabricRx, obs.CatFabric, "fabric:deliver",
+			now, int64(m.Size))
+	}
+	d.h(m)
+	releaseMessage(m)
+	f.retire()
+	d.delFree = now
+	if d.flights.len() > 0 {
+		fl := d.flights.pop()
+		d.curFl = fl
+		start := fl.arrival
+		if now > start {
+			start = now
+		}
+		f.at(d, start, evDelStart)
+	} else {
+		d.delBusy = false
 	}
 }
 
-// Close shuts the fabric down: all couriers drain their queues and exit.
-// Messages sent after Close panic.
+// Close shuts the fabric down. It first waits for every accepted message
+// to retire — deliveries still in flight complete, and their handlers may
+// keep sending (a rendezvous reply, a read response) without panicking,
+// which is what used to strand couriers when ranks exited early — then
+// closes the shard queues and joins the couriers. Close is idempotent and
+// callable from unregistered goroutines under both clocks; messages sent
+// after it returns panic.
 func (f *Fabric) Close() {
 	f.mu.Lock()
-	if f.closed {
+	if f.closing {
+		// Idempotent re-entry: the first Close tears the fabric down;
+		// nothing here can proceed until it finished if it already
+		// returned (closed is monotonic), and concurrent re-entry during
+		// the drain window simply returns — the fabric is quiescing.
 		f.mu.Unlock()
 		return
 	}
-	f.closed = true
-	ps := make([]*path, 0, len(f.paths))
-	for _, p := range f.paths {
-		ps = append(ps, p)
+	f.closing = true
+	var p vclock.Parker
+	if f.inflight.Load() > 0 {
+		p = f.clk.Parker()
+		p.SetName("fabric-close")
+		p.SetExternal(true)
+		f.closeWait = p
 	}
 	f.mu.Unlock()
-	for _, p := range ps {
-		p.in.Close()
+	if p != nil {
+		// The drain-window park must be registered with the clock even
+		// though Close usually runs on a host goroutine: Park decrements
+		// the clock's active count, and an unbalanced decrement makes
+		// quiescence (active == 0) fire while a courier is still runnable
+		// — the courier's own park then drops the count below zero and
+		// virtual time freezes with the burst still in flight.
+		f.clk.Register()
+		p.Park()
+		f.clk.Unregister()
+	}
+	f.mu.Lock()
+	f.closed = true
+	f.mu.Unlock()
+	for _, s := range f.shards {
+		s.in.Close()
 	}
 	f.wg.Wait()
 }

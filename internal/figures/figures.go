@@ -36,6 +36,15 @@ const (
 	Quick Preset = iota
 	// Full is the default reproduction scale (minutes of host time).
 	Full
+	// Scale is the paper-scale strong-scaling preset: the Fig. 9 sweep runs
+	// out to the paper's 256 nodes (2048 simulated MPI-only ranks per
+	// point) and Fig. 10 at its 128-node evaluation scale. Only the
+	// Gauss–Seidel figures (9, 10) honour it — `figures -scale` selects
+	// exactly those — and the sweep exists to exercise the sharded host
+	// substrate (ARCHITECTURE.md "Sharded host substrate"): bounded worker
+	// pools, sharded couriers and parker shards keep the host goroutine
+	// count flat while rank counts reach the thousands.
+	Scale
 )
 
 // Figure and Series are the exp engine's assembled-figure types; aliased

@@ -1,0 +1,93 @@
+package figures
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/apps/heat"
+	"repro/internal/cluster"
+	"repro/internal/fabric"
+)
+
+// raceEnabled is set by race_on_test.go when the race detector is
+// compiled in; wall-clock budget gates skip under -race.
+var raceEnabled bool
+
+// HostNsPerMessageBudget is the committed per-message host-time budget of
+// the scale-preset Gauss–Seidel point: total host wall time of the job
+// divided by fabric messages must stay below it. The committed
+// BENCH_host.json "9-scale" series measures ~46µs/message on the
+// single-core reference host (TAGASPI at 256 nodes: 512 hybrid ranks,
+// ~86k messages, sharded couriers, pooled workers); the budget carries
+// ~4x headroom for slower CI hosts while still catching a structural
+// regression — an unsharded courier table or goroutine-per-task
+// execution multiplies host time at this rank count.
+const HostNsPerMessageBudget = 200_000
+
+// scaleGatePoint is the gated simulation: the Fig. 9 Scale-preset TAGASPI
+// point at the paper's 256 nodes (512 hybrid ranks, 3 timesteps).
+func scaleGatePoint() (cluster.Config, heat.Params) {
+	p := gsParams(256, 64, 64, 3)
+	return gsConfig(gsTAGASPI, 256, fabric.ProfileOmniPath()), p
+}
+
+// TestPerMessageHostBudget is the host-time regression gate of
+// scripts/ci.sh, the wall-clock analogue of fabric.CourierAllocBudget: it
+// runs one scale-preset point and fails if host time per fabric message
+// exceeds the committed budget.
+func TestPerMessageHostBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("host wall-clock is inflated by race-detector instrumentation")
+	}
+	if testing.Short() {
+		t.Skip("scale point is too large for -short")
+	}
+	cfg, p := scaleGatePoint()
+	var peak atomic.Int64
+	stop := make(chan struct{})
+	go func() {
+		//lint:ignore detlint host-side goroutine sampler: this gate measures the host, not the model
+		tick := time.NewTicker(20 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				if g := int64(runtime.NumGoroutine()); g > peak.Load() {
+					peak.Store(g)
+				}
+			}
+		}
+	}()
+	//lint:ignore detlint host wall-clock measurement is the point of this gate
+	start := time.Now()
+	res := cluster.Run(cfg, func(env *cluster.Env) { heat.RunTAGASPI(env, p) })
+	//lint:ignore detlint host wall-clock measurement is the point of this gate
+	host := time.Since(start)
+	close(stop)
+	msgs := res.Fabric.Messages
+	if msgs == 0 {
+		t.Fatal("scale point sent no messages")
+	}
+	per := float64(host.Nanoseconds()) / float64(msgs)
+	t.Logf("scale point: host %v, %d messages, %.0f ns/message (budget %d), peak goroutines %d",
+		host.Round(time.Millisecond), msgs, per, HostNsPerMessageBudget, peak.Load())
+	// The goroutine bound is the cheap half of the gate: linear in ranks
+	// (main + bounded worker pool each) plus the fixed courier-shard pool.
+	// The pre-shard substrate peaked at ~17k goroutines on this point; the
+	// sharded one stays around ~3.1k (512 ranks x main + Cores workers +
+	// a blocked poller and its replacement).
+	ranks := cfg.Nodes * cfg.RanksPerNode
+	if gBudget := int64(ranks*(3+cfg.CoresPerRank) + 256); peak.Load() > gBudget {
+		t.Fatalf("peak goroutine count %d exceeds budget %d: host substrate no longer bounded",
+			peak.Load(), gBudget)
+	}
+	if per > HostNsPerMessageBudget {
+		t.Fatalf("host time per message %.0f ns exceeds budget %d ns — "+
+			"did a sharded hot path (couriers, worker pool, parker shards) regress?",
+			per, HostNsPerMessageBudget)
+	}
+}

@@ -155,8 +155,9 @@ type Proc struct {
 	// Sprintf per blocking wait.
 	notifyName, reqwaitName, waitName string
 
-	mu   sync.Mutex
-	segs map[SegmentID]*segState
+	mu      sync.Mutex
+	segs    map[SegmentID]*segState
+	segWait map[SegmentID]chan struct{} // closed by SegmentCreate; see waitSegment
 }
 
 // segState holds a segment's notification space. flows carries the causal
@@ -217,8 +218,46 @@ func (p *Proc) SegmentCreate(id SegmentID, size int) (*memory.Segment, error) {
 	}
 	p.mu.Lock()
 	p.segs[id] = &segState{notifs: make(map[NotificationID]int64)}
+	if ch, ok := p.segWait[id]; ok {
+		delete(p.segWait, id)
+		close(ch) // release deliveries racing this registration (waitSegment)
+	}
 	p.mu.Unlock()
 	return seg, nil
+}
+
+// waitSegment blocks the calling delivery until this rank has registered
+// segment id. A delivery and a registration sharing one virtual instant —
+// a zero-cost profile runs its whole setup at t=0 — have no modelled-time
+// order, and real GASPI's gaspi_segment_create is collective, so an app
+// whose target rank creates the segment "now" is correct even if that
+// rank's goroutine has not reached the call yet in host time. The wait
+// costs no modelled time: the blocked courier holds the virtual clock
+// still, so the registration due at this instant still happens at it. A
+// registration that never comes — the app creates the segment at a LATER
+// virtual instant than the write targeting it — is an application bug;
+// the host timeout turns it into a diagnosable panic instead of a hang.
+func (p *Proc) waitSegment(id SegmentID) {
+	p.mu.Lock()
+	if _, ok := p.segs[id]; ok {
+		p.mu.Unlock()
+		return
+	}
+	ch, ok := p.segWait[id]
+	if !ok {
+		if p.segWait == nil {
+			p.segWait = make(map[SegmentID]chan struct{})
+		}
+		ch = make(chan struct{})
+		p.segWait[id] = ch
+	}
+	p.mu.Unlock()
+	select {
+	case <-ch:
+	//lint:ignore detlint host-side stall watchdog: correct runs never reach this arm, it only converts an app-level ordering bug into a panic
+	case <-time.After(10 * time.Second):
+		panic(fmt.Sprintf("gaspisim: delivery to rank %d stalled: segment %d is not registered and no registration arrived at the current virtual instant (segment created after the write targeting it?)", p.rank, id))
+	}
 }
 
 // Segment returns a registered segment (gaspi_segment_ptr).
@@ -519,6 +558,7 @@ func (p *Proc) deliver(fm *fabric.Message) {
 	m := fm.Payload.(*gMsg)
 	switch m.kind {
 	case OpWrite, OpWriteNotify:
+		p.waitSegment(m.seg)
 		seg, err := p.reg.Lookup(m.seg)
 		if err != nil {
 			panic(fmt.Sprintf("gaspisim: write to rank %d: %v", p.rank, err))
@@ -536,12 +576,14 @@ func (p *Proc) deliver(fm *fabric.Message) {
 		putGMsg(m)
 
 	case OpNotify:
+		p.waitSegment(m.seg)
 		nflow := p.notifyFlowOf(fm, m)
 		p.setNotification(m.seg, m.notifyID, m.notifyVal, nflow)
 		p.recNotify(m.notifyID, m.postTs, nflow)
 		putGMsg(m)
 
 	case OpRead:
+		p.waitSegment(m.seg)
 		seg, err := p.reg.Lookup(m.seg)
 		if err != nil {
 			panic(fmt.Sprintf("gaspisim: read at rank %d: %v", p.rank, err))

@@ -51,6 +51,7 @@ type Runtime struct {
 	clk   vclock.Clock
 	cfg   Config
 	cores *coreSched
+	pool  *workerPool
 
 	rec   obs.Recorder // nil: uninstrumented
 	rank  int          // rank identity for trace events
@@ -78,12 +79,14 @@ func New(clk vclock.Clock, cfg Config) *Runtime {
 	if cfg.Cores <= 0 {
 		panic(fmt.Sprintf("tasking: invalid core count %d", cfg.Cores))
 	}
-	return &Runtime{
+	rt := &Runtime{
 		clk:   clk,
 		cfg:   cfg,
 		cores: newCoreSched(clk, cfg.Cores),
 		reg:   newDepRegistry(),
 	}
+	rt.pool = &workerPool{rt: rt}
+	return rt
 }
 
 // Clock returns the runtime's time source.
@@ -246,34 +249,43 @@ func (rt *Runtime) recReleaseEdges(t *Task, ready []*Task) {
 // taken synchronously so that tasks receive cores in readiness order, not
 // in goroutine-scheduling order.
 func (rt *Runtime) dispatch(t *Task) {
-	ticket := rt.cores.ticket()
-	rt.clk.Go(func() {
-		rt.cores.acquire(ticket)
-		if rt.cfg.DispatchOverhead > 0 {
-			rt.clk.Sleep(rt.cfg.DispatchOverhead)
+	rt.pool.submit(t)
+}
+
+// exec runs one dispatched task on the calling pool worker: it claims the
+// task's core grant, charges the dispatch overhead, runs the body and
+// completes it — byte for byte the sequence the per-task goroutines of the
+// unsharded runtime executed, so the modelled schedule is unchanged.
+//
+//tagalint:hotpath
+func (rt *Runtime) exec(t *Task, ticket uint64) {
+	rt.cores.acquire(ticket)
+	if rt.cfg.DispatchOverhead > 0 {
+		rt.clk.Sleep(rt.cfg.DispatchOverhead)
+	}
+	rt.mu.Lock()
+	t.state = stateRunning
+	rt.mu.Unlock()
+	t.pooled = true
+	var start time.Duration
+	if rt.rec != nil {
+		start = rt.clk.Now()
+		t.lane = rt.lanes.acquire()
+		if !t.spawned {
+			rt.rec.Latency("tasking.ready_to_run", start-t.readyAt)
 		}
-		rt.mu.Lock()
-		t.state = stateRunning
-		rt.mu.Unlock()
-		var start time.Duration
-		if rt.rec != nil {
-			start = rt.clk.Now()
-			t.lane = rt.lanes.acquire()
-			if !t.spawned {
-				rt.rec.Latency("tasking.ready_to_run", start-t.readyAt)
-			}
-		}
-		if t.body != nil {
-			t.body(t)
-		}
-		if rt.rec != nil {
-			rt.rec.Span(rt.rank, obs.TaskTrack(t.lane), obs.CatTask, t.spanName(),
-				start, rt.clk.Now(), t.id)
-			rt.lanes.release(t.lane)
-		}
-		rt.finishBody(t)
-		rt.cores.release()
-	})
+	}
+	if t.body != nil {
+		t.body(t)
+	}
+	if rt.rec != nil {
+		rt.rec.Span(rt.rank, obs.TaskTrack(t.lane), obs.CatTask, t.spanName(),
+			start, rt.clk.Now(), t.id)
+		rt.lanes.release(t.lane)
+	}
+	t.pooled = false
+	rt.finishBody(t)
+	rt.cores.release()
 }
 
 // finishBody marks the body done and releases the execution pseudo-event;
@@ -426,20 +438,23 @@ func (rt *Runtime) Stopping() bool {
 	return rt.stopping
 }
 
-// Shutdown asks spawned service tasks to stop and waits for them to exit.
-// Regular tasks must already be complete (TaskWait).
+// Shutdown asks spawned service tasks to stop, waits for them to exit, and
+// retires the worker pool. Regular tasks must already be complete
+// (TaskWait). Shutdown is idempotent and safe to call from multiple
+// goroutines — an early-exiting rank and the job teardown may both call it.
 func (rt *Runtime) Shutdown() {
 	rt.mu.Lock()
 	rt.stopping = true
-	if rt.spawnLive == 0 {
+	if rt.spawnLive > 0 {
+		p := rt.clk.Parker()
+		p.SetName("shutdown")
+		rt.sdWaiters = append(rt.sdWaiters, p)
 		rt.mu.Unlock()
-		return
+		p.Park()
+	} else {
+		rt.mu.Unlock()
 	}
-	p := rt.clk.Parker()
-	p.SetName("shutdown")
-	rt.sdWaiters = append(rt.sdWaiters, p)
-	rt.mu.Unlock()
-	p.Park()
+	rt.pool.stop()
 }
 
 // Stats returns a snapshot of the runtime counters.
@@ -469,6 +484,173 @@ func (rt *Runtime) Reset() {
 	rt.mu.Lock()
 	rt.stats = Stats{}
 	rt.mu.Unlock()
+}
+
+// workerPool runs task bodies on a bounded set of reusable goroutines.
+// The per-task-goroutine runtime it replaces spawned one goroutine per
+// dispatched task — at 10k-rank scale, millions of short-lived goroutines
+// whose stacks dominated host time. The pool keeps at most Cores workers
+// actively progressing bodies (matching the modelled core count), parks
+// surplus workers on reusable external parkers, and spawns a compensating
+// worker only when a body blocks in Yield/WaitFor while dispatched work is
+// waiting — the same trick the Go runtime uses for blocking syscalls.
+//
+// Determinism: the core ticket is drawn and the task enqueued under one
+// lock, so the queue is in ticket order and workers claim cores through
+// the unchanged coreSched in exactly the order the per-task goroutines
+// did. Which goroutine executes a body has no modelled-time meaning.
+type workerPool struct {
+	rt *Runtime
+
+	mu       sync.Mutex
+	q        []poolItem      // dispatched bodies, ticket order
+	head     int             // index of the next item in q
+	idle     []vclock.Parker // parked workers, one entry each
+	seeking  int             // workers awake and heading for the queue
+	handling int             // workers between claiming an item and finishing its body
+	blocked  int             // handled bodies currently blocked in Yield/WaitFor
+	total    int             // live worker goroutines
+	stopped  bool
+	wg       sync.WaitGroup
+}
+
+type poolItem struct {
+	t      *Task
+	ticket uint64
+}
+
+// submit enqueues a ready task for the workers. The ticket draw and the
+// enqueue happen under the pool lock so the queue stays in ticket order —
+// a worker never claims a later ticket while an earlier one still waits,
+// which would stall the grant chain.
+//
+//tagalint:hotpath
+func (wp *workerPool) submit(t *Task) {
+	wp.mu.Lock()
+	ticket := wp.rt.cores.ticket()
+	//lint:ignore hotalloc the queue buffer is reset to [:0] when drained, so its capacity is reused across the run
+	wp.q = append(wp.q, poolItem{t: t, ticket: ticket})
+	wp.ensureLocked()
+	wp.mu.Unlock()
+}
+
+// qlen is the number of undispatched items. Callers hold wp.mu.
+func (wp *workerPool) qlen() int { return len(wp.q) - wp.head }
+
+// popLocked removes the next item in ticket order. Callers hold wp.mu.
+func (wp *workerPool) popLocked() poolItem {
+	it := wp.q[wp.head]
+	wp.q[wp.head] = poolItem{}
+	wp.head++
+	if wp.head == len(wp.q) {
+		wp.q = wp.q[:0]
+		wp.head = 0
+	}
+	return it
+}
+
+// ensureLocked keeps the pool live: whenever dispatched work is waiting,
+// fewer than Cores bodies are actively progressing and no worker is
+// already heading for the queue, it wakes an idle worker or spawns a new
+// one. Callers hold wp.mu.
+func (wp *workerPool) ensureLocked() {
+	if wp.stopped || wp.qlen() == 0 || wp.seeking > 0 ||
+		wp.handling-wp.blocked >= wp.rt.cfg.Cores {
+		return
+	}
+	wp.seeking++
+	if n := len(wp.idle); n > 0 {
+		p := wp.idle[n-1]
+		wp.idle[n-1] = nil
+		wp.idle = wp.idle[:n-1]
+		p.Unpark()
+		return
+	}
+	wp.total++
+	wp.wg.Add(1)
+	wp.rt.clk.Go(wp.worker)
+}
+
+// worker is the pool goroutine loop: claim the next dispatched task, run
+// it, park when the queue is empty, exit on stop. A worker created by
+// ensureLocked starts in the seeking state.
+//
+//tagalint:hotpath
+func (wp *workerPool) worker() {
+	defer wp.wg.Done()
+	var p vclock.Parker
+	for {
+		wp.mu.Lock()
+		for wp.qlen() == 0 {
+			wp.seeking--
+			if wp.stopped {
+				wp.total--
+				wp.mu.Unlock()
+				return
+			}
+			if p == nil {
+				p = wp.rt.clk.Parker()
+				// An idle worker legitimately waits for work; it must not
+				// trip virtual-time deadlock detection.
+				p.SetExternal(true)
+				p.SetName("task-worker")
+			}
+			//lint:ignore hotalloc the idle list grows to the worker count (bounded by cores + peak blocked bodies), then reuses capacity
+			wp.idle = append(wp.idle, p)
+			wp.mu.Unlock()
+			p.Park()
+			// Whoever unparked us removed the idle entry and counted us as
+			// seeking again.
+			wp.mu.Lock()
+		}
+		it := wp.popLocked()
+		wp.seeking--
+		wp.handling++
+		wp.ensureLocked()
+		wp.mu.Unlock()
+		wp.rt.exec(it.t, it.ticket)
+		wp.mu.Lock()
+		wp.handling--
+		wp.seeking++
+		wp.mu.Unlock()
+	}
+}
+
+// block records that the calling worker's body is about to block in
+// Yield/WaitFor (releasing its core but keeping its goroutine) and makes
+// sure waiting work still progresses on another worker.
+func (wp *workerPool) block() {
+	wp.mu.Lock()
+	wp.blocked++
+	wp.ensureLocked()
+	wp.mu.Unlock()
+}
+
+// unblock reverses block once the body has re-acquired a core.
+func (wp *workerPool) unblock() {
+	wp.mu.Lock()
+	wp.blocked--
+	wp.mu.Unlock()
+}
+
+// stop asks every worker to exit: parked workers are woken to see the
+// flag, busy workers exit after their current body. It is idempotent and
+// must only be called once no further dispatches can occur (Shutdown).
+func (wp *workerPool) stop() {
+	wp.mu.Lock()
+	if wp.stopped {
+		wp.mu.Unlock()
+		return
+	}
+	wp.stopped = true
+	idle := wp.idle
+	wp.idle = nil
+	wp.seeking += len(idle)
+	wp.mu.Unlock()
+	for _, p := range idle {
+		p.Unpark()
+	}
+	wp.wg.Wait()
 }
 
 // coreSched grants core slots in readiness order: each ready task draws a

@@ -514,3 +514,38 @@ func BenchmarkDependencyChain(b *testing.B) {
 	})
 	wg.Wait()
 }
+
+// TestShutdownIdempotent is the early-teardown regression test for the
+// scheduler half of the substrate: Shutdown must be callable repeatedly —
+// with live spawned services, with pooled workers parked idle, and again
+// after the pool has already stopped — without panicking or hanging. A
+// rank that exits early shuts its runtime down while siblings are still
+// mid-job, and teardown paths run once per rank per Run plus once more on
+// defensive cleanup.
+func TestShutdownIdempotent(t *testing.T) {
+	var polls atomic.Int32
+	run(2, func(clk *vclock.VirtualClock, rt *Runtime) {
+		rt.Spawn(func(tk *Task) {
+			for !rt.Stopping() {
+				polls.Add(1)
+				tk.WaitFor(5 * time.Microsecond)
+			}
+		}, "poller")
+		for i := 0; i < 8; i++ {
+			rt.Submit(func(tk *Task) { tk.Compute(time.Microsecond) })
+		}
+		rt.TaskWait()
+		rt.Shutdown()
+		rt.Shutdown() // second call: pool already stopped, spawn drained
+		rt.Shutdown()
+	})
+	if polls.Load() == 0 {
+		t.Fatal("poller never ran")
+	}
+	// A fresh runtime that never ran a task must also shut down cleanly
+	// (no worker was ever spawned, the pool has no parked idlers).
+	run(1, func(clk *vclock.VirtualClock, rt *Runtime) {
+		rt.Shutdown()
+		rt.Shutdown()
+	})
+}

@@ -66,6 +66,12 @@ type Task struct {
 	id      int64
 	readyAt time.Duration
 	lane    int32
+
+	// pooled is true while the body runs on a pool worker; Yield/WaitFor
+	// use it to tell the pool the worker is blocked so a replacement can
+	// keep dispatched work moving. Written and read only by the body's
+	// goroutine.
+	pooled bool
 }
 
 // spanName is the label of the task's body span in the timeline.
@@ -107,9 +113,15 @@ func (t *Task) Compute(d time.Duration) {
 // task-aware libraries' polling tasks. It returns the time actually slept.
 func (t *Task) WaitFor(d time.Duration) time.Duration {
 	start := t.rt.clk.Now()
+	if t.pooled {
+		t.rt.pool.block()
+	}
 	t.rt.cores.release()
 	t.rt.clk.Sleep(d)
 	t.rt.cores.acquire(t.rt.cores.ticket())
+	if t.pooled {
+		t.rt.pool.unblock()
+	}
 	slept := t.rt.clk.Now() - start
 	if rec := t.rt.rec; rec != nil {
 		rec.Span(t.rt.rank, obs.TaskTrack(t.lane), obs.CatTask, "task:wait",
@@ -128,9 +140,15 @@ func (t *Task) Yield(f func()) {
 	if rec != nil {
 		start = t.rt.clk.Now()
 	}
+	if t.pooled {
+		t.rt.pool.block()
+	}
 	t.rt.cores.release()
 	f()
 	t.rt.cores.acquire(t.rt.cores.ticket())
+	if t.pooled {
+		t.rt.pool.unblock()
+	}
 	if rec != nil {
 		rec.Span(t.rt.rank, obs.TaskTrack(t.lane), obs.CatTask, "task:yield",
 			start, t.rt.clk.Now(), t.id)

@@ -17,12 +17,27 @@
 // style of the Go runtime's gopark/goready. Higher-level primitives (mutex,
 // condition variable, semaphore, served resource) are built on Parkers in
 // package vsync.
+//
+// # Sharding
+//
+// The parker/timer table is sharded (clockShards fixed power-of-two shards;
+// each parker is pinned to one shard for its lifetime), so the park/unpark
+// hot path of thousands of concurrently-sleeping goroutines contends on a
+// shard mutex and two process-wide atomics (the active count and the timer
+// sequence) instead of one global mutex. The virtual-time advance step
+// merges the shard frontiers deterministically: each shard publishes its
+// earliest (deadline, seq) pair, the advancer scans shards in fixed index
+// order, and the globally smallest (deadline, seq) fires — exactly the
+// order a single heap would produce, because seq is drawn from one
+// process-wide counter. See ARCHITECTURE.md "Sharded host substrate".
 package vclock
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -38,6 +53,15 @@ type Clock interface {
 	// Sleep suspends the caller for d of this clock's time.
 	// Non-positive durations return immediately.
 	Sleep(d time.Duration)
+	// AllocSeq reserves and returns the next timer sequence number without
+	// arming a timer. Event-driven service loops (the fabric's sharded
+	// couriers) stamp each scheduled event with a sequence at creation
+	// time and later park at the event's (deadline, seq) via
+	// Parker.ParkUntil, so the event wakes interleave with ordinary
+	// same-deadline timers exactly as if a dedicated goroutine had armed a
+	// Sleep at the moment the event was scheduled — the property the
+	// simulator's determinism rests on.
+	AllocSeq() uint64
 	// Go spawns fn on a new goroutine registered with the clock.
 	Go(fn func())
 	// Parker allocates a new parking slot bound to this clock.
@@ -60,6 +84,12 @@ type Parker interface {
 	// ParkTimeout blocks until Unpark or until d elapses.
 	// It reports whether the wake was an Unpark (true) or timeout (false).
 	ParkTimeout(d time.Duration) bool
+	// ParkUntil blocks until Unpark or until the clock reaches deadline,
+	// using the caller-supplied timer sequence (from Clock.AllocSeq) to
+	// order the wake among same-deadline timers. Re-parking with the same
+	// (deadline, seq) after an Unpark wake keeps the pending event's place
+	// in the global wake order. It reports whether the wake was an Unpark.
+	ParkUntil(deadline time.Duration, seq uint64) bool
 	// Unpark wakes the parked goroutine, or primes the slot if none is
 	// parked yet.
 	Unpark()
@@ -78,6 +108,47 @@ type Parker interface {
 // VirtualClock
 // ---------------------------------------------------------------------------
 
+// clockShards is the fixed shard count of the parker/timer table. A power
+// of two so shard selection is a mask. 16 balances park-path concurrency
+// (a 256-node sweep parks thousands of goroutines concurrently) against
+// the advance step's frontier scan, which reads one cache line per shard
+// per fired event.
+const clockShards = 16
+
+// noDeadline is the published frontier of a shard with no pending timers.
+const noDeadline = math.MaxInt64
+
+// clockShard is one slice of the parker/timer table. The mutex protects
+// the heap, the parked set and the parker state (pending/waiting/woke) of
+// every parker pinned to the shard.
+type clockShard struct {
+	mu     sync.Mutex
+	timers timerHeap
+	parked map[*vparker]struct{} // parked without a timer, for diagnostics
+
+	// topDL/topSeq publish the shard's frontier — the (deadline, seq) of
+	// timers[0], or (noDeadline, 0) when empty — for the advance step's
+	// lock-free merge scan. Written under mu whenever the heap top
+	// changes; the quiescence argument in advanceLocked explains why the
+	// lock-free reads are exact, not approximate.
+	topDL  atomic.Int64
+	topSeq atomic.Uint64
+
+	_ [24]byte // pad to a cache-line multiple against false sharing
+}
+
+// refreshTopLocked republishes the shard frontier after a heap mutation.
+// Called with s.mu held.
+func (s *clockShard) refreshTopLocked() {
+	if len(s.timers) == 0 {
+		s.topDL.Store(noDeadline)
+		s.topSeq.Store(0)
+		return
+	}
+	s.topDL.Store(int64(s.timers[0].deadline))
+	s.topSeq.Store(s.timers[0].seq)
+}
+
 // VirtualClock is a discrete-event virtual time source.
 //
 // The clock maintains an "active" count of registered goroutines that are
@@ -87,51 +158,52 @@ type Parker interface {
 // timers while goroutines remain parked, the simulation has deadlocked and
 // the clock panics with a diagnostic listing the parked goroutines.
 type VirtualClock struct {
-	mu     sync.Mutex
-	now    time.Duration
-	active int
-	seq    uint64
-	timers timerHeap
-	parked map[*vparker]struct{} // parked without a timer, for diagnostics
+	now    atomic.Int64  // current virtual time, ns; written only under adv
+	active atomic.Int64  // registered and runnable goroutines
+	seq    atomic.Uint64 // process-wide timer sequence, breaks deadline ties
+
+	// adv serializes the advance step. Lock order: adv, then shard
+	// mutexes in index order; nothing acquires adv while holding a shard
+	// mutex.
+	adv sync.Mutex
+
+	shardCtr atomic.Uint32 // round-robin parker placement
+	shards   [clockShards]clockShard
 
 	// sleepers recycles the parker (and its embedded timer) of Sleep
-	// calls. A sleeping parker is only ever woken by its own timer —
-	// no Unpark can reach it — so once park returns, the timer has been
-	// popped from the heap and both objects are free for reuse. Sleep is
-	// the hottest allocation site of the whole simulator (every modelled
-	// delay of every courier, resource and rank main passes through it),
-	// so this pool removes the dominant per-event garbage.
+	// calls. Sleep is the hottest allocation site of the whole simulator
+	// (every modelled delay of every courier, resource and rank main
+	// passes through it), so this pool removes the dominant per-event
+	// garbage. Timers are removed from the shard heap eagerly on wake,
+	// so a recycled parker's timer is never still heap-linked.
 	sleepers sync.Pool
 }
 
 // NewVirtual returns a virtual clock positioned at time zero with no
 // registered goroutines.
 func NewVirtual() *VirtualClock {
-	return &VirtualClock{parked: make(map[*vparker]struct{})}
+	c := &VirtualClock{}
+	for i := range c.shards {
+		c.shards[i].parked = make(map[*vparker]struct{})
+		c.shards[i].topDL.Store(noDeadline)
+	}
+	return c
 }
 
 // Now implements Clock.
 func (c *VirtualClock) Now() time.Duration {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.now
+	return time.Duration(c.now.Load())
 }
 
 // Register implements Clock.
 func (c *VirtualClock) Register() {
-	c.mu.Lock()
-	c.active++
-	c.mu.Unlock()
+	c.active.Add(1)
 }
 
 // Unregister implements Clock.
 func (c *VirtualClock) Unregister() {
-	c.mu.Lock()
-	c.active--
-	report := c.advanceLocked()
-	c.mu.Unlock()
-	if report != "" {
-		panic(report)
+	if c.active.Add(-1) == 0 {
+		c.advance()
 	}
 }
 
@@ -156,24 +228,23 @@ func (c *VirtualClock) Sleep(d time.Duration) {
 		p = v.(*vparker)
 	} else {
 		p = c.newParker()
-		p.sleepT = &timer{p: p}
 	}
-	t := p.sleepT
-	c.mu.Lock()
-	t.deadline = c.now + d
-	t.seq = c.seq
-	t.stopped = false
-	c.seq++
-	c.mu.Unlock()
+	t := p.timerFor(d)
 	p.park(t)
 	c.sleepers.Put(p)
 }
+
+// AllocSeq implements Clock.
+func (c *VirtualClock) AllocSeq() uint64 { return c.seq.Add(1) }
 
 // Parker implements Clock.
 func (c *VirtualClock) Parker() Parker { return c.newParker() }
 
 func (c *VirtualClock) newParker() *vparker {
-	return &vparker{c: c, ch: make(chan struct{}, 1)}
+	shard := c.shardCtr.Add(1) & (clockShards - 1)
+	p := &vparker{c: c, shard: &c.shards[shard], ch: make(chan struct{}, 1)}
+	p.t = &timer{p: p}
+	return p
 }
 
 // timer wakes a parker at a deadline.
@@ -181,7 +252,6 @@ type timer struct {
 	deadline time.Duration
 	seq      uint64
 	p        *vparker
-	stopped  bool
 	index    int
 }
 
@@ -219,6 +289,21 @@ func (h *timerHeap) pop() *timer {
 	return t
 }
 
+// remove deletes t (present at t.index) from the heap. Timers are removed
+// eagerly when their parker is woken by an Unpark instead of the timer, so
+// parkers can reuse one timer struct across parks.
+func (h *timerHeap) remove(t *timer) {
+	i := t.index
+	n := len(*h) - 1
+	h.Swap(i, n)
+	*h = (*h)[:n]
+	if i < n {
+		h.down(i)
+		h.up(i)
+	}
+	t.index = -1
+}
+
 func (h timerHeap) up(i int) {
 	for i > 0 {
 		parent := (i - 1) / 2
@@ -249,13 +334,17 @@ func (h timerHeap) down(i int) {
 	}
 }
 
-// vparker implements Parker against a VirtualClock.
+// vparker implements Parker against a VirtualClock. Each parker is pinned
+// to one shard at creation; all of its mutable state is protected by that
+// shard's mutex.
 type vparker struct {
 	c        *VirtualClock
+	shard    *clockShard
 	ch       chan struct{}
-	sleepT   *timer // reusable timer of pooled Sleep parkers (see Sleep)
+	t        *timer // reusable timer (Sleep, ParkTimeout); never heap-linked between parks
 	pending  bool   // Unpark arrived while not parked
 	waiting  bool   // a goroutine is parked here
+	waking   bool   // an Unpark claimed this park's wake (two-phase wake)
 	woke     bool   // last wake was an Unpark (vs timeout)
 	external bool
 	name     string
@@ -267,138 +356,248 @@ func (p *vparker) SetName(name string) { p.name = name }
 // SetExternal implements Parker.
 func (p *vparker) SetExternal(external bool) { p.external = external }
 
+// timerFor arms the parker's reusable timer for a wake d from now.
+//
+//tagalint:hotpath
+func (p *vparker) timerFor(d time.Duration) *timer {
+	t := p.t
+	t.deadline = p.c.Now() + d
+	t.seq = p.c.seq.Add(1)
+	return t
+}
+
 func (p *vparker) Park() { p.park(nil) }
+
+// ParkUntil arms the reusable timer with an explicit (deadline, seq)
+// identity and parks. The deadline may already be due — the park then
+// wakes once every earlier same-instant timer has fired and every
+// currently-runnable goroutine has parked, which is how event loops wait
+// out a wake cascade without losing their place in the timer order.
+//
+//tagalint:hotpath
+func (p *vparker) ParkUntil(deadline time.Duration, seq uint64) bool {
+	t := p.t
+	t.deadline = deadline
+	t.seq = seq
+	return p.park(t)
+}
 
 func (p *vparker) ParkTimeout(d time.Duration) bool {
 	if d <= 0 {
 		// A non-positive timeout still honours a pending Unpark.
-		c := p.c
-		c.mu.Lock()
+		s := p.shard
+		s.mu.Lock()
 		if p.pending {
 			p.pending = false
-			c.mu.Unlock()
+			s.mu.Unlock()
 			return true
 		}
-		c.mu.Unlock()
+		s.mu.Unlock()
 		return false
 	}
-	c := p.c
-	c.mu.Lock()
-	t := &timer{deadline: c.now + d, seq: c.seq, p: p}
-	c.seq++
-	c.mu.Unlock()
-	return p.park(t)
+	return p.park(p.timerFor(d))
 }
 
-// park blocks until unparkLocked wakes it. If t is non-nil it is armed
-// before parking and disarmed on wake. Reports whether the wake was an
-// Unpark.
+// park blocks until an Unpark or t's expiry wakes it. If t is non-nil it is
+// armed before parking and removed from the heap on a non-timer wake.
+// Reports whether the wake was an Unpark.
+//
+//tagalint:hotpath
 func (p *vparker) park(t *timer) bool {
 	c := p.c
-	c.mu.Lock()
+	s := p.shard
+	s.mu.Lock()
 	if p.pending {
 		p.pending = false
-		c.mu.Unlock()
+		s.mu.Unlock()
 		return true
 	}
 	if p.waiting {
-		c.mu.Unlock()
+		s.mu.Unlock()
 		panic("vclock: concurrent Park on the same Parker")
 	}
 	if t != nil {
-		c.timers.push(t)
+		s.timers.push(t)
+		s.refreshTopLocked()
 	} else {
-		c.parked[p] = struct{}{}
+		s.parked[p] = struct{}{}
 	}
 	p.waiting = true
 	p.woke = false
-	c.active--
-	if report := c.advanceLocked(); report != "" {
-		c.mu.Unlock()
-		panic(report)
+	s.mu.Unlock()
+	// The timer (or parked-set entry) is published before the decrement,
+	// so whichever goroutine observes active==0 sees this shard's full
+	// frontier when it scans.
+	if c.active.Add(-1) == 0 {
+		c.advance()
 	}
+	s.mu.Lock()
 	for p.waiting {
-		c.mu.Unlock()
+		s.mu.Unlock()
 		<-p.ch
-		c.mu.Lock()
+		s.mu.Lock()
 	}
 	if t != nil && t.index >= 0 {
-		t.stopped = true // lazily discarded by advanceLocked
+		// Woken by an Unpark before the timer fired: remove it eagerly
+		// so the struct can be rearmed by the next park.
+		s.timers.remove(t)
+		s.refreshTopLocked()
 	}
-	delete(c.parked, p)
+	delete(s.parked, p)
 	woke := p.woke
-	c.mu.Unlock()
+	s.mu.Unlock()
 	return woke
 }
 
+// Unpark wakes the parked goroutine in two phases: phase one claims the
+// wake (waking) and publishes the active-count increment while the parker
+// still observes waiting==true, so the wakee cannot run — and re-park,
+// re-decrementing active — before the increment lands; phase two flips
+// waiting and releases the wakee. A second Unpark racing the window sees
+// waking and degrades to pending, preserving binary-semaphore semantics.
 func (p *vparker) Unpark() {
 	c := p.c
-	c.mu.Lock()
-	c.unparkLocked(p, true)
-	c.mu.Unlock()
-}
-
-// unparkLocked wakes p. wokeByUnpark distinguishes Unpark from timer expiry.
-func (c *VirtualClock) unparkLocked(p *vparker, wokeByUnpark bool) {
-	if !p.waiting {
-		if wokeByUnpark {
-			p.pending = true
-		}
+	s := p.shard
+	s.mu.Lock()
+	if !p.waiting || p.waking {
+		p.pending = true
+		s.mu.Unlock()
 		return
 	}
+	p.waking = true
+	first := c.active.Add(1) == 1
+	s.mu.Unlock()
+	if first {
+		// This wake transitions the clock out of quiescence, so an
+		// advance step may be mid-merge right now. Serialize with it
+		// before releasing the woken goroutine: otherwise the wakee
+		// could push an earlier timer into a frontier the advancer has
+		// already scanned past. (The advancer re-checks active before
+		// every fire, so it stops; this handshake just makes the wakee
+		// wait for that stop.)
+		c.adv.Lock()
+		c.adv.Unlock() // empty critical section on purpose: the lock is a barrier
+	}
+	s.mu.Lock()
+	p.waking = false
 	p.waiting = false
-	p.woke = wokeByUnpark
-	c.active++
+	p.woke = true
+	s.mu.Unlock()
 	select {
 	case p.ch <- struct{}{}:
 	default:
 	}
 }
 
-// advanceLocked is called whenever the active count may have reached zero.
-// It advances virtual time to the earliest timer and fires it. If no timers
-// remain and goroutines are still parked, the simulation is deadlocked: the
-// report is returned non-empty and the caller must release the clock lock
-// and panic with it (panicking here would hold the lock across recovery).
+// advance runs the virtual-time advance step, serialized by c.adv, and
+// panics outside the locks if the simulation deadlocked.
+func (c *VirtualClock) advance() {
+	c.adv.Lock()
+	report := c.advanceLocked()
+	c.adv.Unlock()
+	if report != "" {
+		panic(report)
+	}
+}
+
+// advanceLocked merges the shard frontiers and fires timers while the
+// clock is quiescent (active == 0). Determinism: seq comes from one
+// process-wide counter, so ordering by (deadline, seq) across shards is a
+// total order identical to the single-heap order; the fixed index-order
+// scan makes the merge itself deterministic.
+//
+// While active == 0 no registered goroutine is runnable, so no timer can
+// be pushed or removed concurrently with the scan — every frontier read
+// below is exact. The only concurrent mutator is an Unpark from outside
+// the simulation; it increments active before its wakee can run, and the
+// re-check before each fire plus the !waiting guard keep such races from
+// corrupting virtual time. If no timers remain and non-external parkers
+// are parked, the simulation is deadlocked: the report is returned
+// non-empty and the caller must release the lock and panic with it.
 func (c *VirtualClock) advanceLocked() (deadlock string) {
-	for c.active == 0 {
-		// Discard stopped timers.
-		for len(c.timers) > 0 && c.timers[0].stopped {
-			c.timers.pop()
-		}
-		if len(c.timers) == 0 {
-			internal := 0
-			for p := range c.parked {
-				if !p.external {
-					internal++
-				}
+	for c.active.Load() == 0 {
+		best := -1
+		bestDL := int64(noDeadline)
+		var bestSeq uint64
+		for i := range c.shards {
+			dl := c.shards[i].topDL.Load()
+			if dl == noDeadline {
+				continue
 			}
-			if internal > 0 {
-				return c.deadlockReportLocked()
+			sq := c.shards[i].topSeq.Load()
+			if best == -1 || dl < bestDL || (dl == bestDL && sq < bestSeq) {
+				best, bestDL, bestSeq = i, dl, sq
+			}
+		}
+		if best == -1 {
+			if c.internalParked() > 0 {
+				return c.deadlockReport()
 			}
 			return "" // clean termination, or frozen awaiting external wakes
 		}
-		t := c.timers.pop()
-		if t.deadline > c.now {
-			c.now = t.deadline
+		s := &c.shards[best]
+		s.mu.Lock()
+		t := s.timers.pop()
+		s.refreshTopLocked()
+		p := t.p
+		if !p.waiting || p.waking {
+			// A racing external Unpark already woke (or claimed the
+			// wake of) the owner; the timer is moot and must not
+			// advance time.
+			s.mu.Unlock()
+			continue
 		}
-		c.unparkLocked(t.p, false)
+		if int64(t.deadline) > c.now.Load() {
+			c.now.Store(int64(t.deadline))
+		}
+		p.waiting = false
+		p.woke = false
+		c.active.Add(1)
+		select {
+		case p.ch <- struct{}{}:
+		default:
+		}
+		s.mu.Unlock()
 	}
 	return ""
 }
 
-func (c *VirtualClock) deadlockReportLocked() string {
-	names := make([]string, 0, len(c.parked))
-	for p := range c.parked {
-		n := p.name
-		if n == "" {
-			n = "<unnamed>"
+// internalParked counts non-external parkers across all shards. Called
+// with adv held during quiescence, so the per-shard reads are stable.
+func (c *VirtualClock) internalParked() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for p := range s.parked {
+			if !p.external {
+				n++
+			}
 		}
-		names = append(names, n)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+func (c *VirtualClock) deadlockReport() string {
+	var names []string
+	total := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for p := range s.parked {
+			total++
+			n := p.name
+			if n == "" {
+				n = "<unnamed>"
+			}
+			names = append(names, n)
+		}
+		s.mu.Unlock()
 	}
 	sort.Strings(names)
 	return fmt.Sprintf("vclock: deadlock at t=%v: %d goroutine(s) parked with no pending timers: %v",
-		c.now, len(names), names)
+		c.Now(), total, names)
 }
 
 // ---------------------------------------------------------------------------
@@ -409,6 +608,7 @@ func (c *VirtualClock) deadlockReportLocked() string {
 // no-ops; Go is a plain goroutine spawn.
 type RealClock struct {
 	start time.Time
+	seq   atomic.Uint64
 }
 
 // NewReal returns a wall-clock-backed Clock whose Now starts at zero.
@@ -426,6 +626,10 @@ func (c *RealClock) Sleep(d time.Duration) {
 	}
 }
 
+// AllocSeq implements Clock. Wall-clock wakes are ordered by the OS, so
+// the sequence is only a token for the ParkUntil API.
+func (c *RealClock) AllocSeq() uint64 { return c.seq.Add(1) }
+
 // Go implements Clock.
 func (c *RealClock) Go(fn func()) { go fn() }
 
@@ -437,15 +641,23 @@ func (c *RealClock) Unregister() {}
 
 // Parker implements Clock.
 func (c *RealClock) Parker() Parker {
-	return &rparker{ch: make(chan struct{}, 1)}
+	return &rparker{ch: make(chan struct{}, 1), clk: c}
 }
 
 // rparker implements Parker with a buffered channel.
 type rparker struct {
-	ch chan struct{}
+	ch  chan struct{}
+	clk *RealClock
 }
 
 func (p *rparker) Park() { <-p.ch }
+
+// ParkUntil implements Parker; under real time the sequence is ignored and
+// the deadline is a plain timeout.
+func (p *rparker) ParkUntil(deadline time.Duration, seq uint64) bool {
+	_ = seq
+	return p.ParkTimeout(deadline - p.clk.Now())
+}
 
 func (p *rparker) ParkTimeout(d time.Duration) bool {
 	if d <= 0 {

@@ -45,6 +45,21 @@ echo "== allocation-regression gates: courier budget (plain + flow-stamped) + ni
 go test -run 'TestCourierAllocBudget|TestCourierAllocBudgetInstrumented' ./internal/fabric
 go test -run 'TestNilRecorderZeroAlloc|TestNilHalvesCollectorZeroAlloc' ./internal/obs
 
+# Host-time regression gate at scale: one paper-scale Gauss-Seidel point
+# (the Fig. 9 Scale-preset TAGASPI run, 256 nodes / 512 hybrid ranks)
+# must stay inside the committed per-message host-time budget
+# (internal/figures.HostNsPerMessageBudget) and a goroutine budget linear
+# in ranks — the wall-clock analogue of the alloc gate, also run without
+# -race. The committed BENCH_host.json carries the matching
+# "9-scale"/"10-scale" series (regenerate: go run ./cmd/figures -scale
+# -json, then splice the rows; see EXPERIMENTS.md "Scaling past the
+# paper").
+echo "== host-time regression gate: per-message budget at the 256-node scale point"
+go test -run 'TestPerMessageHostBudget' ./internal/figures
+grep -q '"fig":"9-scale"' BENCH_host.json
+grep -q '"fig":"10-scale"' BENCH_host.json
+grep -q '"fig":"9-scale","series":"TAGASPI","x":256' BENCH_host.json
+
 # Bench smoke: the host-time benchmarks must run, and a quick figure run
 # with host times included must produce a valid BENCH_host.json-shaped
 # document (written to a temp path; the committed BENCH_host.json is the
