@@ -6,13 +6,14 @@
 //
 // Usage:
 //
-//	figures -fig 9            # one figure (9, 10, 11, 12, 13a, 13b,
-//	                          # lock, poll, rma, onready, faults)
+//	figures -fig 9            # one figure (9, 10, 11, 12, 13a, 13b, coll,
+//	                          # lock, poll, rma, onready, faults, blame)
 //	figures -fig 9 -fig 13b   # a subset, in the order given
 //	figures -all              # everything, in paper order
 //	figures -all -quick       # reduced scale (seconds instead of minutes)
-//	figures -scale            # paper-scale Figs. 9/10: strong scaling out
-//	                          # to 256 nodes (2048 ranks/point) in minutes
+//	figures -scale            # paper-scale Figs. 9/10 plus the collectives
+//	                          # sweep: strong scaling out to 256 nodes
+//	                          # (2048 ranks/point) in minutes
 //	figures -scale -json BENCH_host.json  # scale series with host times
 //	figures -all -parallel 8  # at most 8 concurrent simulation points
 //	figures -all -seq         # fully sequential (one point at a time)
@@ -57,7 +58,7 @@ func main() {
 	all := flag.Bool("all", false, "regenerate every figure")
 	quick := flag.Bool("quick", false, "use the reduced Quick preset")
 	scale := flag.Bool("scale", false,
-		"paper-scale strong scaling: Figs. 9/10 out to 256 nodes (default figure set: 9, 10)")
+		"paper-scale strong scaling: Figs. 9/10 out to 256 nodes plus the 64-node collectives sweep (default figure set: 9, 10, coll)")
 	list := flag.Bool("list", false, "list the known figure ids and exit")
 	parallel := flag.Int("parallel", 0, "max concurrent simulation points (0 = GOMAXPROCS)")
 	seq := flag.Bool("seq", false, "run points sequentially (same as -parallel 1)")
@@ -117,8 +118,9 @@ func main() {
 	var ids []string
 	switch {
 	case *scale && !*all && len(figs) == 0:
-		// Only the Gauss–Seidel figures honour the Scale preset.
-		ids = []string{"9", "10"}
+		// Only the Gauss–Seidel and collectives figures honour the Scale
+		// preset.
+		ids = []string{"9", "10", "coll"}
 	case *all:
 		ids = figures.IDs()
 	case len(figs) > 0:

@@ -1,10 +1,11 @@
 // Package doccomment defines the tagalint analyzer that enforces the
 // documentation contract of the communication packages: every exported
-// identifier in internal/fabric, internal/gaspisim and internal/tagaspi
-// must carry a doc comment, because those packages are the simulator's
-// rendering of real specifications (GASPI / GPI-2 and the paper's §IV
-// extensions) and each exported name is expected to state its spec
-// counterpart (the gaspi_* routine or concept it models) where one exists.
+// identifier in internal/fabric, internal/gaspisim, internal/tagaspi,
+// internal/mpisim and internal/collectives must carry a doc comment,
+// because those packages are the simulator's rendering of real
+// specifications (GASPI / GPI-2, MPI and the paper's §IV extensions) and
+// each exported name is expected to state its spec counterpart (the
+// gaspi_* routine or MPI_* call it models) where one exists.
 //
 // Other packages are exempt: the analyzer targets the spec surface, not
 // general style.
@@ -23,16 +24,18 @@ import (
 var Analyzer = &analysis.Analyzer{
 	Name: "doccomment",
 	Doc: "require doc comments on every exported identifier of the " +
-		"spec-modelling packages (fabric, gaspisim, tagaspi)",
+		"spec-modelling packages (fabric, gaspisim, tagaspi, mpisim, collectives)",
 	Run: run,
 }
 
 // covered lists the packages under the documentation contract, by package
 // name (testdata fixtures reuse these names under other import paths).
 var covered = map[string]bool{
-	"fabric":   true,
-	"gaspisim": true,
-	"tagaspi":  true,
+	"fabric":      true,
+	"gaspisim":    true,
+	"tagaspi":     true,
+	"mpisim":      true,
+	"collectives": true,
 }
 
 func run(pass *analysis.Pass) error {

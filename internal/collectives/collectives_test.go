@@ -1,0 +1,346 @@
+package collectives_test
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/collectives"
+	"repro/internal/fabric"
+	"repro/internal/obs"
+)
+
+const vecLen = 24 // divisible by every tested world size
+
+// fill writes a deterministic pseudo-random vector (LCG over rank and
+// salt) whose reduction is order-sensitive in floating point, so any
+// backend deviating from the shared combine order breaks bit-identity.
+func fill(vec []float64, rank, salt int) {
+	s := uint64(rank)*2654435761 + uint64(salt)*40503 + 12345
+	for i := range vec {
+		s = s*6364136223846793005 + 1442695040888963407
+		vec[i] = float64(int64(s>>33))/float64(1<<20) - 1000
+	}
+}
+
+// backendResults collects, per rank, every output buffer of the mixed
+// collective sequence runSequence issues.
+type backendResults struct {
+	allred1 [][]float64
+	bcast   [][]float64
+	allred2 [][]float64
+	scatter [][]float64
+	allred3 [][]float64
+}
+
+func newComm(t *testing.T, backend string, env *cluster.Env, maxElems int, opts ...collectives.Option) *collectives.Comm {
+	t.Helper()
+	switch backend {
+	case "mpi":
+		return collectives.NewMPI(env.MPI, maxElems, opts...)
+	case "gaspi":
+		c, err := collectives.NewGASPI(env.GASPI, maxElems, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	case "tagaspi":
+		c, err := collectives.NewTAGASPI(env.TAGASPI, env.RT, maxElems, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	t.Fatalf("unknown backend %q", backend)
+	return nil
+}
+
+func backendConfig(backend string, nodes int) cluster.Config {
+	cfg := cluster.Config{
+		Nodes: nodes, RanksPerNode: 1,
+		Profile: fabric.ProfileIdeal(),
+		Seed:    42,
+	}
+	if backend == "tagaspi" {
+		cfg.CoresPerRank = 2
+		cfg.WithTasking = true
+		cfg.WithTAGASPI = true
+		cfg.TAGASPIPoll = 5 * time.Microsecond
+	}
+	return cfg
+}
+
+// runSequence issues a mixed multi-epoch collective sequence — two
+// same-parity ring collectives separated by a broadcast, a mixed-op
+// allreduce and a reduce-scatter — exercising staging-parity reuse, ring
+// consumption acks and the broadcast's aggregated-ack reuse on every
+// backend.
+func runSequence(t *testing.T, backend string, nodes int) *backendResults {
+	t.Helper()
+	n := nodes
+	res := &backendResults{
+		allred1: make([][]float64, n), bcast: make([][]float64, n),
+		allred2: make([][]float64, n), scatter: make([][]float64, n),
+		allred3: make([][]float64, n),
+	}
+	cluster.Run(backendConfig(backend, nodes), func(env *cluster.Env) {
+		r := int(env.Rank)
+		c := newComm(t, backend, env, vecLen)
+
+		in := make([]float64, vecLen)
+		fill(in, r, 1)
+		out1 := make([]float64, vecLen)
+		c.Allreduce(in, out1, collectives.Sum)
+		c.Drain()
+
+		b := make([]float64, vecLen)
+		root := (n - 1) % n
+		if r == root {
+			for i := range b {
+				b[i] = out1[i] * 0.5
+			}
+		}
+		c.Broadcast(b, root)
+		c.Drain()
+
+		in2 := make([]float64, vecLen)
+		fill(in2, r, 2)
+		out2 := make([]float64, vecLen)
+		c.Allreduce(in2, out2, collectives.Max) // same parity as epoch 0's ring
+		c.Drain()
+
+		rs := make([]float64, vecLen/n)
+		c.ReduceScatter(b, rs, collectives.Sum)
+		c.Drain()
+
+		out3 := make([]float64, vecLen)
+		c.Allreduce(out2, out3, collectives.Sum)
+		c.Drain()
+
+		res.allred1[r], res.bcast[r] = out1, b
+		res.allred2[r], res.scatter[r] = out2, rs
+		res.allred3[r] = out3
+	})
+	return res
+}
+
+func bitsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestCrossBackendBitIdentical is the DESIGN.md §12 equivalence contract:
+// the same collective sequence must produce bit-identical results on the
+// blocking-MPI, blocking-GASPI and task-aware backends, at world sizes
+// covering the even/odd ring and full/partial tree cases. Run under -race
+// by the CI collectives gate.
+func TestCrossBackendBitIdentical(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 8} {
+		ref := runSequence(t, "mpi", n)
+		// Allreduce results must also agree across ranks.
+		for r := 1; r < n; r++ {
+			if !bitsEqual(ref.allred1[0], ref.allred1[r]) ||
+				!bitsEqual(ref.allred3[0], ref.allred3[r]) {
+				t.Fatalf("n=%d: allreduce results differ across ranks", n)
+			}
+		}
+		for _, backend := range []string{"gaspi", "tagaspi"} {
+			got := runSequence(t, backend, n)
+			for r := 0; r < n; r++ {
+				if !bitsEqual(ref.allred1[r], got.allred1[r]) {
+					t.Errorf("n=%d rank %d: %s allreduce(sum) deviates from mpi", n, r, backend)
+				}
+				if !bitsEqual(ref.bcast[r], got.bcast[r]) {
+					t.Errorf("n=%d rank %d: %s broadcast deviates from mpi", n, r, backend)
+				}
+				if !bitsEqual(ref.allred2[r], got.allred2[r]) {
+					t.Errorf("n=%d rank %d: %s allreduce(max) deviates from mpi", n, r, backend)
+				}
+				if !bitsEqual(ref.scatter[r], got.scatter[r]) {
+					t.Errorf("n=%d rank %d: %s reduce-scatter deviates from mpi", n, r, backend)
+				}
+				if !bitsEqual(ref.allred3[r], got.allred3[r]) {
+					t.Errorf("n=%d rank %d: %s chained allreduce deviates from mpi", n, r, backend)
+				}
+			}
+		}
+	}
+}
+
+// TestReduceScatterOwnership pins the owned-chunk convention: rank r ends
+// with chunk (r+1) mod n of the reduced vector, matching where the ring
+// reduce-scatter finishes.
+func TestReduceScatterOwnership(t *testing.T) {
+	const n = 4
+	full := make([]float64, vecLen) // element-wise sum over ranks, any order
+	ins := make([][]float64, n)
+	for r := 0; r < n; r++ {
+		ins[r] = make([]float64, vecLen)
+		fill(ins[r], r, 9)
+		for i, v := range ins[r] {
+			full[i] += v
+		}
+	}
+	chunk := vecLen / n
+	got := make([][]float64, n)
+	cluster.Run(backendConfig("gaspi", n), func(env *cluster.Env) {
+		r := int(env.Rank)
+		c := newComm(t, "gaspi", env, vecLen)
+		rs := make([]float64, chunk)
+		c.ReduceScatter(ins[r], rs, collectives.Sum)
+		got[r] = rs
+	})
+	for r := 0; r < n; r++ {
+		o := (r + 1) % n
+		for i := 0; i < chunk; i++ {
+			want := full[o*chunk+i]
+			if math.Abs(got[r][i]-want) > 1e-9*math.Abs(want) {
+				t.Fatalf("rank %d chunk elem %d = %g, want ~%g (chunk %d)", r, i, got[r][i], want, o)
+			}
+		}
+	}
+}
+
+// traceBytes runs one instrumented task-aware collective sequence and
+// returns the serialised trace.
+func traceBytes(t *testing.T, backend string) []byte {
+	t.Helper()
+	const n = 4
+	col := obs.NewCollector(n)
+	cfg := backendConfig(backend, n)
+	cfg.Profile = fabric.ProfileOmniPath()
+	cfg.Recorder = col
+	cluster.Run(cfg, func(env *cluster.Env) {
+		r := int(env.Rank)
+		c := newComm(t, backend, env, vecLen,
+			collectives.WithRecorder(col), collectives.WithElemCost(env.CostOf(1)))
+		in := make([]float64, vecLen)
+		fill(in, r, 3)
+		out := make([]float64, vecLen)
+		c.Allreduce(in, out, collectives.Sum)
+		c.Drain()
+		c.Broadcast(out, 0)
+		c.Drain()
+		rs := make([]float64, vecLen/n)
+		c.ReduceScatter(out, rs, collectives.Sum)
+		c.Drain()
+	})
+	var buf bytes.Buffer
+	if err := col.Tracer.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("empty trace")
+	}
+	return buf.Bytes()
+}
+
+// TestInstrumentedTraceDeterminism requires byte-identical traces across
+// repeated seeded collective runs on every backend — the property the CI
+// collectives-determinism gate checks end to end through cmd/figures.
+func TestInstrumentedTraceDeterminism(t *testing.T) {
+	for _, backend := range []string{"mpi", "gaspi", "tagaspi"} {
+		ref := traceBytes(t, backend)
+		for i := 0; i < 2; i++ {
+			if !bytes.Equal(ref, traceBytes(t, backend)) {
+				t.Fatalf("%s: instrumented collective trace diverged on rerun %d", backend, i)
+			}
+		}
+	}
+}
+
+// TestLinkOutageMidRing drives an allreduce ring through a hard link
+// outage covering the job's start. The task-aware backend must absorb the
+// GASPI-class failures through the tagaspi retry policy (retries > 0, no
+// gave-ups) and still produce the correct sum; the blocking-MPI backend's
+// drops retransmit transparently inside mpisim.
+func TestLinkOutageMidRing(t *testing.T) {
+	const n = 4
+	outEnd := 200 * time.Microsecond
+	for _, backend := range []string{"tagaspi", "mpi"} {
+		cfg := backendConfig(backend, n)
+		cfg.Profile = fabric.ProfileOmniPath()
+		cfg.Seed = 11
+		cfg.Faults = fabric.FaultPlan{
+			Outages: []fabric.Outage{{
+				Link:  fabric.Link{SrcNode: -1, DstNode: -1},
+				Start: 0, End: outEnd,
+			}},
+		}
+		sums := make([][]float64, n)
+		var retries, gaveup int64
+		res := cluster.Run(cfg, func(env *cluster.Env) {
+			r := int(env.Rank)
+			c := newComm(t, backend, env, vecLen)
+			in := make([]float64, vecLen)
+			for i := range in {
+				in[i] = float64(r + 1)
+			}
+			out := make([]float64, vecLen)
+			c.Allreduce(in, out, collectives.Sum)
+			c.Drain()
+			sums[r] = out
+			if env.TAGASPI != nil {
+				retries += env.TAGASPI.Retries()
+				gaveup += env.TAGASPI.GaveUp()
+			}
+		})
+		want := float64(n * (n + 1) / 2)
+		for r := 0; r < n; r++ {
+			for i, v := range sums[r] {
+				if v != want {
+					t.Fatalf("%s rank %d elem %d = %g, want %g (data lost across outage)", backend, r, i, v, want)
+				}
+			}
+		}
+		if res.Elapsed < outEnd {
+			t.Errorf("%s: job finished at %v, inside the outage window ending %v", backend, res.Elapsed, outEnd)
+		}
+		if backend == "tagaspi" {
+			if retries == 0 {
+				t.Error("tagaspi: outage absorbed without a single retry — fault plane not exercised")
+			}
+			if gaveup != 0 {
+				t.Errorf("tagaspi: %d operations abandoned", gaveup)
+			}
+		}
+	}
+}
+
+// TestOperandValidation pins the gaspi_allreduce-style operand
+// restrictions: zero length, over-length, non-divisible length and
+// mismatched out all panic.
+func TestOperandValidation(t *testing.T) {
+	cluster.Run(backendConfig("mpi", 2), func(env *cluster.Env) {
+		if env.Rank != 0 {
+			return
+		}
+		c := collectives.NewMPI(env.MPI, 8)
+		for name, bad := range map[string]func(){
+			"zero length":     func() { c.Allreduce(nil, nil, collectives.Sum) },
+			"over maxElems":   func() { c.Allreduce(make([]float64, 10), make([]float64, 10), collectives.Sum) },
+			"indivisible":     func() { c.Allreduce(make([]float64, 3), make([]float64, 3), collectives.Sum) },
+			"length mismatch": func() { c.Allreduce(make([]float64, 4), make([]float64, 6), collectives.Sum) },
+			"bad root":        func() { c.Broadcast(make([]float64, 4), 7) },
+			"bad rs out":      func() { c.ReduceScatter(make([]float64, 4), make([]float64, 4), collectives.Sum) },
+		} {
+			func() {
+				defer func() {
+					if recover() == nil {
+						t.Errorf("%s: no panic", name)
+					}
+				}()
+				bad()
+			}()
+		}
+	})
+}

@@ -1,0 +1,225 @@
+// The blocking one-sided backend: every ring step is one
+// gaspi_write_notify into the right neighbour's staging slot, awaited
+// with gaspi_notify_waitsome (parking the rank main); the broadcast walks
+// the binomial tree the same way. Staging-slot reuse across epochs is
+// made safe by explicit consumption acknowledgements (gaspi_notify), not
+// by timing: a writer never reuses a remote region before the owner
+// acknowledged consuming its previous content — see DESIGN.md §12.
+
+package collectives
+
+import (
+	"fmt"
+
+	"repro/internal/gaspisim"
+	"repro/internal/memory"
+)
+
+// Segment layout (identical on every rank; all offsets derive from the
+// collectively-agreed maxElems):
+//
+//	[0, 2*steps*chunkMax*8)  ring staging: per parity, one slot per step
+//	[bcastOff, +maxElems*8)  broadcast payload buffer (ack-protected)
+//	[sendOff, +chunkMax*8)   local send slot (packed outgoing chunk)
+
+// segSize returns the reserved segment's byte size for a world of n
+// ranks: parity-doubled ring staging, the broadcast buffer and the local
+// send slot.
+func segSize(n, maxElems, chunkMax, steps int) int {
+	return (2*steps+1)*chunkMax*memory.F64Bytes + maxElems*memory.F64Bytes
+}
+
+// ringSlotOff returns the staging offset of ring step g under the given
+// epoch parity.
+//
+//tagalint:hotpath
+func (c *Comm) ringSlotOff(parity, g int) int {
+	return (parity*c.steps + g) * c.chunkMax * memory.F64Bytes
+}
+
+// bcastOff returns the broadcast payload buffer's offset.
+//
+//tagalint:hotpath
+func (c *Comm) bcastOff() int {
+	return 2 * c.steps * c.chunkMax * memory.F64Bytes
+}
+
+// sendOff returns the local send slot's offset.
+//
+//tagalint:hotpath
+func (c *Comm) sendOff() int {
+	return c.bcastOff() + c.maxElems*memory.F64Bytes
+}
+
+// Notification-id namespace: each collective epoch owns a stride of
+// steps+1 consecutive ids; within an epoch, ring arrivals use +g and the
+// ring consumption ack +steps, while broadcast epochs (which never mint
+// ring ids) use +0 for the payload and +1+childIndex for subtree acks.
+// Ids are never reused across epochs, so a laggard's stale notification
+// can never alias a newer one.
+
+// nidStride returns the per-epoch notification-id stride.
+//
+//tagalint:hotpath
+func (c *Comm) nidStride() int { return c.steps + 1 }
+
+// ringNid returns the arrival notification id of ring step g in epoch e.
+//
+//tagalint:hotpath
+func (c *Comm) ringNid(epoch, g int) gaspisim.NotificationID {
+	return gaspisim.NotificationID(epoch*c.nidStride() + g)
+}
+
+// ringAckNid returns the consumption-ack id of ring epoch e.
+//
+//tagalint:hotpath
+func (c *Comm) ringAckNid(epoch int) gaspisim.NotificationID {
+	return gaspisim.NotificationID(epoch*c.nidStride() + c.steps)
+}
+
+// bcastPayloadNid returns the broadcast payload arrival id of epoch e.
+//
+//tagalint:hotpath
+func (c *Comm) bcastPayloadNid(epoch int) gaspisim.NotificationID {
+	return gaspisim.NotificationID(epoch * c.nidStride())
+}
+
+// bcastAckNid returns the subtree-consumption ack id a parent awaits from
+// its idx-th child in epoch e.
+//
+//tagalint:hotpath
+func (c *Comm) bcastAckNid(epoch, idx int) gaspisim.NotificationID {
+	return gaspisim.NotificationID(epoch*c.nidStride() + 1 + idx)
+}
+
+// bcastFlowID derives the causal-edge id of a broadcast payload hop into
+// dst (the ring steps use stepFlowID; 1<<20 keeps the step spaces apart).
+func bcastFlowID(epoch, dst int) int64 {
+	return stepFlowID(epoch, 1<<20, dst)
+}
+
+// consumeNotification awaits and resets one notification, validating the
+// carried value against the expected epoch — a cheap corruption check on
+// the staging protocol.
+func (c *Comm) consumeNotification(nid gaspisim.NotificationID, epoch int) {
+	id, ok := c.g.NotifyWaitSome(Seg, nid, 1, gaspisim.Block)
+	if !ok {
+		panic(fmt.Sprintf("collectives: notify_waitsome(%d) failed in epoch %d", nid, epoch))
+	}
+	if v, _ := c.g.NotifyReset(Seg, id); v != int64(epoch) {
+		panic(fmt.Sprintf("collectives: notification %d carries epoch %d, want %d — staging protocol violated", id, v, epoch))
+	}
+}
+
+// waitRingCredit blocks until the right neighbour has acknowledged
+// consuming every staging slot of the previous same-parity ring epoch,
+// so this epoch's writes cannot clobber unread data (the credit-2 flow
+// control of DESIGN.md §12).
+func (c *Comm) waitRingCredit(epoch int) {
+	if prev := c.lastRing[epoch&1]; prev >= 0 {
+		c.consumeNotification(c.ringAckNid(prev), prev)
+	}
+}
+
+// gaspiRing runs the ring schedule of one blocking one-sided collective:
+// reduce-scatter alone (full=false) or reduce-scatter + allgather
+// (full=true), over the working vector out.
+func (c *Comm) gaspiRing(epoch int, out []float64, op Op, full bool) {
+	n, me := c.n, c.rank
+	chunk := len(out) / n
+	steps := n - 1
+	name := "coll.reduce_scatter"
+	if full {
+		steps = 2 * (n - 1)
+		name = "coll.allreduce"
+	}
+	right := gaspisim.Rank(mod(me+1, n))
+	left := gaspisim.Rank(mod(me-1, n))
+	parity := epoch & 1
+	chunkBytes := chunk * memory.F64Bytes
+	segB := c.seg.Bytes()
+
+	c.waitRingCredit(epoch)
+	opStart := c.clk.Now()
+	phaseStart := opStart
+	for g := 0; g < steps; g++ {
+		sc := ringSendChunk(me, n, g)
+		packF64(segB[c.sendOff():], out[sc*chunk:(sc+1)*chunk])
+		nid := c.ringNid(epoch, g)
+		c.flowStart(c.clk.Now(), stepFlowID(epoch, g, int(right)))
+		must(c.g.WriteNotify(Seg, c.sendOff(), right, Seg, c.ringSlotOff(parity, g),
+			chunkBytes, nid, int64(epoch), c.queue, nil))
+		c.g.Wait(c.queue) // local completion: the send slot is reusable
+
+		c.consumeNotification(nid, epoch)
+		c.flowFinish(c.clk.Now(), stepFlowID(epoch, g, me))
+		rc := ringRecvChunk(me, n, g)
+		slot := segB[c.ringSlotOff(parity, g):]
+		dst := out[rc*chunk : (rc+1)*chunk]
+		if g < n-1 {
+			combineF64(dst, slot, op)
+		} else {
+			copyF64(dst, slot)
+		}
+		c.compute(chunk)
+		if full && g == n-2 {
+			c.span("coll:reduce_scatter", phaseStart, c.clk.Now(), int64(epoch))
+			phaseStart = c.clk.Now()
+		}
+	}
+	if full {
+		c.span("coll:allgather", phaseStart, c.clk.Now(), int64(epoch))
+	} else {
+		c.span("coll:reduce_scatter", phaseStart, c.clk.Now(), int64(epoch))
+	}
+	// Acknowledge to the writer of my staging slots (the left neighbour)
+	// that every slot of this epoch is consumed.
+	must(c.g.Notify(left, Seg, c.ringAckNid(epoch), int64(epoch), c.queue, nil))
+	c.g.Wait(c.queue)
+	c.lastRing[parity] = epoch
+	c.latency(name, c.clk.Now()-opStart)
+}
+
+// gaspiBcast runs the binomial-tree broadcast of one blocking one-sided
+// collective. Acks aggregate bottom-up: a rank acknowledges its parent
+// only after its whole subtree consumed, so the root's return implies
+// every rank consumed this epoch's payload — what makes the single
+// broadcast buffer reusable by any later root (DESIGN.md §12).
+func (c *Comm) gaspiBcast(epoch int, buf []float64, root int) {
+	n, me := c.n, c.rank
+	vr := mod(me-root, n)
+	vecBytes := len(buf) * memory.F64Bytes
+	segB := c.seg.Bytes()
+	pay := c.bcastPayloadNid(epoch)
+	start := c.clk.Now()
+
+	if vr == 0 {
+		packF64(segB[c.bcastOff():], buf)
+	} else {
+		c.consumeNotification(pay, epoch)
+		c.flowFinish(c.clk.Now(), bcastFlowID(epoch, me))
+	}
+	treeChildren(vr, n, func(_, child int) {
+		dst := mod(child+root, n)
+		c.flowStart(c.clk.Now(), bcastFlowID(epoch, dst))
+		must(c.g.WriteNotify(Seg, c.bcastOff(), gaspisim.Rank(dst), Seg, c.bcastOff(),
+			vecBytes, pay, int64(epoch), c.queue, nil))
+	})
+	c.g.Wait(c.queue) // forwards locally complete: the buffer is stable to read
+	if vr != 0 {
+		copyF64(buf, segB[c.bcastOff():])
+		c.compute(len(buf))
+	}
+	// Await the subtree acks, then (non-root) ack the parent.
+	treeChildren(vr, n, func(idx, _ int) {
+		c.consumeNotification(c.bcastAckNid(epoch, idx), epoch)
+	})
+	if vr != 0 {
+		parent := gaspisim.Rank(mod(treeParent(vr)+root, n))
+		must(c.g.Notify(parent, Seg, c.bcastAckNid(epoch, treeChildIndex(vr, n)),
+			int64(epoch), c.queue, nil))
+		c.g.Wait(c.queue)
+	}
+	c.span("coll:bcast", start, c.clk.Now(), int64(epoch))
+	c.latency("coll.bcast", c.clk.Now()-start)
+}

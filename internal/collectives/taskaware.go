@@ -1,0 +1,261 @@
+// The task-aware TAGASPI backend: the same ring/tree schedule as the
+// blocking backends, but every step is a task. A step task's *execution*
+// is gated on its predecessor chunk's arrival through a
+// tagaspi_notify_iwait external event registered in the task's onready
+// hook — the polling service fulfils it when the notification lands, so
+// no worker ever parks inside a collective wait. A step's write binds
+// its *completion* to the task's events (tagaspi_write_notify), so the
+// chain's dependency order doubles as local-completion order and the
+// single send slot stays safe without gaspi_wait. This lifts the paper's
+// §IV point-to-point integration idiom to whole collectives.
+
+package collectives
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/gaspisim"
+	"repro/internal/memory"
+	"repro/internal/tasking"
+)
+
+// taStep is the per-step capture record of a task-aware collective
+// chain: the comm, schedule coordinates and operand views one submitted
+// task needs. Records recycle through stepPool — after a task body hands
+// its record to releaseStep, nothing may touch it again.
+//
+//tagalint:pooled
+type taStep struct {
+	c     *Comm
+	epoch int
+	g     int // ring step index; broadcast tasks store the root here
+	op    Op
+	full  bool
+	prev  int // ring-credit epoch step 0 awaits (-1: none)
+	in    []float64
+	work  []float64
+	rsOut []float64
+}
+
+// stepPool recycles taStep records across collectives; step submission is
+// the task-aware send path's only allocation site, and with the pool warm
+// it allocates nothing.
+var stepPool = sync.Pool{New: func() any { return new(taStep) }}
+
+// newStep draws a step record bound to the comm and epoch.
+//
+//tagalint:hotpath
+func newStep(c *Comm, epoch, g int) *taStep {
+	s := stepPool.Get().(*taStep)
+	s.c, s.epoch, s.g, s.prev = c, epoch, g, -1
+	return s
+}
+
+// releaseStep zeroes a spent record and returns it to the pool.
+//
+//tagalint:pooled release
+//tagalint:hotpath
+func releaseStep(s *taStep) {
+	*s = taStep{}
+	stepPool.Put(s)
+}
+
+// taRing submits the task chain of one task-aware ring collective:
+// steps+1 tasks serialised InOut on the comm's key, task g gated on
+// arrival g-1 (task 0 on the previous same-parity ring epoch's
+// consumption ack), the final task acknowledging consumption and copying
+// the reduce-scatter result. The call returns after submission; results
+// materialise when the chain completes.
+func (c *Comm) taRing(epoch int, in, work, rsOut []float64, op Op, full bool) {
+	steps := c.n - 1
+	if full {
+		steps = 2 * (c.n - 1)
+	}
+	parity := epoch & 1
+	prev := c.lastRing[parity]
+	c.lastRing[parity] = epoch
+	for g := 0; g <= steps; g++ {
+		s := newStep(c, epoch, g)
+		s.op, s.full = op, full
+		s.in, s.work, s.rsOut = in, work, rsOut
+		if g == 0 {
+			s.prev = prev
+		}
+		c.rt.Submit(func(t *tasking.Task) {
+			s.ringRun(t)
+			releaseStep(s)
+		},
+			tasking.WithDeps(tasking.InOutVal(c.key)),
+			tasking.WithOnReady(s.ringOnReady),
+			tasking.WithLabel("coll:step"))
+	}
+}
+
+// ringOnReady registers the external events gating a ring step task:
+// step 0 the ring-credit ack of the previous same-parity epoch, every
+// later step the arrival notification of its predecessor chunk.
+func (s *taStep) ringOnReady(t *tasking.Task) {
+	if s.g == 0 {
+		if s.prev >= 0 {
+			s.c.tg.NotifyIwait(t, Seg, s.c.ringAckNid(s.prev), nil)
+		}
+		return
+	}
+	s.c.tg.NotifyIwait(t, Seg, s.c.ringNid(s.epoch, s.g-1), nil)
+}
+
+// ringRun is a ring step task's body: consume the predecessor arrival
+// (already fulfilled — execution was gated on it), combine, and push this
+// step's chunk; the final task closes the phase spans, acknowledges
+// consumption to the left neighbour and lands the reduce-scatter result.
+func (s *taStep) ringRun(t *tasking.Task) {
+	c := s.c
+	n, me := c.n, c.rank
+	chunk := len(s.work) / n
+	steps := n - 1
+	if s.full {
+		steps = 2 * (n - 1)
+	}
+	parity := s.epoch & 1
+	chunkBytes := chunk * memory.F64Bytes
+	segB := c.seg.Bytes()
+
+	if s.g == 0 {
+		c.taOpStart = c.clk.Now()
+		c.taPhaseStart = c.taOpStart
+		copy(s.work, s.in)
+	} else {
+		j := s.g - 1
+		c.flowFinish(c.clk.Now(), stepFlowID(s.epoch, j, me))
+		rc := ringRecvChunk(me, n, j)
+		slot := segB[c.ringSlotOff(parity, j):]
+		dst := s.work[rc*chunk : (rc+1)*chunk]
+		if j < n-1 {
+			combineF64(dst, slot, s.op)
+		} else {
+			copyF64(dst, slot)
+		}
+		if c.elemCost > 0 {
+			t.Compute(c.elemCost * time.Duration(chunk))
+		}
+		if s.full && j == n-2 {
+			c.span("coll:reduce_scatter", c.taPhaseStart, c.clk.Now(), int64(s.epoch))
+			c.taPhaseStart = c.clk.Now()
+		}
+	}
+	if s.g < steps {
+		sc := ringSendChunk(me, n, s.g)
+		right := gaspisim.Rank(mod(me+1, n))
+		packF64(segB[c.sendOff():], s.work[sc*chunk:(sc+1)*chunk])
+		c.flowStart(c.clk.Now(), stepFlowID(s.epoch, s.g, int(right)))
+		must(c.tg.WriteNotify(t, Seg, c.sendOff(), right, Seg,
+			c.ringSlotOff(parity, s.g), chunkBytes,
+			c.ringNid(s.epoch, s.g), int64(s.epoch), c.queue))
+		return
+	}
+	if s.full {
+		c.span("coll:allgather", c.taPhaseStart, c.clk.Now(), int64(s.epoch))
+		c.latency("coll.allreduce", c.clk.Now()-c.taOpStart)
+	} else {
+		c.span("coll:reduce_scatter", c.taPhaseStart, c.clk.Now(), int64(s.epoch))
+		c.latency("coll.reduce_scatter", c.clk.Now()-c.taOpStart)
+	}
+	if s.rsOut != nil {
+		copy(s.rsOut, c.ownedChunk(s.work))
+	}
+	must(c.tg.Notify(t, gaspisim.Rank(mod(me-1, n)), Seg,
+		c.ringAckNid(s.epoch), int64(s.epoch), c.queue))
+}
+
+// taBcast submits the two-task chain of one task-aware broadcast: a
+// payload task (gated on the parent's write_notify arrival; forwards to
+// the subtree and lands the vector) and an ack task (gated on the direct
+// children's subtree acks; acknowledges upward) — the same bottom-up
+// aggregated consumption protocol as the blocking backend.
+func (c *Comm) taBcast(epoch int, buf []float64, root int) {
+	pay := newStep(c, epoch, root)
+	pay.in = buf
+	c.rt.Submit(func(t *tasking.Task) {
+		pay.bcastRun(t)
+		releaseStep(pay)
+	},
+		tasking.WithDeps(tasking.InOutVal(c.key)),
+		tasking.WithOnReady(pay.bcastOnReady),
+		tasking.WithLabel("coll:bcast"))
+
+	ack := newStep(c, epoch, root)
+	c.rt.Submit(func(t *tasking.Task) {
+		ack.bcastAckRun(t)
+		releaseStep(ack)
+	},
+		tasking.WithDeps(tasking.InOutVal(c.key)),
+		tasking.WithOnReady(ack.bcastAckOnReady),
+		tasking.WithLabel("coll:bcast_ack"))
+}
+
+// bcastOnReady gates a non-root payload task on the parent's
+// write_notify arrival.
+func (s *taStep) bcastOnReady(t *tasking.Task) {
+	if mod(s.c.rank-s.g, s.c.n) != 0 {
+		s.c.tg.NotifyIwait(t, Seg, s.c.bcastPayloadNid(s.epoch), nil)
+	}
+}
+
+// bcastRun is the payload task's body: root packs its vector into the
+// broadcast buffer, everyone forwards to their subtree children, and
+// non-roots land the buffer into their vector.
+func (s *taStep) bcastRun(t *tasking.Task) {
+	c := s.c
+	n, me, root := c.n, c.rank, s.g
+	vr := mod(me-root, n)
+	vecBytes := len(s.in) * memory.F64Bytes
+	segB := c.seg.Bytes()
+	pay := c.bcastPayloadNid(s.epoch)
+
+	c.taOpStart = c.clk.Now()
+	if vr == 0 {
+		packF64(segB[c.bcastOff():], s.in)
+	} else {
+		c.flowFinish(c.clk.Now(), bcastFlowID(s.epoch, me))
+	}
+	treeChildren(vr, n, func(_, child int) {
+		dst := mod(child+root, n)
+		c.flowStart(c.clk.Now(), bcastFlowID(s.epoch, dst))
+		must(c.tg.WriteNotify(t, Seg, c.bcastOff(), gaspisim.Rank(dst), Seg,
+			c.bcastOff(), vecBytes, pay, int64(s.epoch), c.queue))
+	})
+	if vr != 0 {
+		copyF64(s.in, segB[c.bcastOff():])
+		if c.elemCost > 0 {
+			t.Compute(c.elemCost * time.Duration(len(s.in)))
+		}
+	}
+}
+
+// bcastAckOnReady gates the ack task on every direct child's subtree ack
+// (their ids are contiguous in the child enumeration).
+func (s *taStep) bcastAckOnReady(t *tasking.Task) {
+	c := s.c
+	vr := mod(c.rank-s.g, c.n)
+	kids := 0
+	treeChildren(vr, c.n, func(_, _ int) { kids++ })
+	if kids > 0 {
+		c.tg.NotifyIwaitAll(t, Seg, c.bcastAckNid(s.epoch, 0), kids, nil)
+	}
+}
+
+// bcastAckRun is the ack task's body: with the whole subtree known
+// consumed, acknowledge upward and close the broadcast span.
+func (s *taStep) bcastAckRun(t *tasking.Task) {
+	c := s.c
+	n, me, root := c.n, c.rank, s.g
+	vr := mod(me-root, n)
+	if vr != 0 {
+		parent := gaspisim.Rank(mod(treeParent(vr)+root, n))
+		must(c.tg.Notify(t, parent, Seg,
+			c.bcastAckNid(s.epoch, treeChildIndex(vr, n)), int64(s.epoch), c.queue))
+	}
+	c.span("coll:bcast", c.taOpStart, c.clk.Now(), int64(s.epoch))
+	c.latency("coll.bcast", c.clk.Now()-c.taOpStart)
+}

@@ -1,0 +1,41 @@
+package figures
+
+import "testing"
+
+// TestFigCollectivesBlockedShare pins the collectives figure's acceptance
+// property: the task-aware backend's critical-path worker-blocked share
+// (notify_wait + mpi_lock_wait) is strictly below both blocking backends
+// at the largest swept node count — its ring steps are event-gated tasks,
+// so nothing parks in a collective wait — while every latency sample
+// stays positive and aligned.
+func TestFigCollectivesBlockedShare(t *testing.T) {
+	f := FigCollectives(Opts{Preset: Quick})
+	get := func(name string) []float64 {
+		t.Helper()
+		for _, s := range f.Series {
+			if s.Name == name {
+				if len(s.Y) != len(f.X) {
+					t.Fatalf("series %q misaligned: %d samples for %d x", name, len(s.Y), len(f.X))
+				}
+				return s.Y
+			}
+		}
+		t.Fatalf("series %q missing", name)
+		return nil
+	}
+	for _, v := range collVariants {
+		for i, y := range get(v.name) {
+			if y <= 0 || y != y {
+				t.Errorf("%s latency at n=%g is %v", v.name, f.X[i], y)
+			}
+		}
+	}
+	last := len(f.X) - 1
+	ta := get(collBlockedSeries(collVariants[2]))[last]
+	mpi := get(collBlockedSeries(collVariants[0]))[last]
+	gaspi := get(collBlockedSeries(collVariants[1]))[last]
+	if !(ta < mpi && ta < gaspi) {
+		t.Fatalf("task-aware blocked share %.2f%% not below blocking backends (mpi %.2f%%, gaspi %.2f%%) at n=%g",
+			ta, mpi, gaspi, f.X[last])
+	}
+}

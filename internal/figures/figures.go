@@ -95,6 +95,7 @@ func All() map[string]Generator {
 		"onready": AblationOnready,
 		"faults":  AblationFaultInjection,
 		"blame":   AblationCritPathBlame,
+		"coll":    FigCollectives,
 	}
 }
 
@@ -106,7 +107,7 @@ func IDs() []string {
 	}
 	sort.Strings(ids)
 	// Keep the paper's order first.
-	order := []string{"9", "10", "11", "12", "13a", "13b", "lock", "poll", "rma", "onready", "faults", "blame"}
+	order := []string{"9", "10", "11", "12", "13a", "13b", "coll", "lock", "poll", "rma", "onready", "faults", "blame"}
 	return order[:len(ids)]
 }
 

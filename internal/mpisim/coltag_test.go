@@ -1,0 +1,119 @@
+package mpisim
+
+import (
+	"testing"
+)
+
+// TestCollectiveTagNamespace pins the reserved-tag contract: every
+// (epoch, round) tag is <= -2 (below AnyTag and every application tag)
+// and unique across a deep epoch/round grid, so collective traffic can
+// never match an application receive or another collective's round.
+func TestCollectiveTagNamespace(t *testing.T) {
+	seen := make(map[int]struct{})
+	for epoch := 0; epoch < 256; epoch++ {
+		for round := 0; round < CollectiveRounds; round++ {
+			tag := CollectiveTag(epoch, round)
+			if tag > -2 {
+				t.Fatalf("CollectiveTag(%d,%d) = %d, must be <= -2", epoch, round, tag)
+			}
+			if tag == AnyTag {
+				t.Fatalf("CollectiveTag(%d,%d) collides with AnyTag", epoch, round)
+			}
+			if _, dup := seen[tag]; dup {
+				t.Fatalf("CollectiveTag(%d,%d) = %d already minted", epoch, round, tag)
+			}
+			seen[tag] = struct{}{}
+		}
+	}
+}
+
+// TestCollectiveTagRoundBounds requires a panic when a round index leaves
+// the epoch's budget — silent aliasing into the next epoch's tag space
+// was the overlap bug this allocator replaces.
+func TestCollectiveTagRoundBounds(t *testing.T) {
+	for _, round := range []int{-1, CollectiveRounds, CollectiveRounds + 7} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("CollectiveTag(0,%d): no panic", round)
+				}
+			}()
+			CollectiveTag(0, round)
+		}()
+	}
+}
+
+// TestCollectiveIsendRejectsAppTags requires the collective entry points
+// to reject tags outside the reserved space, so a caller cannot
+// accidentally route collective rounds over application tags.
+func TestCollectiveIsendRejectsAppTags(t *testing.T) {
+	withWorld(1, 2, testProfile(), func(p *Proc) {
+		if p.Rank() != 0 {
+			return
+		}
+		for _, tag := range []int{0, 7, AnyTag} {
+			func() {
+				defer func() {
+					if recover() == nil {
+						t.Errorf("CollectiveIsend(tag=%d): no panic", tag)
+					}
+				}()
+				p.CollectiveIsend([]byte{1}, 1, tag)
+			}()
+		}
+	})
+}
+
+// TestCollectiveEpochSharedCounter verifies that built-in collectives and
+// external CollectiveEpoch callers draw from one per-process counter:
+// epochs reserved around a Barrier/Allreduce never repeat, which is what
+// keeps layered collective tags (internal/collectives) disjoint from the
+// built-ins' in-flight traffic.
+func TestCollectiveEpochSharedCounter(t *testing.T) {
+	withWorld(1, 2, testProfile(), func(p *Proc) {
+		before := p.CollectiveEpoch()
+		p.Barrier()
+		p.Allreduce([]float64{float64(p.Rank() + 1)}, OpSum)
+		after := p.CollectiveEpoch()
+		// One epoch for Barrier, one for Allreduce's reduce phase
+		// (its bcast phase reuses round slots of the same epoch).
+		if after-before != 3 {
+			t.Errorf("epoch counter advanced %d across Barrier+Allreduce, want 3", after-before)
+		}
+	})
+}
+
+// TestAppTrafficImmuneToCollectives interleaves application
+// point-to-point traffic — including a wildcard receive posted before the
+// collectives start — with built-in collective rounds. The wildcard must
+// match only the application send: reserved collective tags (<= -2) are
+// outside the AnyTag context (communicator context separation), so no
+// collective round may ever surface in an application receive.
+func TestAppTrafficImmuneToCollectives(t *testing.T) {
+	withWorld(1, 4, testProfile(), func(p *Proc) {
+		// Post the wildcard receive first so any mis-tagged collective
+		// round would be free to match it.
+		var appReq *Request
+		buf := make([]byte, 4)
+		if p.Rank() == 1 {
+			appReq = p.Irecv(buf, 0, AnyTag)
+		}
+		p.Barrier()
+		sum := p.Allreduce([]float64{float64(p.Rank())}, OpSum)
+		bc := []byte{byte(p.Rank())}
+		p.Bcast(bc, 2)
+		p.Barrier()
+		if p.Rank() == 0 {
+			p.Send([]byte("app!"), 1, 9)
+		}
+		if p.Rank() == 1 {
+			st := p.Wait(appReq)
+			if st.Tag != 9 || string(buf) != "app!" {
+				t.Errorf("wildcard receive matched tag %d payload %q, want tag 9 %q — collective traffic leaked into the app tag space", st.Tag, buf, "app!")
+			}
+		}
+		if sum[0] != 6 {
+			t.Errorf("allreduce sum = %g, want 6", sum[0])
+		}
+	})
+}

@@ -114,7 +114,7 @@ type Proc struct {
 	unexpected []*inMsg
 	nextWin    int
 	wins       map[int]*Win
-	barrierTag int
+	colEpoch   int // collective-epoch allocator (CollectiveEpoch)
 
 	// Progress-engine bookkeeping (§VI-C, DESIGN.md §10): couriers note
 	// each delivery here instead of taking libLock themselves, and the
@@ -136,6 +136,10 @@ func (p *Proc) Rank() Rank { return p.rank }
 
 // Size returns the world size.
 func (p *Proc) Size() int { return len(p.world.procs) }
+
+// Clock returns the process's virtual clock, for layers built on top of
+// the Proc (internal/collectives) that stamp their own trace spans.
+func (p *Proc) Clock() vclock.Clock { return p.clk }
 
 // LockStats reports the library-lock resource statistics: Busy+Waited is
 // the modelled total time inside MPI (the §VI-C metric).
@@ -221,7 +225,17 @@ type postedRecv struct {
 }
 
 func (pr *postedRecv) matches(src Rank, tag int) bool {
-	return (pr.src == AnySource || pr.src == src) && (pr.tag == AnyTag || pr.tag == tag)
+	if pr.src != AnySource && pr.src != src {
+		return false
+	}
+	if pr.tag == AnyTag {
+		// Wildcards live in the application context: reserved collective
+		// tags (<= -2, from CollectiveTag) are never eligible, mirroring
+		// MPI's communicator context separation — an AnyTag receive posted
+		// across a collective must not swallow one of its rounds.
+		return tag >= 0
+	}
+	return pr.tag == tag
 }
 
 // msgKind discriminates protocol messages.

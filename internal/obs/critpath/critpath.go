@@ -73,13 +73,13 @@ func (c Class) String() string {
 
 // Report is the critical-path blame attribution of one run.
 type Report struct {
-	Makespan   time.Duration            // end of the last event in the trace
-	Ranks      int                      // distinct ranks seen
-	Events     int                      // events analysed
-	Segments   int                      // blame segments on the critical path
-	Jumps      int                      // cross-rank jumps along the path
-	Blame      [numClasses]ClassBlame   // per-class attribution, canonical order
-	Attributed time.Duration            // total time attributed (== Makespan when the walk reaches t=0)
+	Makespan   time.Duration          // end of the last event in the trace
+	Ranks      int                    // distinct ranks seen
+	Events     int                    // events analysed
+	Segments   int                    // blame segments on the critical path
+	Jumps      int                    // cross-rank jumps along the path
+	Blame      [numClasses]ClassBlame // per-class attribution, canonical order
+	Attributed time.Duration          // total time attributed (== Makespan when the walk reaches t=0)
 }
 
 // ClassBlame is one class's share of the critical path.
@@ -107,10 +107,10 @@ type spanRef struct {
 
 // flowRef is one paired flow edge as seen from its finish endpoint.
 type flowRef struct {
-	fTs    time.Duration // finish timestamp (on the waiting rank)
-	sTs    time.Duration // start timestamp (on the causing rank)
-	sRank  int
-	class  Class // blame class of the edge interval [sTs, fTs]
+	fTs   time.Duration // finish timestamp (on the waiting rank)
+	sTs   time.Duration // start timestamp (on the causing rank)
+	sRank int
+	class Class // blame class of the edge interval [sTs, fTs]
 }
 
 // classify maps a span event to its covering priority, blame class and
@@ -144,6 +144,9 @@ func edgeClass(name string) Class {
 		return ClassNotifyWait
 	case "flow:lock":
 		return ClassMPILockWait
+	case "flow:coll":
+		return ClassFabric // collective per-step chunk movement
+
 	case "flow:task":
 		return ClassIdle // dependency-release and scheduling slack
 	}

@@ -36,6 +36,7 @@ const (
 	CatNotify Cat = "notify" // notification waits and fulfilments
 	CatPoll   Cat = "poll"   // task-aware polling-task passes
 	CatFabric Cat = "fabric" // wire/NIC activity: injection and delivery
+	CatColl   Cat = "coll"   // collective phases: reduce-scatter/allgather/bcast
 	CatObs    Cat = "obs"    // tracer self-diagnostics: drop/clamp warnings
 )
 
@@ -56,6 +57,9 @@ const (
 	TrackMPI Track = 24
 	// TrackNotify carries notification fulfilments and waits.
 	TrackNotify Track = 30
+	// TrackColl carries collective-phase spans (reduce-scatter, allgather,
+	// broadcast) and per-step collective flow edges.
+	TrackColl Track = 31
 	// trackQueueBase starts the per-queue GASPI rows: queue q draws on
 	// QueueTrack(q).
 	trackQueueBase Track = 32
@@ -97,6 +101,8 @@ func TrackName(t Track) string {
 		return "mpi"
 	case t == TrackNotify:
 		return "notify"
+	case t == TrackColl:
+		return "coll"
 	case t >= trackQueueBase && t < TrackFabricTx:
 		return "gaspi q" + itoa(int(t-trackQueueBase))
 	case t == TrackFabricTx:
@@ -139,6 +145,7 @@ const (
 	FlowKindLock   int64 = 2 // MPI THREAD_MULTIPLE lock-acquire edges
 	FlowKindTask   int64 = 3 // task-dependency release edges
 	FlowKindNotify int64 = 4 // GASPI notification fulfilment edges
+	FlowKindColl   int64 = 5 // collective per-step data-movement edges
 )
 
 // FlowID derives a deterministic causal-flow edge id from a kind

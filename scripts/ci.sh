@@ -58,7 +58,9 @@ echo "== host-time regression gate: per-message budget at the 256-node scale poi
 go test -run 'TestPerMessageHostBudget' ./internal/figures
 grep -q '"fig":"9-scale"' BENCH_host.json
 grep -q '"fig":"10-scale"' BENCH_host.json
+grep -q '"fig":"coll-scale"' BENCH_host.json
 grep -q '"fig":"9-scale","series":"TAGASPI","x":256' BENCH_host.json
+grep -q '"fig":"coll-scale","series":"TAGASPI task-aware","x":64' BENCH_host.json
 
 # Bench smoke: the host-time benchmarks must run, and a quick figure run
 # with host times included must produce a valid BENCH_host.json-shaped
@@ -85,6 +87,21 @@ go run ./cmd/figures -all -quick -parallel 4 -json "$fig_a" -json-host=false > /
 go run ./cmd/figures -all -quick -parallel 4 -json "$fig_b" -json-host=false > /dev/null
 cmp "$fig_a" "$fig_b"
 
+# Collectives determinism gate (DESIGN.md §12): two seeded instrumented
+# regenerations of the collectives figure — ring allreduce over the
+# blocking-MPI, blocking-GASPI and task-aware backends, with critical-path
+# blame shares — must serialize byte-identically. Ring staging parities,
+# notification ids, reserved tags and flow-edge ids are all deterministic
+# functions of the collective epoch, so no backend may introduce
+# host-order dependence.
+echo "== collectives determinism gate: two seeded runs, byte-identical JSON"
+coll_a="$(mktemp -t figures-coll-a.XXXXXX.json)"
+coll_b="$(mktemp -t figures-coll-b.XXXXXX.json)"
+trap 'rm -f "$fig_a" "$fig_b" "$coll_a" "$coll_b"' EXIT
+go run ./cmd/figures -fig coll -quick -parallel 4 -json "$coll_a" -json-host=false > /dev/null
+go run ./cmd/figures -fig coll -quick -parallel 4 -json "$coll_b" -json-host=false > /dev/null
+cmp "$coll_a" "$coll_b"
+
 # Fault-determinism gate: the fault plane draws every decision from
 # seeded per-path streams in virtual time (DESIGN.md §9), so two seeded
 # -faults runs must produce byte-identical host-time-free output. A -race
@@ -94,7 +111,7 @@ echo "== fault determinism gate: two seeded -faults runs, byte-identical output"
 go build -o /tmp/ci-heat-bin ./cmd/heat
 fault_a="$(mktemp -t heat-faults-a.XXXXXX.txt)"
 fault_b="$(mktemp -t heat-faults-b.XXXXXX.txt)"
-trap 'rm -f "$fig_a" "$fig_b" "$fault_a" "$fault_b"' EXIT
+trap 'rm -f "$fig_a" "$fig_b" "$coll_a" "$coll_b" "$fault_a" "$fault_b"' EXIT
 /tmp/ci-heat-bin -variant tagaspi -nodes 2 -rows 256 -cols 256 -steps 4 \
     -faults 0.05 -host=false > "$fault_a"
 /tmp/ci-heat-bin -variant tagaspi -nodes 2 -rows 256 -cols 256 -steps 4 \
@@ -112,7 +129,7 @@ go test -race -run TestLinkOutageRecovery ./internal/cluster
 echo "== trace smoke: concurrent instrumented cmd/heat runs + cmd/trace -check"
 trace_tmp="$(mktemp -t heat-trace.XXXXXX.json)"
 trace_tmp2="$(mktemp -t heat-trace2.XXXXXX.json)"
-trap 'rm -f "$fig_a" "$fig_b" "$fault_a" "$fault_b" "$trace_tmp" "$trace_tmp2"' EXIT
+trap 'rm -f "$fig_a" "$fig_b" "$coll_a" "$coll_b" "$fault_a" "$fault_b" "$trace_tmp" "$trace_tmp2"' EXIT
 /tmp/ci-heat-bin -variant tagaspi -nodes 2 -rpn 1 -cores 2 \
     -rows 128 -cols 256 -steps 2 -block 64 \
     -trace "$trace_tmp" -metrics > /dev/null &
@@ -134,7 +151,7 @@ echo "== blame determinism gate: two seeded instrumented runs, byte-identical re
 blame_a="$(mktemp -t heat-blame-a.XXXXXX.txt)"
 blame_b="$(mktemp -t heat-blame-b.XXXXXX.txt)"
 blame_t="$(mktemp -t heat-blame-t.XXXXXX.txt)"
-trap 'rm -f "$fig_a" "$fig_b" "$fault_a" "$fault_b" "$trace_tmp" "$trace_tmp2" "$blame_a" "$blame_b" "$blame_t"' EXIT
+trap 'rm -f "$fig_a" "$fig_b" "$coll_a" "$coll_b" "$fault_a" "$fault_b" "$trace_tmp" "$trace_tmp2" "$blame_a" "$blame_b" "$blame_t"' EXIT
 /tmp/ci-heat-bin -variant tagaspi -nodes 2 -rpn 1 -cores 2 \
     -rows 128 -cols 256 -steps 2 -block 64 -host=false \
     -blame "$blame_a" > /dev/null
