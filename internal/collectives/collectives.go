@@ -20,8 +20,9 @@
 // (schedule.go), so a given reduction combines values in the same order
 // everywhere and results are bit-identical across backends — the
 // cross-backend equivalence contract DESIGN.md §12 documents, along with
-// the epoch/tag namespace rules and the consumption-acknowledgement flow
-// control that makes staging-slot reuse safe.
+// the epoch/tag namespace rules and the flow control — ring consumption
+// acks and broadcast rendezvous credits — that makes staging-slot reuse
+// safe.
 //
 // Every rank must issue the same collective sequence on a Comm (the MPI
 // ordering requirement); epochs, notification ids and reserved tags are
@@ -240,7 +241,10 @@ func (c *Comm) Size() int { return c.n }
 // len(out), be divisible by the world size and not exceed maxElems (the
 // gaspi_allreduce element-count restriction, documented in DESIGN.md
 // §12). On the task-aware backend the call only submits the chain; out
-// holds the result after Drain (or behind successor tasks on the comm).
+// holds the result after Drain (or behind successor tasks on the comm),
+// and — MPI nonblocking semantics — the caller must not modify in or
+// read out until the chain has run: step 0 reads in at task execution
+// time, not at submission.
 func (c *Comm) Allreduce(in, out []float64, op Op) {
 	c.checkVec(in, out)
 	epoch := c.nextEpoch()
@@ -266,7 +270,8 @@ func (c *Comm) Allreduce(in, out []float64, op Op) {
 // as MPI_Reduce_scatter_block does with the ring ownership rotated by
 // one (the chunk a ring reduce-scatter naturally finishes on each rank).
 // Same length restrictions as Allreduce; out must hold len(in)/n
-// elements.
+// elements. Task-aware: submitted only — in must stay unmodified and out
+// unread until the chain runs (Drain or successor tasks on the comm).
 func (c *Comm) ReduceScatter(in, out []float64, op Op) {
 	if c.n == 1 {
 		if len(out) != len(in) {
@@ -299,10 +304,13 @@ func (c *Comm) ReduceScatter(in, out []float64, op Op) {
 // Broadcast distributes root's buf to every rank's buf (MPI_Bcast) down a
 // binomial tree rooted there: ceil(log2 n) forwarding levels, each one a
 // gaspi_write_notify (one-sided backends) or a reserved-tag send (MPI).
-// One-sided receivers acknowledge consumption back to their parent, which
-// is what makes the single broadcast staging buffer reusable across
-// epochs (DESIGN.md §12). len(buf) must not exceed maxElems. Task-aware:
-// submitted, materialises at Drain.
+// On the one-sided backends a parent writes a child's payload only after
+// that child's rendezvous credit for this epoch, which is what makes the
+// single broadcast staging buffer reusable across epochs — including
+// back-to-back broadcasts from different roots (DESIGN.md §12). len(buf)
+// must not exceed maxElems. Task-aware: submitted only — root's buf must
+// stay unmodified and receivers' buf unread until the chain runs (Drain
+// or successor tasks on the comm).
 func (c *Comm) Broadcast(buf []float64, root int) {
 	if len(buf) == 0 || len(buf) > c.maxElems {
 		panic(fmt.Sprintf("collectives: broadcast length %d outside (0,%d]", len(buf), c.maxElems))

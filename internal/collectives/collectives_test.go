@@ -75,7 +75,7 @@ func backendConfig(backend string, nodes int) cluster.Config {
 // runSequence issues a mixed multi-epoch collective sequence — two
 // same-parity ring collectives separated by a broadcast, a mixed-op
 // allreduce and a reduce-scatter — exercising staging-parity reuse, ring
-// consumption acks and the broadcast's aggregated-ack reuse on every
+// consumption acks and the broadcast's rendezvous-credit reuse on every
 // backend.
 func runSequence(t *testing.T, backend string, nodes int) *backendResults {
 	t.Helper()
@@ -170,6 +170,50 @@ func TestCrossBackendBitIdentical(t *testing.T) {
 				}
 				if !bitsEqual(ref.allred3[r], got.allred3[r]) {
 					t.Errorf("n=%d rank %d: %s chained allreduce deviates from mpi", n, r, backend)
+				}
+			}
+		}
+	}
+}
+
+// TestBroadcastRotatingRoots is the regression test for the broadcast
+// rendezvous-credit flow control: back-to-back broadcasts whose roots
+// rotate every epoch reuse the single staging buffer under maximal
+// overlap (the task-aware backend submits every epoch before draining
+// once). An acknowledgement scheme tied to the previous epoch's tree
+// cannot order these — e.g. n=4, epoch e rooted at 0 delivering via
+// 0->2->3 while epoch f rooted at 1 writes straight to 3 — so without
+// per-edge credits a late rank silently reads the wrong epoch's payload.
+func TestBroadcastRotatingRoots(t *testing.T) {
+	for _, backend := range []string{"mpi", "gaspi", "tagaspi"} {
+		for _, n := range []int{4, 8} {
+			epochs := 2 * n // every root twice, covering wrap-around reuse
+			got := make([][][]float64, n)
+			cfg := backendConfig(backend, n)
+			cfg.Profile = fabric.ProfileOmniPath()
+			cluster.Run(cfg, func(env *cluster.Env) {
+				r := int(env.Rank)
+				c := newComm(t, backend, env, vecLen)
+				bufs := make([][]float64, epochs)
+				for e := 0; e < epochs; e++ {
+					bufs[e] = make([]float64, vecLen)
+					root := e % n
+					if r == root {
+						fill(bufs[e], root, 100+e)
+					}
+					c.Broadcast(bufs[e], root)
+				}
+				c.Drain()
+				got[r] = bufs
+			})
+			want := make([]float64, vecLen)
+			for e := 0; e < epochs; e++ {
+				fill(want, e%n, 100+e)
+				for r := 0; r < n; r++ {
+					if !bitsEqual(got[r][e], want) {
+						t.Fatalf("%s n=%d: rank %d holds the wrong payload after broadcast epoch %d (root %d)",
+							backend, n, r, e, e%n)
+					}
 				}
 			}
 		}

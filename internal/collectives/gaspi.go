@@ -2,9 +2,10 @@
 // gaspi_write_notify into the right neighbour's staging slot, awaited
 // with gaspi_notify_waitsome (parking the rank main); the broadcast walks
 // the binomial tree the same way. Staging-slot reuse across epochs is
-// made safe by explicit consumption acknowledgements (gaspi_notify), not
-// by timing: a writer never reuses a remote region before the owner
-// acknowledged consuming its previous content — see DESIGN.md §12.
+// made safe by explicit flow control (gaspi_notify), not by timing: ring
+// writers hold same-parity epochs until the consumer's ack, and a
+// broadcast parent holds each child's payload write until that child's
+// rendezvous credit proves its buffer free — see DESIGN.md §12.
 
 package collectives
 
@@ -54,9 +55,9 @@ func (c *Comm) sendOff() int {
 // Notification-id namespace: each collective epoch owns a stride of
 // steps+1 consecutive ids; within an epoch, ring arrivals use +g and the
 // ring consumption ack +steps, while broadcast epochs (which never mint
-// ring ids) use +0 for the payload and +1+childIndex for subtree acks.
-// Ids are never reused across epochs, so a laggard's stale notification
-// can never alias a newer one.
+// ring ids) use +0 for the payload and +1+childIndex for the per-child
+// rendezvous credits. Ids are never reused across epochs, so a laggard's
+// stale notification can never alias a newer one.
 
 // nidStride returns the per-epoch notification-id stride.
 //
@@ -84,11 +85,11 @@ func (c *Comm) bcastPayloadNid(epoch int) gaspisim.NotificationID {
 	return gaspisim.NotificationID(epoch * c.nidStride())
 }
 
-// bcastAckNid returns the subtree-consumption ack id a parent awaits from
-// its idx-th child in epoch e.
+// bcastCreditNid returns the rendezvous-credit id a parent awaits from
+// its idx-th child in epoch e before writing that child's payload.
 //
 //tagalint:hotpath
-func (c *Comm) bcastAckNid(epoch, idx int) gaspisim.NotificationID {
+func (c *Comm) bcastCreditNid(epoch, idx int) gaspisim.NotificationID {
 	return gaspisim.NotificationID(epoch*c.nidStride() + 1 + idx)
 }
 
@@ -181,10 +182,14 @@ func (c *Comm) gaspiRing(epoch int, out []float64, op Op, full bool) {
 }
 
 // gaspiBcast runs the binomial-tree broadcast of one blocking one-sided
-// collective. Acks aggregate bottom-up: a rank acknowledges its parent
-// only after its whole subtree consumed, so the root's return implies
-// every rank consumed this epoch's payload — what makes the single
-// broadcast buffer reusable by any later root (DESIGN.md §12).
+// collective. Buffer reuse is made safe by a per-edge rendezvous: a
+// non-root rank's first action in an epoch is a credit gaspi_notify to
+// that epoch's tree parent, and a parent never write_notifies the
+// payload to a child before consuming that child's credit. Entering the
+// epoch proves (per-rank program order) the child consumed every earlier
+// broadcast payload — whichever tree delivered it — so the credit, unlike
+// any acknowledgement scheme tied to the *previous* epoch's tree, stays
+// sound when successive roots differ (DESIGN.md §12).
 func (c *Comm) gaspiBcast(epoch int, buf []float64, root int) {
 	n, me := c.n, c.rank
 	vr := mod(me-root, n)
@@ -196,11 +201,18 @@ func (c *Comm) gaspiBcast(epoch int, buf []float64, root int) {
 	if vr == 0 {
 		packF64(segB[c.bcastOff():], buf)
 	} else {
+		// Rendezvous: the buffer is free (all prior payloads consumed),
+		// tell this epoch's parent before blocking on the payload.
+		parent := gaspisim.Rank(mod(treeParent(vr)+root, n))
+		must(c.g.Notify(parent, Seg, c.bcastCreditNid(epoch, treeChildIndex(vr, n)),
+			int64(epoch), c.queue, nil))
+		c.g.Wait(c.queue)
 		c.consumeNotification(pay, epoch)
 		c.flowFinish(c.clk.Now(), bcastFlowID(epoch, me))
 	}
-	treeChildren(vr, n, func(_, child int) {
+	treeChildren(vr, n, func(idx, child int) {
 		dst := mod(child+root, n)
+		c.consumeNotification(c.bcastCreditNid(epoch, idx), epoch)
 		c.flowStart(c.clk.Now(), bcastFlowID(epoch, dst))
 		must(c.g.WriteNotify(Seg, c.bcastOff(), gaspisim.Rank(dst), Seg, c.bcastOff(),
 			vecBytes, pay, int64(epoch), c.queue, nil))
@@ -209,16 +221,6 @@ func (c *Comm) gaspiBcast(epoch int, buf []float64, root int) {
 	if vr != 0 {
 		copyF64(buf, segB[c.bcastOff():])
 		c.compute(len(buf))
-	}
-	// Await the subtree acks, then (non-root) ack the parent.
-	treeChildren(vr, n, func(idx, _ int) {
-		c.consumeNotification(c.bcastAckNid(epoch, idx), epoch)
-	})
-	if vr != 0 {
-		parent := gaspisim.Rank(mod(treeParent(vr)+root, n))
-		must(c.g.Notify(parent, Seg, c.bcastAckNid(epoch, treeChildIndex(vr, n)),
-			int64(epoch), c.queue, nil))
-		c.g.Wait(c.queue)
 	}
 	c.span("coll:bcast", start, c.clk.Now(), int64(epoch))
 	c.latency("coll.bcast", c.clk.Now()-start)

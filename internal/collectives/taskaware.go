@@ -12,6 +12,7 @@
 package collectives
 
 import (
+	"fmt"
 	"sync"
 	"time"
 
@@ -36,6 +37,10 @@ type taStep struct {
 	in    []float64
 	work  []float64
 	rsOut []float64
+	// evVals captures the values of the step's notify_iwait
+	// registrations, checked by the body against the expected epoch —
+	// the task-aware half of consumeNotification's corruption tripwire.
+	evVals []int64
 }
 
 // stepPool recycles taStep records across collectives; step submission is
@@ -52,13 +57,39 @@ func newStep(c *Comm, epoch, g int) *taStep {
 	return s
 }
 
-// releaseStep zeroes a spent record and returns it to the pool.
+// releaseStep zeroes a spent record and returns it to the pool, keeping
+// the value-capture scratch so its capacity survives recycling.
 //
 //tagalint:pooled release
 //tagalint:hotpath
 func releaseStep(s *taStep) {
+	vals := s.evVals[:0]
 	*s = taStep{}
+	s.evVals = vals
 	stepPool.Put(s)
+}
+
+// evSlots returns the step's value-capture array resized to n slots, each
+// reset to -1 (no epoch) so a never-fulfilled registration cannot pass
+// the epoch check by accident.
+func (s *taStep) evSlots(n int) []int64 {
+	if cap(s.evVals) < n {
+		s.evVals = make([]int64, n)
+	}
+	s.evVals = s.evVals[:n]
+	for i := range s.evVals {
+		s.evVals[i] = -1
+	}
+	return s.evVals
+}
+
+// checkEvVal panics unless iwait slot i carries the expected epoch,
+// mirroring consumeNotification: a flow-control bug on the task-aware
+// path must fail loudly, not yield wrong floats.
+func (s *taStep) checkEvVal(i, epoch int) {
+	if v := s.evVals[i]; v != int64(epoch) {
+		panic(fmt.Sprintf("collectives: task-aware iwait slot %d carries epoch %d, want %d — staging protocol violated", i, v, epoch))
+	}
 }
 
 // taRing submits the task chain of one task-aware ring collective:
@@ -96,13 +127,14 @@ func (c *Comm) taRing(epoch int, in, work, rsOut []float64, op Op, full bool) {
 // step 0 the ring-credit ack of the previous same-parity epoch, every
 // later step the arrival notification of its predecessor chunk.
 func (s *taStep) ringOnReady(t *tasking.Task) {
+	vals := s.evSlots(1)
 	if s.g == 0 {
 		if s.prev >= 0 {
-			s.c.tg.NotifyIwait(t, Seg, s.c.ringAckNid(s.prev), nil)
+			s.c.tg.NotifyIwait(t, Seg, s.c.ringAckNid(s.prev), &vals[0])
 		}
 		return
 	}
-	s.c.tg.NotifyIwait(t, Seg, s.c.ringNid(s.epoch, s.g-1), nil)
+	s.c.tg.NotifyIwait(t, Seg, s.c.ringNid(s.epoch, s.g-1), &vals[0])
 }
 
 // ringRun is a ring step task's body: consume the predecessor arrival
@@ -122,11 +154,15 @@ func (s *taStep) ringRun(t *tasking.Task) {
 	segB := c.seg.Bytes()
 
 	if s.g == 0 {
+		if s.prev >= 0 {
+			s.checkEvVal(0, s.prev) // the same-parity ring credit
+		}
 		c.taOpStart = c.clk.Now()
 		c.taPhaseStart = c.taOpStart
 		copy(s.work, s.in)
 	} else {
 		j := s.g - 1
+		s.checkEvVal(0, s.epoch) // the predecessor chunk's arrival
 		c.flowFinish(c.clk.Now(), stepFlowID(s.epoch, j, me))
 		rc := ringRecvChunk(me, n, j)
 		slot := segB[c.ringSlotOff(parity, j):]
@@ -169,11 +205,22 @@ func (s *taStep) ringRun(t *tasking.Task) {
 }
 
 // taBcast submits the two-task chain of one task-aware broadcast: a
-// payload task (gated on the parent's write_notify arrival; forwards to
-// the subtree and lands the vector) and an ack task (gated on the direct
-// children's subtree acks; acknowledges upward) — the same bottom-up
-// aggregated consumption protocol as the blocking backend.
+// credit task (grants this epoch's tree parent the rendezvous credit —
+// running at all proves, by chain order, that every earlier payload
+// landed in this rank's vector, so the buffer is free) and a payload
+// task (gated on the parent's write_notify arrival plus the direct
+// children's credits; forwards to the subtree and lands the vector) —
+// the same per-edge rendezvous protocol as the blocking backend, safe
+// under root changes between epochs.
 func (c *Comm) taBcast(epoch int, buf []float64, root int) {
+	cred := newStep(c, epoch, root)
+	c.rt.Submit(func(t *tasking.Task) {
+		cred.bcastCreditRun(t)
+		releaseStep(cred)
+	},
+		tasking.WithDeps(tasking.InOutVal(c.key)),
+		tasking.WithLabel("coll:bcast_credit"))
+
 	pay := newStep(c, epoch, root)
 	pay.in = buf
 	c.rt.Submit(func(t *tasking.Task) {
@@ -183,28 +230,42 @@ func (c *Comm) taBcast(epoch int, buf []float64, root int) {
 		tasking.WithDeps(tasking.InOutVal(c.key)),
 		tasking.WithOnReady(pay.bcastOnReady),
 		tasking.WithLabel("coll:bcast"))
-
-	ack := newStep(c, epoch, root)
-	c.rt.Submit(func(t *tasking.Task) {
-		ack.bcastAckRun(t)
-		releaseStep(ack)
-	},
-		tasking.WithDeps(tasking.InOutVal(c.key)),
-		tasking.WithOnReady(ack.bcastAckOnReady),
-		tasking.WithLabel("coll:bcast_ack"))
 }
 
-// bcastOnReady gates a non-root payload task on the parent's
-// write_notify arrival.
-func (s *taStep) bcastOnReady(t *tasking.Task) {
-	if mod(s.c.rank-s.g, s.c.n) != 0 {
-		s.c.tg.NotifyIwait(t, Seg, s.c.bcastPayloadNid(s.epoch), nil)
+// bcastCreditRun is the credit task's body: open the broadcast span and
+// (non-root) grant this epoch's parent the rendezvous credit.
+func (s *taStep) bcastCreditRun(t *tasking.Task) {
+	c := s.c
+	c.taOpStart = c.clk.Now()
+	vr := mod(c.rank-s.g, c.n)
+	if vr != 0 {
+		parent := gaspisim.Rank(mod(treeParent(vr)+s.g, c.n))
+		must(c.tg.Notify(t, parent, Seg,
+			c.bcastCreditNid(s.epoch, treeChildIndex(vr, c.n)), int64(s.epoch), c.queue))
 	}
 }
 
+// bcastOnReady gates the payload task on the parent's write_notify
+// arrival (non-root) and on every direct child's rendezvous credit, all
+// with value capture for the epoch tripwire.
+func (s *taStep) bcastOnReady(t *tasking.Task) {
+	c := s.c
+	vr := mod(c.rank-s.g, c.n)
+	kids := 0
+	treeChildren(vr, c.n, func(_, _ int) { kids++ })
+	vals := s.evSlots(1 + kids)
+	if vr != 0 {
+		c.tg.NotifyIwait(t, Seg, c.bcastPayloadNid(s.epoch), &vals[0])
+	}
+	treeChildren(vr, c.n, func(idx, _ int) {
+		c.tg.NotifyIwait(t, Seg, c.bcastCreditNid(s.epoch, idx), &vals[1+idx])
+	})
+}
+
 // bcastRun is the payload task's body: root packs its vector into the
-// broadcast buffer, everyone forwards to their subtree children, and
-// non-roots land the buffer into their vector.
+// broadcast buffer, everyone forwards to their (credit-granting) subtree
+// children, non-roots land the buffer into their vector, and the
+// broadcast span closes.
 func (s *taStep) bcastRun(t *tasking.Task) {
 	c := s.c
 	n, me, root := c.n, c.rank, s.g
@@ -213,13 +274,14 @@ func (s *taStep) bcastRun(t *tasking.Task) {
 	segB := c.seg.Bytes()
 	pay := c.bcastPayloadNid(s.epoch)
 
-	c.taOpStart = c.clk.Now()
 	if vr == 0 {
 		packF64(segB[c.bcastOff():], s.in)
 	} else {
+		s.checkEvVal(0, s.epoch) // the payload arrival
 		c.flowFinish(c.clk.Now(), bcastFlowID(s.epoch, me))
 	}
-	treeChildren(vr, n, func(_, child int) {
+	treeChildren(vr, n, func(idx, child int) {
+		s.checkEvVal(1+idx, s.epoch) // the child's rendezvous credit
 		dst := mod(child+root, n)
 		c.flowStart(c.clk.Now(), bcastFlowID(s.epoch, dst))
 		must(c.tg.WriteNotify(t, Seg, c.bcastOff(), gaspisim.Rank(dst), Seg,
@@ -230,31 +292,6 @@ func (s *taStep) bcastRun(t *tasking.Task) {
 		if c.elemCost > 0 {
 			t.Compute(c.elemCost * time.Duration(len(s.in)))
 		}
-	}
-}
-
-// bcastAckOnReady gates the ack task on every direct child's subtree ack
-// (their ids are contiguous in the child enumeration).
-func (s *taStep) bcastAckOnReady(t *tasking.Task) {
-	c := s.c
-	vr := mod(c.rank-s.g, c.n)
-	kids := 0
-	treeChildren(vr, c.n, func(_, _ int) { kids++ })
-	if kids > 0 {
-		c.tg.NotifyIwaitAll(t, Seg, c.bcastAckNid(s.epoch, 0), kids, nil)
-	}
-}
-
-// bcastAckRun is the ack task's body: with the whole subtree known
-// consumed, acknowledge upward and close the broadcast span.
-func (s *taStep) bcastAckRun(t *tasking.Task) {
-	c := s.c
-	n, me, root := c.n, c.rank, s.g
-	vr := mod(me-root, n)
-	if vr != 0 {
-		parent := gaspisim.Rank(mod(treeParent(vr)+root, n))
-		must(c.tg.Notify(t, parent, Seg,
-			c.bcastAckNid(s.epoch, treeChildIndex(vr, n)), int64(s.epoch), c.queue))
 	}
 	c.span("coll:bcast", c.taOpStart, c.clk.Now(), int64(s.epoch))
 	c.latency("coll.bcast", c.clk.Now()-c.taOpStart)
