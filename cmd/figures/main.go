@@ -7,7 +7,8 @@
 // Usage:
 //
 //	figures -fig 9            # one figure (9, 10, 11, 12, 13a, 13b, coll,
-//	                          # lock, poll, rma, onready, faults, blame)
+//	                          # lock, poll, rma, onready, faults, blame,
+//	                          # hotspot)
 //	figures -fig 9 -fig 13b   # a subset, in the order given
 //	figures -all              # everything, in paper order
 //	figures -all -quick       # reduced scale (seconds instead of minutes)

@@ -35,6 +35,13 @@ type Config struct {
 	Profile      fabric.Profile // machine cost model
 	Queues       int            // GASPI queues per process (default 4)
 
+	// Shape selects the interconnect topology (fabric.Shape). The zero
+	// value is fabric.ShapeFlat — the original single-hop model with
+	// unchanged results; ring, mesh and fat-tree route every inter-node
+	// message over shared links with per-link serialization capacity, so
+	// congestion emerges from contention (DESIGN.md §13).
+	Shape fabric.Shape
+
 	// Library selection. The MPI and GASPI worlds always exist (they cost
 	// nothing when unused); these control the task-aware layers and their
 	// polling tasks.
@@ -116,6 +123,11 @@ type Result struct {
 	// NIC is the per-node NIC port utilisation (injection/delivery
 	// serialization), in node order.
 	NIC []fabric.NICSnapshot
+	// Links is the per-link utilisation of a shaped topology
+	// (Config.Shape), in canonical link order; nil for flat jobs. Waited
+	// is the emergent backpressure signal: total time messages queued at
+	// the link's entry behind other traffic.
+	Links []fabric.LinkStats
 	// Snapshots is every component's statistics in the common obs shape:
 	// the fabric first, then per-rank MPI, GASPI, (hybrid only) tasking
 	// and (TAGASPI only) retry-policy snapshots.
@@ -177,7 +189,7 @@ func Run(cfg Config, main func(*Env)) Result {
 	} else {
 		clk = vclock.NewVirtual()
 	}
-	topo := fabric.NewTopology(cfg.Nodes, cfg.RanksPerNode)
+	topo := fabric.NewShapedTopology(cfg.Shape, cfg.Nodes, cfg.RanksPerNode)
 	fab := fabric.New(clk, topo, cfg.Profile)
 	if cfg.Faults.Enabled() {
 		fab.SetFaultPlan(cfg.Faults, fabric.FaultPlaneSeed(cfg.Seed))
@@ -271,6 +283,7 @@ func Run(cfg Config, main func(*Env)) Result {
 		}
 	})
 	res.NIC = fab.NICSnapshots()
+	res.Links = fab.LinkSnapshots()
 	res.Snapshots = append(res.Snapshots, fab.Snapshot())
 	res.Snapshots = append(res.Snapshots, mpiSnaps...)
 	res.Snapshots = append(res.Snapshots, gaspiSnaps...)

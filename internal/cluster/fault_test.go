@@ -25,7 +25,7 @@ func TestLinkOutageRecovery(t *testing.T) {
 		TAGASPIPoll: 5 * time.Microsecond,
 		Seed:        7,
 		Faults: fabric.FaultPlan{
-			Outages: []fabric.Outage{{Link: fabric.Link{SrcNode: -1, DstNode: -1}, Start: 0, End: outEnd}},
+			Outages: []fabric.Outage{{Link: fabric.AnyLink(), Start: 0, End: outEnd}},
 		},
 	}
 	bad := make(chan string, 4)

@@ -21,16 +21,23 @@ var raceEnabled bool
 // buffers are reused instead of growing, which is exactly the steady state
 // the hotalloc budget polices.
 func allocsPerMessage(t *testing.T, batch int, instrumented bool) float64 {
+	return allocsPerMessageOn(t, NewTopology(2, 1), 1, batch, instrumented)
+}
+
+// allocsPerMessageOn is allocsPerMessage on an arbitrary topology and
+// destination rank, so the multi-hop routed path (per-link Reserve,
+// courier hop events) is measured by the same harness as the flat one.
+func allocsPerMessageOn(t *testing.T, topo Topology, dst Rank, batch int, instrumented bool) float64 {
 	t.Helper()
 	clk := vclock.NewVirtual()
-	f := New(clk, NewTopology(2, 1), ProfileOmniPath())
+	f := New(clk, topo, ProfileOmniPath())
 	var col *obs.Collector
 	if instrumented {
-		col = &obs.Collector{Tracer: obs.NewTracer(2)}
+		col = &obs.Collector{Tracer: obs.NewTracer(topo.Ranks())}
 		f.SetRecorder(col)
 	}
 	delivered := make(chan struct{}, 4*batch)
-	f.Register(1, ClassMPI, func(m *Message) { delivered <- struct{}{} })
+	f.Register(dst, ClassMPI, func(m *Message) { delivered <- struct{}{} })
 
 	send := func() {
 		if col != nil {
@@ -38,7 +45,7 @@ func allocsPerMessage(t *testing.T, batch int, instrumented bool) float64 {
 		}
 		for i := 0; i < batch; i++ {
 			m := NewMessage()
-			m.Src, m.Dst, m.Class, m.Size = 0, 1, ClassMPI, 256
+			m.Src, m.Dst, m.Class, m.Size = 0, dst, ClassMPI, 256
 			f.Send(m)
 		}
 		for i := 0; i < batch; i++ {
@@ -89,5 +96,31 @@ func TestCourierAllocBudgetInstrumented(t *testing.T) {
 	t.Logf("instrumented courier path: %.2f allocs/message (budget %.1f)", per, CourierAllocBudget)
 	if per > CourierAllocBudget {
 		t.Fatalf("flow-stamped send path allocates %.2f/message, budget is %.1f", per, CourierAllocBudget)
+	}
+}
+
+// TestCourierAllocBudgetMultiHop holds the same budget on the routed
+// multi-hop path: a 6-node ring where 0 -> 3 crosses three links, so
+// every message takes three per-link Reserve calls and two courier hop
+// events on top of the flat path. Hop state lives in the pooled Message
+// and hop events reuse the courier's agenda storage, so steady-state
+// allocations must not grow with route length.
+func TestCourierAllocBudgetMultiHop(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are inflated by race-detector instrumentation")
+	}
+	topo := NewRingTopology(6, 1)
+	if r := topo.routeOf(0, 3); len(r) != 3 {
+		t.Fatalf("ring route 0->3 has %d hops, want 3", len(r))
+	}
+	per := allocsPerMessageOn(t, topo, 3, 64, false)
+	t.Logf("multi-hop courier path: %.2f allocs/message (budget %.1f)", per, CourierAllocBudget)
+	if per > CourierAllocBudget {
+		t.Fatalf("multi-hop send path allocates %.2f/message, budget is %.1f", per, CourierAllocBudget)
+	}
+	per = allocsPerMessageOn(t, topo, 3, 64, true)
+	t.Logf("instrumented multi-hop path: %.2f allocs/message (budget %.1f)", per, CourierAllocBudget)
+	if per > CourierAllocBudget {
+		t.Fatalf("instrumented multi-hop path allocates %.2f/message, budget is %.1f", per, CourierAllocBudget)
 	}
 }

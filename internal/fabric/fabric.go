@@ -50,18 +50,28 @@ const (
 	ClassGASPI              // one-sided GASPI traffic
 )
 
-// Topology maps ranks onto nodes.
+// Topology maps ranks onto nodes and, for shaped topologies (topo.go),
+// nodes onto a link graph with deterministic multi-hop routes.
 type Topology struct {
 	nodes        int
 	ranksPerNode int
+
+	// Shaped-topology state (nil/zero for flat): the shape tag, the
+	// vertex count including switches, the canonical directed-link table
+	// and the precomputed per-(src,dst) node routes as link indices.
+	shape  Shape
+	verts  int
+	links  []topoLink
+	routes [][]uint16
 }
 
-// NewTopology builds a block topology: rank r lives on node r/ranksPerNode.
+// NewTopology builds a flat block topology: rank r lives on node
+// r/ranksPerNode and every inter-node pair is a single hop.
 func NewTopology(nodes, ranksPerNode int) Topology {
 	if nodes <= 0 || ranksPerNode <= 0 {
 		panic(fmt.Sprintf("fabric: invalid topology %d nodes x %d ranks", nodes, ranksPerNode))
 	}
-	return Topology{nodes: nodes, ranksPerNode: ranksPerNode}
+	return Topology{nodes: nodes, ranksPerNode: ranksPerNode, verts: nodes}
 }
 
 // Nodes returns the node count.
@@ -213,6 +223,17 @@ type Message struct {
 	// installed; the injection courier turns it into the queue-residency
 	// latency sample.
 	enqueued time.Duration
+
+	// Multi-hop flight state (shaped topologies only; see hopStep). The
+	// fields ride on the message because several messages of one domain
+	// pipeline through the route concurrently — per-domain state would
+	// serialize the route. All are courier-owned and zeroed on release.
+	hop      int           // next link index within the domain's route
+	hopSer   time.Duration // per-link serialization occupancy
+	hopLat   time.Duration // per-link propagation latency
+	hopRx    time.Duration // destination reception cost after the last hop
+	hopSpike time.Duration // fault-plane jitter spike, applied at the last hop
+	linkWait time.Duration // accumulated link-contention wait along the route
 }
 
 // msgPool recycles Message structs across every fabric in the process.
@@ -261,6 +282,12 @@ type dom struct {
 	shard *courierShard
 	fault *pathFaults // nil: the fault plane cannot touch this domain
 
+	// route is the domain's multi-hop link route (topo.routeOf), nil for
+	// flat topologies and intra-node traffic. It never changes after
+	// addDom: routing is deterministic, so per-link statistics are a pure
+	// function of the workload.
+	route []uint16
+
 	// Flow-id assignment for causal tracing: ids are flowBase (an FNV-1a
 	// hash of the ordering-domain key, spreading domains across the id
 	// space) plus a per-domain sequence number. Sends on one domain are
@@ -281,6 +308,7 @@ type dom struct {
 	lat     time.Duration // one-way latency, including any jitter spike
 	rx      time.Duration // destination reception cost (0 intra-node)
 	inject  time.Duration // source-side port occupancy
+	spike   time.Duration // jitter spike of the current routed injection
 	intra   bool
 	attempt int
 
@@ -363,15 +391,19 @@ const (
 	evInjRetry        // retransmit backoff elapsed: next injection attempt
 	evDelStart        // flight arrived and the domain's delivery turn came
 	evDelDone         // destination port charged: invoke the handler
+	evHop             // routed message reached the entry of its next link
 )
 
 // agEvent is one pending state-machine step of a domain, scheduled on its
-// shard's agenda.
+// shard's agenda. evHop events additionally carry the in-route message:
+// hops are per-message state, because several messages of one domain
+// pipeline through the route concurrently; m is nil for every other kind.
 type agEvent struct {
 	when time.Duration
 	seq  uint64 // creation order within the shard, breaks same-instant ties
 	kind uint8
 	d    *dom
+	m    *Message
 }
 
 // agendaHeap is a (when, seq) min-heap of pending events. Same-instant
@@ -454,8 +486,8 @@ type courierShard struct {
 // in the exact order the old model produced.
 //
 //tagalint:hotpath
-func (s *courierShard) schedule(when time.Duration, kind uint8, d *dom) {
-	s.agenda.push(agEvent{when: when, seq: s.clk.AllocSeq(), kind: kind, d: d})
+func (s *courierShard) schedule(when time.Duration, kind uint8, d *dom, m *Message) {
+	s.agenda.push(agEvent{when: when, seq: s.clk.AllocSeq(), kind: kind, d: d, m: m})
 }
 
 // Stats aggregates fabric traffic counters.
@@ -477,6 +509,7 @@ type Fabric struct {
 	nicTx  []*vsync.Resource // per-NODE inter-node injection port
 	nicRx  []*vsync.Resource // per-NODE inter-node reception port
 	shm    []*vsync.Resource // per-rank intra-node copy engine
+	links  []*linkState      // per directed link of a shaped topology (nil: flat)
 	rec    obs.Recorder      // nil: uninstrumented
 	mu     sync.Mutex
 	doms   map[pathKey]*dom
@@ -549,7 +582,25 @@ func New(clk vclock.Clock, topo Topology, prof Profile) *Fabric {
 	for i := range f.shm {
 		f.shm[i] = vsync.NewResource(clk)
 	}
+	if ln := len(topo.links); ln > 0 {
+		f.links = make([]*linkState, ln)
+		for i, l := range topo.links {
+			f.links[i] = &linkState{from: l.from, to: l.to, res: vsync.NewResource(clk)}
+		}
+	}
 	return f
+}
+
+// linkState is the runtime state of one directed link of a shaped
+// topology: its serialization capacity (an arrival-order serially-served
+// resource, exactly like a NIC port) plus traffic counters. Counters are
+// atomics because the domains crossing one link may live on different
+// courier shards.
+type linkState struct {
+	from, to int
+	res      *vsync.Resource
+	msgs     atomic.Int64
+	bytes    atomic.Int64
 }
 
 // Topology returns the fabric's topology.
@@ -641,9 +692,10 @@ func (f *Fabric) addDom(key pathKey) *dom {
 	d := &dom{
 		key:      key,
 		shard:    shard,
-		fault:    f.faultsFor(key),
+		route:    f.topo.routeOf(f.topo.NodeOf(key.src), f.topo.NodeOf(key.dst)),
 		flowBase: flowBaseOf(key),
 	}
+	d.fault = f.faultsFor(key, d.route)
 	f.doms[key] = d
 	if !shard.started {
 		shard.started = true
@@ -790,10 +842,23 @@ func (f *Fabric) drainAgenda(s *courierShard) {
 //tagalint:hotpath
 func (f *Fabric) at(d *dom, when time.Duration, kind uint8) {
 	if when > f.clk.Now() {
-		d.shard.schedule(when, kind, d)
+		d.shard.schedule(when, kind, d, nil)
 		return
 	}
 	f.fire(agEvent{when: when, kind: kind, d: d})
+}
+
+// atHop is at for the per-message hop events of a routed domain: the
+// message rides on the event because several messages pipeline through
+// the route concurrently.
+//
+//tagalint:hotpath
+func (f *Fabric) atHop(d *dom, m *Message, when time.Duration) {
+	if when > f.clk.Now() {
+		d.shard.schedule(when, evHop, d, m)
+		return
+	}
+	f.fire(agEvent{when: when, kind: evHop, d: d, m: m})
 }
 
 // fire dispatches one agenda event at its scheduled instant.
@@ -817,6 +882,8 @@ func (f *Fabric) fire(ev agEvent) {
 		f.at(d, done, evDelDone)
 	case evDelDone:
 		f.delDone(d, ev.when)
+	case evHop:
+		f.hopStep(d, ev.m, ev.when)
 	}
 }
 
@@ -867,6 +934,20 @@ func (f *Fabric) startInject(d *dom, now time.Duration) {
 	if intra {
 		d.rx = 0 // intra-node copies are charged once, at injection
 	}
+	d.spike = 0
+	if d.route != nil {
+		// Routed domains traverse their link route hop by hop after local
+		// completion: each link serializes the message (full wire time for
+		// data, a header slot for control packets) and adds one hop of
+		// propagation latency, so a multi-hop path is strictly slower than
+		// the flat single hop and shared links contend.
+		m.hopLat = lat
+		m.hopSer = wire
+		if m.Control {
+			m.hopSer = f.prof.InjectOverhead / 4
+		}
+		m.hopRx = d.rx
+	}
 	d.attempt = 0
 	f.injectAttempt(d, now)
 }
@@ -893,7 +974,14 @@ func (f *Fabric) injectAttempt(d *dom, now time.Duration) {
 			return
 		}
 		if pf.jitter > 0 && pf.roll(saltJitter) < pf.jitter {
-			d.lat += pf.spike
+			if d.route != nil {
+				// Routed flights apply the spike once, at the last hop —
+				// adding it to the per-hop latency would multiply it by the
+				// route length.
+				d.spike += pf.spike
+			} else {
+				d.lat += pf.spike
+			}
 		}
 	}
 	var done time.Duration
@@ -953,19 +1041,68 @@ func (f *Fabric) injDone(d *dom, now time.Duration) {
 		f.rec.Span(int(m.Src), obs.TrackFabricTx, obs.CatFabric, "fabric:inject",
 			d.popTs, now, int64(m.Size))
 	}
-	fl := flight{m: m, arrival: now + d.lat, rx: d.rx}
-	if d.delBusy {
-		d.flights.push(fl)
+	if d.route != nil {
+		// Routed flight: the message leaves the NIC and enters the first
+		// link of its route now; hopStep carries it to arrival.
+		m.hop = 0
+		m.hopSpike = d.spike
+		m.linkWait = 0
+		f.hopStep(d, m, now)
 	} else {
-		d.delBusy = true
-		d.curFl = fl
-		start := fl.arrival
-		if d.delFree > start {
-			start = d.delFree
-		}
-		f.at(d, start, evDelStart)
+		f.arrive(d, flight{m: m, arrival: now + d.lat, rx: d.rx})
 	}
 	f.injNext(d, now)
+}
+
+// hopStep advances a routed message by one link: it books the link's
+// serialization capacity in arrival order (waiting behind whatever other
+// domains' traffic holds the link — this is where backpressure and
+// hotspots emerge), charges one hop of propagation latency, and either
+// schedules the next hop or hands the flight to the domain's delivery
+// stage. Per-domain FIFO holds: injections of one domain are serialized,
+// link service is arrival-ordered and every hop adds identical per-message
+// costs, so hop completions of one domain never reorder.
+//
+//tagalint:hotpath
+func (f *Fabric) hopStep(d *dom, m *Message, now time.Duration) {
+	l := f.links[d.route[m.hop]]
+	start, done := l.res.Reserve(m.hopSer)
+	if wait := start - now; wait > 0 {
+		m.linkWait += wait
+		if f.rec != nil {
+			f.rec.Latency("fabric.link_wait", wait)
+		}
+	}
+	l.msgs.Add(1)
+	l.bytes.Add(int64(m.Size))
+	arrival := done + m.hopLat
+	m.hop++
+	if m.hop < len(d.route) {
+		f.atHop(d, m, arrival)
+		return
+	}
+	f.arrive(d, flight{m: m, arrival: arrival + m.hopSpike, rx: m.hopRx})
+}
+
+// arrive hands a completed flight to the domain's delivery stage: starts
+// the delivery if the stage is idle, queues it behind the in-progress one
+// otherwise. Flights of one domain arrive in injection order (flat: one
+// in-flight computation; routed: hopStep's FIFO argument), so the queue
+// preserves the non-overtaking guarantee.
+//
+//tagalint:hotpath
+func (f *Fabric) arrive(d *dom, fl flight) {
+	if d.delBusy {
+		d.flights.push(fl)
+		return
+	}
+	d.delBusy = true
+	d.curFl = fl
+	start := fl.arrival
+	if d.delFree > start {
+		start = d.delFree
+	}
+	f.at(d, start, evDelStart)
 }
 
 // injNext starts the domain's next pending injection, or idles the chain.
@@ -1002,8 +1139,27 @@ func (f *Fabric) delDone(d *dom, now time.Duration) {
 	}
 	if f.rec != nil {
 		if m.Flow != 0 {
-			f.rec.Flow(int(m.Dst), obs.TrackFabricRx, obs.CatFabric, "flow:msg",
-				'f', now, m.Flow)
+			if m.linkWait > 0 {
+				// Split the edge for blame attribution: the flow:msg edge
+				// ends where uncontended transit would have delivered, and a
+				// flow:link edge (critpath class link_contend) covers the
+				// accumulated link-contention tail [now-linkWait, now]. The
+				// contention actually accrued mid-route; pinning it to the
+				// tail keeps the attributed magnitude exact without
+				// per-hop trace events. Flat runs never take this branch,
+				// so their traces stay byte-identical.
+				ts := now - m.linkWait
+				f.rec.Flow(int(m.Dst), obs.TrackFabricRx, obs.CatFabric, "flow:msg",
+					'f', ts, m.Flow)
+				id := d.nextFlowID()
+				f.rec.Flow(int(m.Dst), obs.TrackFabricRx, obs.CatFabric, "flow:link",
+					's', ts, id)
+				f.rec.Flow(int(m.Dst), obs.TrackFabricRx, obs.CatFabric, "flow:link",
+					'f', now, id)
+			} else {
+				f.rec.Flow(int(m.Dst), obs.TrackFabricRx, obs.CatFabric, "flow:msg",
+					'f', now, m.Flow)
+			}
 		}
 		f.rec.Instant(int(m.Dst), obs.TrackFabricRx, obs.CatFabric, "fabric:deliver",
 			now, int64(m.Size))
@@ -1104,8 +1260,38 @@ func (f *Fabric) NICSnapshots() []NICSnapshot {
 	return out
 }
 
+// LinkStats is the traffic and occupancy statistics of one directed link
+// of a shaped topology: its endpoints (vertex ids, see
+// Topology.Vertices), the messages and bytes that crossed it, and its
+// serialization-resource statistics — Waited is the total time messages
+// queued at the link's entry, the emergent backpressure signal.
+type LinkStats struct {
+	From, To int
+	Msgs     int64
+	Bytes    int64
+	Res      vsync.ResourceStats
+}
+
+// LinkSnapshots returns the per-link statistics of a shaped topology in
+// canonical link order, or nil for a flat topology.
+func (f *Fabric) LinkSnapshots() []LinkStats {
+	if f.links == nil {
+		return nil
+	}
+	out := make([]LinkStats, len(f.links))
+	for i, l := range f.links {
+		out[i] = LinkStats{
+			From: l.from, To: l.to,
+			Msgs: l.msgs.Load(), Bytes: l.bytes.Load(),
+			Res: l.res.Stats(),
+		}
+	}
+	return out
+}
+
 // Snapshot returns the fabric's statistics — traffic totals plus the
-// per-node NIC port occupancy — in the unified observability shape.
+// per-node NIC port occupancy and, for shaped topologies, per-link
+// occupancy — in the unified observability shape.
 func (f *Fabric) Snapshot() obs.Snapshot {
 	s := f.Stats()
 	samples := []obs.Sample{
@@ -1126,11 +1312,21 @@ func (f *Fabric) Snapshot() obs.Snapshot {
 			obs.Sample{Name: p + "nic.rx.waited", Value: nic.Rx.Waited.Seconds(), Unit: "s"},
 		)
 	}
+	for _, ls := range f.LinkSnapshots() {
+		p := fmt.Sprintf("link.%d-%d.", ls.From, ls.To)
+		samples = append(samples,
+			obs.Sample{Name: p + "msgs", Value: float64(ls.Msgs)},
+			obs.Sample{Name: p + "bytes", Value: float64(ls.Bytes), Unit: "B"},
+			obs.Sample{Name: p + "busy", Value: ls.Res.Busy.Seconds(), Unit: "s"},
+			obs.Sample{Name: p + "waited", Value: ls.Res.Waited.Seconds(), Unit: "s"},
+		)
+	}
 	return obs.Snapshot{Component: "fabric", Rank: -1, Samples: samples}
 }
 
-// Reset clears the fabric's statistics counters (traffic totals, NIC and
-// intra-node port statistics), opening a steady-state measurement window.
+// Reset clears the fabric's statistics counters (traffic totals, NIC,
+// intra-node port and per-link statistics), opening a steady-state
+// measurement window.
 // In-flight traffic and port booking state are untouched.
 func (f *Fabric) Reset() {
 	f.msgs.Store(0)
@@ -1144,6 +1340,11 @@ func (f *Fabric) Reset() {
 	}
 	for i := range f.shm {
 		f.shm[i].ResetStats()
+	}
+	for _, l := range f.links {
+		l.msgs.Store(0)
+		l.bytes.Store(0)
+		l.res.ResetStats()
 	}
 }
 

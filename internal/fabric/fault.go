@@ -44,12 +44,31 @@ func (r FaultRates) zero() bool {
 	return r.Drop <= 0 && (r.Jitter <= 0 || r.Spike <= 0)
 }
 
-// Link selects inter-node links by their endpoint nodes; a negative field
-// matches any node. The zero value selects the 0->0 link, so wildcard
-// selections must set the fields to -1 explicitly.
+// AnyNode is the wildcard vertex id for Link selectors: a field set to
+// AnyNode matches every vertex of the topology.
+const AnyNode = -1
+
+// Link selects directed links by their endpoint vertices; a negative
+// field (AnyNode) matches any vertex. On a flat topology the endpoints
+// are node ids and a link is an inter-node pair; on a shaped topology
+// (ring, mesh, fat-tree) they are route-vertex ids — nodes first, then
+// switches, see Topology.Vertices — and the selector matches the
+// individual links of a route, so a selector on an inner link applies to
+// every route crossing it.
+//
+// CAUTION: the zero value Link{} selects only the 0->0 link, not every
+// link. Wildcard intent must be explicit: use AnyLink (or set the fields
+// to AnyNode). SetFaultPlan rejects selectors naming vertices outside the
+// topology, so a typo'd id fails loudly instead of silently matching
+// nothing.
 type Link struct {
 	SrcNode, DstNode int
 }
+
+// AnyLink returns the wildcard link selector: it matches every link of
+// the topology. Use it instead of the zero value Link{}, which selects
+// only the 0->0 link.
+func AnyLink() Link { return Link{SrcNode: AnyNode, DstNode: AnyNode} }
 
 // matches reports whether the link selects the (src, dst) node pair.
 func (l Link) matches(src, dst int) bool {
@@ -108,6 +127,12 @@ func (fp FaultPlan) validate() {
 		if r.Drop < 0 || r.Drop > 1 || r.Jitter < 0 || r.Jitter > 1 {
 			panic(fmt.Sprintf("fabric: %s fault rates out of [0,1]: %+v", class, r))
 		}
+		if r.Spike < 0 {
+			// A negative spike would subtract flight latency and can hand
+			// the courier agenda an event before the current instant,
+			// violating its time ordering.
+			panic(fmt.Sprintf("fabric: %s Spike must be >= 0: %v", class, r.Spike))
+		}
 	}
 	check("MPI", fp.MPI)
 	check("GASPI", fp.GASPI)
@@ -127,6 +152,7 @@ func (fp FaultPlan) validate() {
 // a pure function of (plan, seed, workload).
 func (f *Fabric) SetFaultPlan(plan FaultPlan, seed int64) {
 	plan.validate()
+	f.validateSelectors(plan)
 	if plan.RetransmitDelay <= 0 {
 		plan.RetransmitDelay = DefaultRetransmitDelay
 	}
@@ -135,6 +161,28 @@ func (f *Fabric) SetFaultPlan(plan FaultPlan, seed int64) {
 	f.planOn = plan.Enabled()
 	f.faultSeed = seed
 	f.mu.Unlock()
+}
+
+// validateSelectors panics on Link selectors naming vertices outside the
+// fabric's topology. An out-of-range id (SrcNode: 99 on a 4-node
+// topology) used to silently match nothing, turning the fault
+// restriction or outage into a no-op; failing at plan installation makes
+// the typo loud.
+func (f *Fabric) validateSelectors(plan FaultPlan) {
+	verts := f.topo.Vertices()
+	check := func(what string, l Link) {
+		if l.SrcNode >= verts || l.DstNode >= verts {
+			panic(fmt.Sprintf(
+				"fabric: %s %+v names a vertex outside the topology (%d vertices); use AnyLink or AnyNode for wildcards",
+				what, l, verts))
+		}
+	}
+	for _, l := range plan.Links {
+		check("fault-plan link selector", l)
+	}
+	for _, o := range plan.Outages {
+		check("outage link selector", o.Link)
+	}
 }
 
 // pathFaults is the fault state of one ordering domain, owned by the
@@ -152,7 +200,15 @@ type pathFaults struct {
 // faultsFor computes the fault state of a newly created path, or nil when
 // the plan cannot fault it (intra-node, unselected link, zero class
 // rates and no covering outage). Called under f.mu from Send.
-func (f *Fabric) faultsFor(key pathKey) *pathFaults {
+//
+// On a flat topology a selector matches the (source node, destination
+// node) pair — the only link the path crosses. On a shaped topology it
+// matches the individual links of the path's route: an outage on an
+// inner link severs every route crossing it, and the decision is still
+// made at injection time (the source keeps retrying — or surfacing
+// failures — until the route heals), so the fault plane stays entirely
+// in the injection state machine.
+func (f *Fabric) faultsFor(key pathKey, route []uint16) *pathFaults {
 	if !f.planOn || f.topo.SameNode(key.src, key.dst) {
 		return nil
 	}
@@ -161,16 +217,27 @@ func (f *Fabric) faultsFor(key pathKey) *pathFaults {
 	if key.class == ClassGASPI {
 		rates = f.plan.GASPI
 	}
+	matches := func(l Link) bool {
+		if route == nil {
+			return l.matches(srcN, dstN)
+		}
+		for _, li := range route {
+			if tl := f.topo.links[li]; l.matches(tl.from, tl.to) {
+				return true
+			}
+		}
+		return false
+	}
 	covered := len(f.plan.Links) == 0
 	for _, l := range f.plan.Links {
-		if l.matches(srcN, dstN) {
+		if matches(l) {
 			covered = true
 			break
 		}
 	}
 	var outs []Outage
 	for _, o := range f.plan.Outages {
-		if o.Link.matches(srcN, dstN) {
+		if matches(o.Link) {
 			outs = append(outs, o)
 		}
 	}

@@ -215,6 +215,15 @@ func TestFaultPlanValidation(t *testing.T) {
 		"mpi-total-drop": {MPI: FaultRates{Drop: 1}},
 		"rate-above-one": {GASPI: FaultRates{Drop: 1.5}},
 		"empty-outage":   {Outages: []Outage{{Link: Link{-1, -1}, Start: time.Second, End: time.Second}}},
+		// Regression: a negative Spike used to slip through validation and
+		// subtract flight latency, handing the courier agenda an event
+		// before the current instant.
+		"negative-mpi-spike":   {MPI: FaultRates{Jitter: 0.5, Spike: -time.Microsecond}},
+		"negative-gaspi-spike": {GASPI: FaultRates{Jitter: 1, Spike: -time.Nanosecond}},
+		// Regression: out-of-range Link selectors used to silently match
+		// nothing, turning the restriction or outage into a no-op.
+		"oob-links-selector":  {MPI: FaultRates{Drop: 0.1}, Links: []Link{{SrcNode: 5, DstNode: AnyNode}}},
+		"oob-outage-selector": {Outages: []Outage{{Link: Link{SrcNode: 0, DstNode: 9}, Start: 0, End: time.Second}}},
 	} {
 		func() {
 			defer func() {
@@ -225,5 +234,94 @@ func TestFaultPlanValidation(t *testing.T) {
 			clk := vclock.NewVirtual()
 			New(clk, NewTopology(2, 1), testProfile()).SetFaultPlan(plan, 1)
 		}()
+	}
+}
+
+// TestSelectorRangeFollowsTopology pins the vertex-id space selectors are
+// validated against: switch vertices of a shaped topology are legal
+// selector targets, ids past the last switch are not.
+func TestSelectorRangeFollowsTopology(t *testing.T) {
+	clk := vclock.NewVirtual()
+	// 8-node fat-tree: 11 vertices (8 nodes, 2 leaves, 1 spine).
+	f := New(clk, NewFatTreeTopology(8, 1), testProfile())
+	// Leaf 0 (vertex 8) to the spine (vertex 10) is a real link.
+	f.SetFaultPlan(FaultPlan{
+		Outages: []Outage{{Link: Link{SrcNode: 8, DstNode: 10}, Start: 0, End: time.Microsecond}},
+	}, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("selector naming vertex 11 on an 11-vertex topology must panic")
+		}
+	}()
+	f.SetFaultPlan(FaultPlan{
+		Outages: []Outage{{Link: Link{SrcNode: 11, DstNode: AnyNode}, Start: 0, End: time.Microsecond}},
+	}, 1)
+}
+
+// TestAnyLinkWildcard pins the Link selector semantics the godoc warns
+// about: AnyLink matches every pair, the zero value only 0->0.
+func TestAnyLinkWildcard(t *testing.T) {
+	any := AnyLink()
+	for _, pair := range [][2]int{{0, 0}, {0, 1}, {3, 7}, {12, 4}} {
+		if !any.matches(pair[0], pair[1]) {
+			t.Errorf("AnyLink().matches(%d, %d) = false, want true", pair[0], pair[1])
+		}
+	}
+	var zero Link
+	if !zero.matches(0, 0) {
+		t.Error("Link{}.matches(0, 0) = false, want true")
+	}
+	if zero.matches(0, 1) || zero.matches(1, 0) {
+		t.Error("zero-value Link matched a non-0->0 pair; it must select only 0->0")
+	}
+}
+
+// TestInnerLinkOutageSeversCrossingRoutes drives two MPI streams over a
+// 4-node ring with the inner link 1->2 down until 200µs: the route
+// 0->1->2 crosses the dead link, so its delivery converges by transparent
+// retransmission only after recovery; the route 3->2 does not cross it
+// and delivers immediately. This is the shaped-topology contract of the
+// fault plane — selectors apply to the individual links of a route.
+func TestInnerLinkOutageSeversCrossingRoutes(t *testing.T) {
+	out := Outage{Link: Link{SrcNode: 1, DstNode: 2}, Start: 0, End: 200 * time.Microsecond}
+	clk := vclock.NewVirtual()
+	f := New(clk, NewRingTopology(4, 1), testProfile())
+	f.SetFaultPlan(FaultPlan{Outages: []Outage{out}, RetransmitDelay: 5 * time.Microsecond}, 3)
+	crossed := make(chan time.Duration, 1)
+	clean := make(chan time.Duration, 1)
+	f.Register(2, ClassMPI, func(m *Message) {
+		if m.Payload.(int) == 0 {
+			crossed <- clk.Now()
+		} else {
+			clean <- clk.Now()
+		}
+	})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	clk.Go(func() {
+		defer wg.Done()
+		f.Send(&Message{Src: 0, Dst: 2, Class: ClassMPI, Size: 100, Payload: 0})
+		clk.Sleep(time.Second)
+	})
+	clk.Go(func() {
+		defer wg.Done()
+		f.Send(&Message{Src: 3, Dst: 2, Class: ClassMPI, Size: 100, Payload: 1})
+		clk.Sleep(time.Second)
+	})
+	wg.Wait()
+	crossedAt, cleanAt := <-crossed, <-clean
+	if crossedAt < out.End {
+		t.Fatalf("route crossing the dead link delivered at %v, inside the outage ending %v",
+			crossedAt, out.End)
+	}
+	if crossedAt > out.End+time.Millisecond {
+		t.Fatalf("crossing route delivered at %v, long after recovery at %v", crossedAt, out.End)
+	}
+	if cleanAt >= out.End {
+		t.Fatalf("route avoiding the dead link delivered at %v, blocked by an outage it never crosses",
+			cleanAt)
+	}
+	if f.Stats().Faults == 0 {
+		t.Fatal("no fault recorded while the crossing route retransmitted through the outage")
 	}
 }

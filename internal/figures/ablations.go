@@ -83,8 +83,9 @@ func AblationCritPathBlame(o Opts) Figure {
 	}
 	p := gsParams(nodes, 32, 32, steps)
 	classes := []critpath.Class{
-		critpath.ClassCompute, critpath.ClassFabric, critpath.ClassNotifyWait,
-		critpath.ClassMPILockWait, critpath.ClassRetry, critpath.ClassIdle,
+		critpath.ClassCompute, critpath.ClassFabric, critpath.ClassLinkContend,
+		critpath.ClassNotifyWait, critpath.ClassMPILockWait, critpath.ClassRetry,
+		critpath.ClassIdle,
 	}
 	series := make([]string, len(classes))
 	for i, c := range classes {

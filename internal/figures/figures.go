@@ -96,6 +96,7 @@ func All() map[string]Generator {
 		"faults":  AblationFaultInjection,
 		"blame":   AblationCritPathBlame,
 		"coll":    FigCollectives,
+		"hotspot": FigHotspot,
 	}
 }
 
@@ -107,7 +108,9 @@ func IDs() []string {
 	}
 	sort.Strings(ids)
 	// Keep the paper's order first.
-	order := []string{"9", "10", "11", "12", "13a", "13b", "coll", "lock", "poll", "rma", "onready", "faults", "blame"}
+	// New figures append at the end so the committed BENCH_figures.json
+	// row prefix of earlier figures stays stable across additions.
+	order := []string{"9", "10", "11", "12", "13a", "13b", "coll", "lock", "poll", "rma", "onready", "faults", "blame", "hotspot"}
 	return order[:len(ids)]
 }
 

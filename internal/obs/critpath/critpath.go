@@ -8,6 +8,8 @@
 //	compute        task bodies, library call shells, posting overhead,
 //	               polling passes — time a core spent doing work
 //	fabric         message transit: Send-side flow start to delivery
+//	link_contend   queueing at the links of a shaped-topology route:
+//	               the backpressure share of transit (DESIGN.md §13)
 //	notify_wait    waiting for a remote event — a GASPI notification
 //	               sitting unobserved, or an MPI request completion park
 //	mpi_lock_wait  serialization on the MPI THREAD_MULTIPLE library lock
@@ -45,6 +47,7 @@ type Class uint8
 const (
 	ClassCompute Class = iota
 	ClassFabric
+	ClassLinkContend
 	ClassNotifyWait
 	ClassMPILockWait
 	ClassRetry
@@ -59,6 +62,8 @@ func (c Class) String() string {
 		return "compute"
 	case ClassFabric:
 		return "fabric"
+	case ClassLinkContend:
+		return "link_contend"
 	case ClassNotifyWait:
 		return "notify_wait"
 	case ClassMPILockWait:
@@ -140,6 +145,8 @@ func edgeClass(name string) Class {
 	switch name {
 	case "flow:msg":
 		return ClassFabric
+	case "flow:link":
+		return ClassLinkContend // queueing at a shaped-topology link
 	case "flow:notify":
 		return ClassNotifyWait
 	case "flow:lock":

@@ -62,6 +62,48 @@ func TestAnalyzeHandTrace(t *testing.T) {
 	}
 }
 
+// TestAnalyzeLinkContendSplit checks the shaped-topology edge split the
+// fabric emits when a message queued behind contended links: the flow:msg
+// edge ends where uncontended transit would have delivered (25us) and a
+// same-rank flow:link edge covers the contention tail [25us, 30us]. The
+// walk must blame the tail as link_contend, the transit as fabric, and
+// still attribute the full makespan.
+func TestAnalyzeLinkContendSplit(t *testing.T) {
+	rec := obs.NewTracer(2)
+	rec.Span(0, obs.TaskTrack(0), obs.CatTask, "body", 0, 40*us, 1)
+	rec.Flow(0, obs.TrackFabricTx, obs.CatFabric, "flow:msg", 's', 10*us, 7)
+	rec.Flow(1, obs.TrackFabricRx, obs.CatFabric, "flow:msg", 'f', 25*us, 7)
+	rec.Flow(1, obs.TrackFabricRx, obs.CatFabric, "flow:link", 's', 25*us, 8)
+	rec.Flow(1, obs.TrackFabricRx, obs.CatFabric, "flow:link", 'f', 30*us, 8)
+	rec.Span(1, obs.TrackNotify, obs.CatNotify, "notify:wait", 5*us, 32*us, 0)
+	rec.Span(1, obs.TaskTrack(0), obs.CatTask, "body", 32*us, 60*us, 2)
+	rep, err := Analyze(rec.Events())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Attributed != rep.Makespan {
+		t.Fatalf("attributed %v of %v", rep.Attributed, rep.Makespan)
+	}
+	want := map[Class]time.Duration{
+		ClassCompute:     38 * us, // 28us on rank 1 + 10us on rank 0
+		ClassLinkContend: 5 * us,  // contention tail 25us -> 30us
+		ClassFabric:      15 * us, // uncontended transit 10us -> 25us
+		ClassNotifyWait:  2 * us,  // delivery 30us -> wait end 32us
+	}
+	for c, d := range want {
+		if rep.Blame[c].Time != d {
+			t.Errorf("%s = %v, want %v", c, rep.Blame[c].Time, d)
+		}
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "link_contend") {
+		t.Errorf("text report missing link_contend row:\n%s", buf.String())
+	}
+}
+
 func TestAnalyzeLockWaitOnPath(t *testing.T) {
 	// A single rank whose last activity is an isend shell with a lock wait
 	// inside: the lock wait must outrank the shell where they overlap.

@@ -41,8 +41,8 @@ fi
 # nil-Recorder instrumentation site must allocate nothing. Run without
 # -race on purpose — race instrumentation inflates allocation counts, so
 # the gates skip themselves under the race build.
-echo "== allocation-regression gates: courier budget (plain + flow-stamped) + nil-Recorder zero-alloc"
-go test -run 'TestCourierAllocBudget|TestCourierAllocBudgetInstrumented' ./internal/fabric
+echo "== allocation-regression gates: courier budget (plain + flow-stamped + multi-hop) + nil-Recorder zero-alloc"
+go test -run 'TestCourierAllocBudget|TestCourierAllocBudgetInstrumented|TestCourierAllocBudgetMultiHop' ./internal/fabric
 go test -run 'TestNilRecorderZeroAlloc|TestNilHalvesCollectorZeroAlloc' ./internal/obs
 
 # Host-time regression gate at scale: one paper-scale Gauss-Seidel point
@@ -54,8 +54,8 @@ go test -run 'TestNilRecorderZeroAlloc|TestNilHalvesCollectorZeroAlloc' ./intern
 # "9-scale"/"10-scale" series (regenerate: go run ./cmd/figures -scale
 # -json, then splice the rows; see EXPERIMENTS.md "Scaling past the
 # paper").
-echo "== host-time regression gate: per-message budget at the 256-node scale point"
-go test -run 'TestPerMessageHostBudget' ./internal/figures
+echo "== host-time regression gate: per-message budget at the 256-node scale point + the multi-hop incast point"
+go test -run 'TestPerMessageHostBudget|TestMultiHopHostBudget' ./internal/figures
 grep -q '"fig":"9-scale"' BENCH_host.json
 grep -q '"fig":"10-scale"' BENCH_host.json
 grep -q '"fig":"coll-scale"' BENCH_host.json
@@ -102,6 +102,22 @@ go run ./cmd/figures -fig coll -quick -parallel 4 -json "$coll_a" -json-host=fal
 go run ./cmd/figures -fig coll -quick -parallel 4 -json "$coll_b" -json-host=false > /dev/null
 cmp "$coll_a" "$coll_b"
 
+# Hotspot determinism gate (DESIGN.md §13): two regenerations of the
+# shaped-topology incast figure — multi-hop routes over shared per-link
+# capacity on the mesh and the fat-tree, all three messaging variants —
+# must serialize byte-identically. Routes are pure functions of the
+# topology and link service is arrival-ordered in virtual time, so
+# emergent congestion may not depend on host scheduling.
+echo "== hotspot determinism gate: two shaped-topology incast runs, byte-identical JSON"
+hs_a="$(mktemp -t figures-hs-a.XXXXXX.json)"
+hs_b="$(mktemp -t figures-hs-b.XXXXXX.json)"
+trap 'rm -f "$fig_a" "$fig_b" "$coll_a" "$coll_b" "$hs_a" "$hs_b"' EXIT
+go run ./cmd/figures -fig hotspot -quick -parallel 4 -json "$hs_a" -json-host=false > /dev/null
+go run ./cmd/figures -fig hotspot -quick -parallel 4 -json "$hs_b" -json-host=false > /dev/null
+cmp "$hs_a" "$hs_b"
+grep -q '"fig":"hotspot","series":"mesh MPI-Only"' "$hs_a"
+grep -q '"fig":"hotspot","series":"fattree TAGASPI"' "$hs_a"
+
 # Fault-determinism gate: the fault plane draws every decision from
 # seeded per-path streams in virtual time (DESIGN.md §9), so two seeded
 # -faults runs must produce byte-identical host-time-free output. A -race
@@ -111,7 +127,7 @@ echo "== fault determinism gate: two seeded -faults runs, byte-identical output"
 go build -o /tmp/ci-heat-bin ./cmd/heat
 fault_a="$(mktemp -t heat-faults-a.XXXXXX.txt)"
 fault_b="$(mktemp -t heat-faults-b.XXXXXX.txt)"
-trap 'rm -f "$fig_a" "$fig_b" "$coll_a" "$coll_b" "$fault_a" "$fault_b"' EXIT
+trap 'rm -f "$fig_a" "$fig_b" "$coll_a" "$coll_b" "$hs_a" "$hs_b" "$fault_a" "$fault_b"' EXIT
 /tmp/ci-heat-bin -variant tagaspi -nodes 2 -rows 256 -cols 256 -steps 4 \
     -faults 0.05 -host=false > "$fault_a"
 /tmp/ci-heat-bin -variant tagaspi -nodes 2 -rows 256 -cols 256 -steps 4 \
@@ -129,7 +145,7 @@ go test -race -run TestLinkOutageRecovery ./internal/cluster
 echo "== trace smoke: concurrent instrumented cmd/heat runs + cmd/trace -check"
 trace_tmp="$(mktemp -t heat-trace.XXXXXX.json)"
 trace_tmp2="$(mktemp -t heat-trace2.XXXXXX.json)"
-trap 'rm -f "$fig_a" "$fig_b" "$coll_a" "$coll_b" "$fault_a" "$fault_b" "$trace_tmp" "$trace_tmp2"' EXIT
+trap 'rm -f "$fig_a" "$fig_b" "$coll_a" "$coll_b" "$hs_a" "$hs_b" "$fault_a" "$fault_b" "$trace_tmp" "$trace_tmp2"' EXIT
 /tmp/ci-heat-bin -variant tagaspi -nodes 2 -rpn 1 -cores 2 \
     -rows 128 -cols 256 -steps 2 -block 64 \
     -trace "$trace_tmp" -metrics > /dev/null &
@@ -151,7 +167,7 @@ echo "== blame determinism gate: two seeded instrumented runs, byte-identical re
 blame_a="$(mktemp -t heat-blame-a.XXXXXX.txt)"
 blame_b="$(mktemp -t heat-blame-b.XXXXXX.txt)"
 blame_t="$(mktemp -t heat-blame-t.XXXXXX.txt)"
-trap 'rm -f "$fig_a" "$fig_b" "$coll_a" "$coll_b" "$fault_a" "$fault_b" "$trace_tmp" "$trace_tmp2" "$blame_a" "$blame_b" "$blame_t"' EXIT
+trap 'rm -f "$fig_a" "$fig_b" "$coll_a" "$coll_b" "$hs_a" "$hs_b" "$fault_a" "$fault_b" "$trace_tmp" "$trace_tmp2" "$blame_a" "$blame_b" "$blame_t"' EXIT
 /tmp/ci-heat-bin -variant tagaspi -nodes 2 -rpn 1 -cores 2 \
     -rows 128 -cols 256 -steps 2 -block 64 -host=false \
     -blame "$blame_a" > /dev/null
